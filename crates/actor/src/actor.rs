@@ -1,0 +1,199 @@
+//! The actor trait and typed actor references.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// A message-processing actor.
+///
+/// Actors own their state exclusively; all interaction flows through the
+/// mailbox. `handle` runs on the actor's dedicated thread.
+pub trait Actor: Send + 'static {
+    /// The message type this actor processes.
+    type Msg: Send + 'static;
+
+    /// Processes one message.
+    fn handle(&mut self, msg: Self::Msg, ctx: &mut Ctx);
+
+    /// Called when the actor (re)starts, before the first message.
+    fn started(&mut self, _ctx: &mut Ctx) {}
+
+    /// Called when the actor stops cleanly.
+    fn stopped(&mut self) {}
+}
+
+/// Execution context handed to [`Actor::handle`].
+pub struct Ctx {
+    /// Actor name (unique within the system).
+    pub name: String,
+    /// Number of restarts this actor has undergone.
+    pub restarts: u32,
+    pub(crate) stop_requested: bool,
+}
+
+impl Ctx {
+    /// Requests a clean stop after the current message.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// Control envelope around user messages.
+pub(crate) enum Envelope<M> {
+    /// A user message.
+    Msg(M),
+    /// Clean shutdown request.
+    Stop,
+    /// Injected fault: panic inside the actor loop (fault injection).
+    Crash(String),
+    /// Injected fault: sleep before processing further messages.
+    Delay(Duration),
+}
+
+/// Errors returned by [`ActorRef::ask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AskError {
+    /// The actor's mailbox is closed (actor dead and not restartable).
+    Dead,
+    /// No reply arrived within the timeout — the paper's RPC-timeout
+    /// failure signal.
+    Timeout,
+}
+
+impl std::fmt::Display for AskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AskError::Dead => write!(f, "actor is dead"),
+            AskError::Timeout => write!(f, "ask timed out"),
+        }
+    }
+}
+
+impl std::error::Error for AskError {}
+
+/// A cloneable, typed handle to an actor.
+pub struct ActorRef<M> {
+    pub(crate) name: String,
+    pub(crate) tx: Sender<Envelope<M>>,
+    pub(crate) alive: Arc<AtomicBool>,
+    pub(crate) processed: Arc<AtomicU64>,
+}
+
+impl<M> Clone for ActorRef<M> {
+    fn clone(&self) -> Self {
+        ActorRef {
+            name: self.name.clone(),
+            tx: self.tx.clone(),
+            alive: self.alive.clone(),
+            processed: self.processed.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> ActorRef<M> {
+    /// The actor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the actor thread is currently running.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Messages processed so far (across restarts).
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::SeqCst)
+    }
+
+    /// Fire-and-forget send. Returns `false` if the mailbox is closed.
+    pub fn tell(&self, msg: M) -> bool {
+        self.tx.send(Envelope::Msg(msg)).is_ok()
+    }
+
+    /// Request/response: builds a message embedding a reply channel and
+    /// waits for the reply with a timeout.
+    ///
+    /// # Examples
+    ///
+    /// ```ignore
+    /// let reply: Result<u64, AskError> =
+    ///     actor.ask(|tx| Msg::Get { reply: tx }, Duration::from_secs(1));
+    /// ```
+    pub fn ask<R: Send + 'static>(
+        &self,
+        build: impl FnOnce(ReplyTo<R>) -> M,
+        timeout: Duration,
+    ) -> Result<R, AskError> {
+        let (tx, rx) = bounded(1);
+        let msg = build(ReplyTo { tx });
+        if self.tx.send(Envelope::Msg(msg)).is_err() {
+            return Err(AskError::Dead);
+        }
+        rx.recv_timeout(timeout).map_err(|_| {
+            if self.is_alive() {
+                AskError::Timeout
+            } else {
+                AskError::Dead
+            }
+        })
+    }
+
+    /// Requests a clean stop (processed in mailbox order).
+    pub fn stop(&self) {
+        let _ = self.tx.send(Envelope::Stop);
+    }
+
+    /// Fault injection: makes the actor panic when it dequeues this
+    /// envelope. A supervised actor will restart; a plain actor dies.
+    pub fn inject_crash(&self, reason: impl Into<String>) {
+        let _ = self.tx.send(Envelope::Crash(reason.into()));
+    }
+
+    /// Fault injection: stalls the actor for `d` (models slow workers and
+    /// partial network partitions — `ask` timeouts then fire).
+    pub fn inject_delay(&self, d: Duration) {
+        let _ = self.tx.send(Envelope::Delay(d));
+    }
+}
+
+/// One-shot reply channel carried inside request messages.
+pub struct ReplyTo<R> {
+    tx: Sender<R>,
+}
+
+impl<R: Send> ReplyTo<R> {
+    /// Sends the reply; returns `false` if the asker gave up.
+    pub fn send(self, value: R) -> bool {
+        self.tx.send(value).is_ok()
+    }
+}
+
+/// Internal: the receiving half plus shared liveness flags.
+pub(crate) struct Mailbox<M> {
+    pub rx: Receiver<Envelope<M>>,
+    pub alive: Arc<AtomicBool>,
+    pub processed: Arc<AtomicU64>,
+}
+
+/// Creates a connected `(ActorRef, Mailbox)` pair.
+pub(crate) fn mailbox<M: Send + 'static>(name: &str) -> (ActorRef<M>, Mailbox<M>) {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let alive = Arc::new(AtomicBool::new(false));
+    let processed = Arc::new(AtomicU64::new(0));
+    (
+        ActorRef {
+            name: name.to_string(),
+            tx,
+            alive: alive.clone(),
+            processed: processed.clone(),
+        },
+        Mailbox {
+            rx,
+            alive,
+            processed,
+        },
+    )
+}

@@ -1,0 +1,117 @@
+//! Failure-injection plans for resilience experiments.
+//!
+//! The fault-tolerance evaluation (Fig 11, Fig 16e) needs reproducible
+//! failure scenarios: "kill loader 3 at t≈2 s, stall loader 7 for 500 ms".
+//! [`FaultPlan`] is a declarative schedule of such events that test
+//! harnesses replay against live actors via [`crate::ActorRef::inject_crash`]
+//! and [`crate::ActorRef::inject_delay`].
+
+use std::time::Duration;
+
+/// One fault to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the target actor.
+    Crash,
+    /// Stall the target actor for the given duration.
+    Stall(Duration),
+}
+
+/// A scheduled fault event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Offset from scenario start.
+    pub at: Duration,
+    /// Name of the target actor.
+    pub target: String,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// An ordered schedule of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash of `target` at offset `at`.
+    pub fn crash_at(mut self, target: impl Into<String>, at: Duration) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target: target.into(),
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Adds a stall of `target` at offset `at` for `len`.
+    pub fn stall_at(mut self, target: impl Into<String>, at: Duration, len: Duration) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target: target.into(),
+            kind: FaultKind::Stall(len),
+        });
+        self
+    }
+
+    /// Events sorted by offset.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| e.at);
+        sorted
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of crash events targeting `name`.
+    pub fn crashes_for(&self, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.target == name && e.kind == FaultKind::Crash)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_and_ordering() {
+        let plan = FaultPlan::new()
+            .crash_at("loader/3", Duration::from_secs(2))
+            .stall_at(
+                "loader/7",
+                Duration::from_millis(500),
+                Duration::from_millis(200),
+            )
+            .crash_at("loader/3", Duration::from_secs(1));
+        assert_eq!(plan.len(), 3);
+        let events = plan.events();
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(events[0].target, "loader/7");
+        assert_eq!(plan.crashes_for("loader/3"), 2);
+        assert_eq!(plan.crashes_for("loader/7"), 0);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.events().is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Global Control Store analogue.
+//!
+//! Ray's GCS keeps actor metadata and lets restartable actors resume.
+//! MegaScale-Data leans on it for Planner and Data Constructor recovery
+//! (Sec 6.1: "Core coordinators leverage the Global Control Store for state
+//! management and automatic restarts"). [`Gcs`] provides the two services
+//! the reproduction needs: a name registry and a versioned state blackboard
+//! for checkpoints.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A versioned checkpoint blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic version (e.g. training step or plan epoch).
+    pub version: u64,
+    /// Opaque serialized state.
+    pub data: Vec<u8>,
+}
+
+#[derive(Default)]
+struct Inner {
+    registry: HashMap<String, String>,
+    state: HashMap<String, Checkpoint>,
+}
+
+/// Shared, thread-safe control store.
+#[derive(Clone, Default)]
+pub struct Gcs {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Gcs {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a named component with its descriptor (role, address).
+    pub fn register(&self, name: &str, descriptor: &str) {
+        self.inner
+            .write()
+            .registry
+            .insert(name.to_string(), descriptor.to_string());
+    }
+
+    /// Removes a registration.
+    pub fn deregister(&self, name: &str) {
+        self.inner.write().registry.remove(name);
+    }
+
+    /// Looks up a component descriptor.
+    pub fn lookup(&self, name: &str) -> Option<String> {
+        self.inner.read().registry.get(name).cloned()
+    }
+
+    /// Lists registered names with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .read()
+            .registry
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Stores a checkpoint if its version is newer than the stored one.
+    /// Returns `true` if the store accepted it.
+    pub fn put_state(&self, key: &str, version: u64, data: Vec<u8>) -> bool {
+        let mut inner = self.inner.write();
+        match inner.state.get(key) {
+            Some(existing) if existing.version >= version => false,
+            _ => {
+                inner
+                    .state
+                    .insert(key.to_string(), Checkpoint { version, data });
+                true
+            }
+        }
+    }
+
+    /// Fetches the latest checkpoint for a key.
+    pub fn get_state(&self, key: &str) -> Option<Checkpoint> {
+        self.inner.read().state.get(key).cloned()
+    }
+
+    /// Latest checkpoint version for a key (0 if none).
+    pub fn state_version(&self, key: &str) -> u64 {
+        self.inner
+            .read()
+            .state
+            .get(key)
+            .map(|c| c.version)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip() {
+        let gcs = Gcs::new();
+        gcs.register("loader/0", "source=coyo,part=0");
+        gcs.register("loader/1", "source=coyo,part=1");
+        gcs.register("planner", "central");
+        assert_eq!(
+            gcs.lookup("loader/0").as_deref(),
+            Some("source=coyo,part=0")
+        );
+        assert_eq!(gcs.list("loader/"), vec!["loader/0", "loader/1"]);
+        gcs.deregister("loader/0");
+        assert_eq!(gcs.lookup("loader/0"), None);
+    }
+
+    #[test]
+    fn checkpoints_are_version_gated() {
+        let gcs = Gcs::new();
+        assert!(gcs.put_state("planner", 5, vec![1]));
+        // Stale write rejected.
+        assert!(!gcs.put_state("planner", 4, vec![2]));
+        assert!(!gcs.put_state("planner", 5, vec![3]));
+        assert!(gcs.put_state("planner", 6, vec![4]));
+        let cp = gcs.get_state("planner").unwrap();
+        assert_eq!(cp.version, 6);
+        assert_eq!(cp.data, vec![4]);
+        assert_eq!(gcs.state_version("planner"), 6);
+        assert_eq!(gcs.state_version("unknown"), 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let gcs = Gcs::new();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let gcs = gcs.clone();
+            handles.push(std::thread::spawn(move || {
+                for v in 0..100u64 {
+                    gcs.put_state("shared", t * 100 + v, vec![t as u8]);
+                    gcs.register(&format!("actor/{t}"), "x");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Highest version wins.
+        assert_eq!(gcs.state_version("shared"), 799);
+        assert_eq!(gcs.list("actor/").len(), 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! Thread-based actor runtime with supervision and failure injection.
+//!
+//! MegaScale-Data is built as a set of long-lived actors (Source Loaders,
+//! Data Constructors, the Planner) exchanging messages — the paper deploys
+//! them on Ray. This crate is the Rust substrate playing Ray's role:
+//!
+//! - [`actor`]: the [`actor::Actor`] trait and typed [`actor::ActorRef`]
+//!   handles with `tell`/`ask` semantics (ask carries an RPC timeout, which
+//!   is also the failure-detection mechanism the paper describes).
+//! - [`system`]: [`system::ActorSystem`] spawning plain or *supervised*
+//!   actors; supervised actors are restarted from a factory after a panic,
+//!   like Ray's restartable actors backed by the GCS.
+//! - [`fault`]: failure injection — crash an actor remotely, inject
+//!   processing delays — used by the fault-tolerance experiments.
+//! - [`gcs`]: a Global Control Store analogue: named registry plus a state
+//!   blackboard actors checkpoint into and recover from.
+
+pub mod actor;
+pub mod fault;
+pub mod gcs;
+pub mod system;
+
+pub use actor::{Actor, ActorRef, AskError, Ctx};
+pub use gcs::Gcs;
+pub use system::{ActorSystem, RestartPolicy};

@@ -1,0 +1,324 @@
+//! Actor system: spawning, supervision, restart policies.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::actor::{mailbox, Actor, ActorRef, Ctx, Envelope, Mailbox};
+
+/// What to do when an actor panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Let the actor die; `ask` calls then return `Dead`.
+    Never,
+    /// Recreate the actor from its factory, up to `max_restarts` times.
+    Restart {
+        /// Maximum number of restarts before giving up.
+        max_restarts: u32,
+    },
+}
+
+/// Owns actor threads and joins them on shutdown.
+///
+/// # Examples
+///
+/// ```
+/// use msd_actor::{Actor, ActorSystem, Ctx};
+///
+/// struct Counter(u64);
+/// enum Msg { Add(u64), Get(msd_actor::actor::ReplyTo<u64>) }
+/// impl Actor for Counter {
+///     type Msg = Msg;
+///     fn handle(&mut self, msg: Msg, _ctx: &mut Ctx) {
+///         match msg {
+///             Msg::Add(n) => self.0 += n,
+///             Msg::Get(reply) => { reply.send(self.0); }
+///         }
+///     }
+/// }
+///
+/// let system = ActorSystem::new("demo");
+/// let counter = system.spawn("counter", Counter(0));
+/// counter.tell(Msg::Add(2));
+/// counter.tell(Msg::Add(3));
+/// let v = counter.ask(Msg::Get, std::time::Duration::from_secs(1)).unwrap();
+/// assert_eq!(v, 5);
+/// counter.stop(); // Actors run until stopped (or every sender drops)...
+/// system.shutdown(); // ...and shutdown joins their threads.
+/// ```
+pub struct ActorSystem {
+    name: String,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ActorSystem {
+    /// Creates a named system.
+    pub fn new(name: impl Into<String>) -> Self {
+        ActorSystem {
+            name: name.into(),
+            handles: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// System name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Spawns an unsupervised actor on its own thread.
+    pub fn spawn<A: Actor>(&self, name: &str, actor: A) -> ActorRef<A::Msg> {
+        let (aref, mbox) = mailbox::<A::Msg>(name);
+        let name = name.to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}/{}", self.name, name))
+            .spawn(move || {
+                let mut actor = actor;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_actor_loop(&mut actor, &mbox, &name, 0)
+                }));
+                mbox.alive.store(false, Ordering::SeqCst);
+                // An unsupervised panic stays contained to this actor; the
+                // harness observes it through `is_alive` / ask errors.
+                drop(result);
+            })
+            .expect("failed to spawn actor thread");
+        self.handles.lock().push(handle);
+        aref
+    }
+
+    /// Spawns a supervised actor: after a panic the actor is rebuilt from
+    /// `factory` (state resets to the factory's output — recovering durable
+    /// state from the GCS is the actor's job in `started`).
+    pub fn spawn_supervised<A: Actor>(
+        &self,
+        name: &str,
+        policy: RestartPolicy,
+        factory: impl Fn() -> A + Send + 'static,
+    ) -> ActorRef<A::Msg> {
+        let (aref, mbox) = mailbox::<A::Msg>(name);
+        let name = name.to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}/{}", self.name, name))
+            .spawn(move || {
+                let mut restarts = 0u32;
+                loop {
+                    let mut actor = factory();
+                    let finished = catch_unwind(AssertUnwindSafe(|| {
+                        run_actor_loop(&mut actor, &mbox, &name, restarts)
+                    }));
+                    match finished {
+                        Ok(()) => break, // Clean stop or mailbox closed.
+                        Err(_) => {
+                            mbox.alive.store(false, Ordering::SeqCst);
+                            match policy {
+                                RestartPolicy::Never => break,
+                                RestartPolicy::Restart { max_restarts } => {
+                                    if restarts >= max_restarts {
+                                        break;
+                                    }
+                                    restarts += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                mbox.alive.store(false, Ordering::SeqCst);
+            })
+            .expect("failed to spawn supervised actor thread");
+        self.handles.lock().push(handle);
+        aref
+    }
+
+    /// Joins all actor threads. Call after stopping actors; joining with
+    /// live unstopped actors blocks until their mailboxes close.
+    pub fn shutdown(&self) {
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ActorSystem {
+    fn drop(&mut self) {
+        // Detach remaining threads; they exit when their senders drop.
+    }
+}
+
+/// Runs the message loop until Stop, mailbox closure, or panic.
+fn run_actor_loop<A: Actor>(actor: &mut A, mbox: &Mailbox<A::Msg>, name: &str, restarts: u32) {
+    let mut ctx = Ctx {
+        name: name.to_string(),
+        restarts,
+        stop_requested: false,
+    };
+    mbox.alive.store(true, Ordering::SeqCst);
+    actor.started(&mut ctx);
+    while !ctx.stop_requested {
+        let Ok(envelope) = mbox.rx.recv() else {
+            break; // All senders dropped.
+        };
+        match envelope {
+            Envelope::Msg(m) => {
+                actor.handle(m, &mut ctx);
+                mbox.processed.fetch_add(1, Ordering::SeqCst);
+            }
+            Envelope::Stop => break,
+            Envelope::Crash(reason) => {
+                panic!("injected crash in actor {name}: {reason}");
+            }
+            Envelope::Delay(d) => std::thread::sleep(d),
+        }
+    }
+    mbox.alive.store(false, Ordering::SeqCst);
+    actor.stopped();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{AskError, ReplyTo};
+    use std::time::Duration;
+
+    struct Counter {
+        value: u64,
+    }
+
+    enum CounterMsg {
+        Add(u64),
+        Get(ReplyTo<u64>),
+        SlowGet(ReplyTo<u64>, Duration),
+    }
+
+    impl Actor for Counter {
+        type Msg = CounterMsg;
+        fn handle(&mut self, msg: CounterMsg, _ctx: &mut Ctx) {
+            match msg {
+                CounterMsg::Add(n) => self.value += n,
+                CounterMsg::Get(reply) => {
+                    reply.send(self.value);
+                }
+                CounterMsg::SlowGet(reply, delay) => {
+                    std::thread::sleep(delay);
+                    reply.send(self.value);
+                }
+            }
+        }
+    }
+
+    fn ask_timeout() -> Duration {
+        Duration::from_secs(5)
+    }
+
+    #[test]
+    fn tell_then_ask_observes_ordering() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("counter", Counter { value: 0 });
+        for _ in 0..100 {
+            a.tell(CounterMsg::Add(1));
+        }
+        let v = a.ask(CounterMsg::Get, ask_timeout()).unwrap();
+        assert_eq!(v, 100);
+        a.stop();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn ask_timeout_fires_on_slow_actor() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("counter", Counter { value: 7 });
+        let r = a.ask(
+            |tx| CounterMsg::SlowGet(tx, Duration::from_millis(300)),
+            Duration::from_millis(20),
+        );
+        assert_eq!(r, Err(AskError::Timeout));
+        a.stop();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn unsupervised_crash_kills_actor() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("counter", Counter { value: 0 });
+        a.tell(CounterMsg::Add(1));
+        a.inject_crash("boom");
+        sys.shutdown();
+        assert!(!a.is_alive());
+        let r = a.ask(CounterMsg::Get, Duration::from_millis(100));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn supervised_crash_restarts_with_fresh_state() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn_supervised(
+            "counter",
+            RestartPolicy::Restart { max_restarts: 3 },
+            || Counter { value: 0 },
+        );
+        a.tell(CounterMsg::Add(41));
+        assert_eq!(a.ask(CounterMsg::Get, ask_timeout()).unwrap(), 41);
+        a.inject_crash("boom");
+        // After restart, in-memory state is reset (durable state would be
+        // re-hydrated from the GCS in `started`).
+        let mut value = None;
+        for _ in 0..50 {
+            match a.ask(CounterMsg::Get, Duration::from_millis(200)) {
+                Ok(v) => {
+                    value = Some(v);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        assert_eq!(value, Some(0));
+        a.tell(CounterMsg::Add(5));
+        assert_eq!(a.ask(CounterMsg::Get, ask_timeout()).unwrap(), 5);
+        a.stop();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn restart_budget_is_bounded() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn_supervised(
+            "counter",
+            RestartPolicy::Restart { max_restarts: 1 },
+            || Counter { value: 0 },
+        );
+        a.inject_crash("first");
+        a.inject_crash("second");
+        sys.shutdown();
+        assert!(!a.is_alive());
+    }
+
+    #[test]
+    fn processed_counter_advances() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("counter", Counter { value: 0 });
+        for _ in 0..10 {
+            a.tell(CounterMsg::Add(1));
+        }
+        let _ = a.ask(CounterMsg::Get, ask_timeout()).unwrap();
+        assert!(a.processed() >= 11);
+        a.stop();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn injected_delay_stalls_processing() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("counter", Counter { value: 0 });
+        a.inject_delay(Duration::from_millis(100));
+        a.tell(CounterMsg::Add(1));
+        let t0 = std::time::Instant::now();
+        let v = a.ask(CounterMsg::Get, ask_timeout()).unwrap();
+        assert_eq!(v, 1);
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+        a.stop();
+        sys.shutdown();
+    }
+}

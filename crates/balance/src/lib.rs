@@ -1,0 +1,24 @@
+//! Cost models and load-balancing algorithms.
+//!
+//! The paper's `cost(costfn)` and `balance(method)` primitives bottom out
+//! here:
+//!
+//! - [`cost`]: analytic FLOPs models for ViT encoders and (MoE) LLM
+//!   backbones — the quadratic attention term is what makes skewed
+//!   sequence-length distributions produce the 3.2×/6.9× imbalances of
+//!   Fig 3.
+//! - [`binpack`]: the balancing methods exposed by `balance(...)` — greedy
+//!   LPT binpacking and Karmarkar–Karp differencing — plus the cheaper
+//!   interleaved assignment.
+//! - [`metrics`]: imbalance measures (max/min factor, coefficient of
+//!   variation) used across the evaluation figures.
+
+pub mod binpack;
+pub mod cost;
+pub mod metrics;
+pub mod order;
+
+pub use binpack::{balance, Assignment, BalanceMethod};
+pub use cost::{BackboneShape, EncoderShape};
+pub use metrics::{bin_sums, coefficient_of_variation, imbalance_factor};
+pub use order::{vshape_order, zigzag_order};

@@ -1,0 +1,79 @@
+//! Imbalance metrics.
+
+use crate::binpack::Assignment;
+
+/// Per-bin cost sums for an assignment.
+pub fn bin_sums(assignment: &Assignment, costs: &[f64]) -> Vec<f64> {
+    assignment.sums(costs)
+}
+
+/// Max/min ratio of per-bin sums (1.0 = perfectly balanced). Empty or
+/// zero-minimum inputs yield `f64::INFINITY` (an empty bin is the worst
+/// imbalance: its consumer idles a full microbatch).
+pub fn imbalance_factor(sums: &[f64]) -> f64 {
+    let max = sums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = sums.iter().cloned().fold(f64::INFINITY, f64::min);
+    if sums.is_empty() || min <= 0.0 {
+        return f64::INFINITY;
+    }
+    max / min
+}
+
+/// Coefficient of variation (std/mean) of per-bin sums.
+pub fn coefficient_of_variation(sums: &[f64]) -> f64 {
+    if sums.is_empty() {
+        return 0.0;
+    }
+    let n = sums.len() as f64;
+    let mean = sums.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = sums.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Straggler penalty: the fraction of total compute wasted if every bin
+/// waits for the slowest (`n·max / sum − 1`). This is the quantity
+/// load-time balancing recovers.
+pub fn straggler_waste(sums: &[f64]) -> f64 {
+    if sums.is_empty() {
+        return 0.0;
+    }
+    let max = sums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let total: f64 = sums.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (sums.len() as f64 * max / total) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_cv() {
+        let sums = [10.0, 10.0, 10.0];
+        assert_eq!(imbalance_factor(&sums), 1.0);
+        assert_eq!(coefficient_of_variation(&sums), 0.0);
+        let sums = [5.0, 10.0];
+        assert_eq!(imbalance_factor(&sums), 2.0);
+        assert!(coefficient_of_variation(&sums) > 0.3);
+    }
+
+    #[test]
+    fn empty_bin_is_infinite_imbalance() {
+        assert_eq!(imbalance_factor(&[0.0, 5.0]), f64::INFINITY);
+        assert_eq!(imbalance_factor(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn straggler_waste_bounds() {
+        assert_eq!(straggler_waste(&[4.0, 4.0]), 0.0);
+        // One idle bin of two: half the cluster waits.
+        let w = straggler_waste(&[8.0, 0.0]);
+        assert!((w - 1.0).abs() < 1e-12);
+        assert_eq!(straggler_waste(&[]), 0.0);
+    }
+}

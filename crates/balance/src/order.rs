@@ -1,0 +1,158 @@
+//! Microbatch ordering strategies (the paper's extension API examples).
+//!
+//! `balance()` decides *which* samples share a bin; ordering strategies
+//! decide *in what sequence* bins execute. Sec 4.2 names Zig-Zag and
+//! V-Shape as user-defined strategies implementable through the
+//! framework's extension APIs:
+//!
+//! - [`zigzag_order`]: alternate heavy and light microbatches, so a heavy
+//!   microbatch on one pipeline stage overlaps a light one elsewhere.
+//! - [`vshape_order`]: heaviest microbatches at the edges, lightest in the
+//!   middle — the 1F1B warm-up/cool-down phases (which expose bubbles the
+//!   most) carry the least skew-sensitive work in the steady state.
+//! - [`by_cost_desc`] / [`by_cost_asc`]: the simple monotone orders.
+
+/// Returns bin indices sorted by descending cost.
+pub fn by_cost_desc(costs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..costs.len()).collect();
+    idx.sort_by(|a, b| {
+        costs[*b]
+            .partial_cmp(&costs[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    idx
+}
+
+/// Returns bin indices sorted by ascending cost.
+pub fn by_cost_asc(costs: &[f64]) -> Vec<usize> {
+    let mut idx = by_cost_desc(costs);
+    idx.reverse();
+    idx
+}
+
+/// Zig-zag order: heaviest, lightest, second-heaviest, second-lightest, …
+///
+/// Adjacent microbatches then have strongly anti-correlated costs, which
+/// smooths the instantaneous load a pipeline stage sees.
+pub fn zigzag_order(costs: &[f64]) -> Vec<usize> {
+    let desc = by_cost_desc(costs);
+    let n = desc.len();
+    let mut out = Vec::with_capacity(n);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        out.push(desc[lo]);
+        lo += 1;
+        if lo < hi {
+            hi -= 1;
+            out.push(desc[hi]);
+        }
+    }
+    out
+}
+
+/// V-shape order: costs descend to the middle, then ascend — the heaviest
+/// microbatches sit at both ends of the schedule.
+pub fn vshape_order(costs: &[f64]) -> Vec<usize> {
+    let desc = by_cost_desc(costs);
+    let mut front = Vec::with_capacity(desc.len());
+    let mut back = Vec::new();
+    for (i, idx) in desc.iter().enumerate() {
+        if i % 2 == 0 {
+            front.push(*idx);
+        } else {
+            back.push(*idx);
+        }
+    }
+    back.reverse();
+    front.extend(back);
+    front
+}
+
+/// Mean absolute cost difference between adjacent positions — the
+/// smoothness objective zig-zag optimizes (higher = more alternation).
+pub fn adjacent_contrast(order: &[usize], costs: &[f64]) -> f64 {
+    if order.len() < 2 {
+        return 0.0;
+    }
+    order
+        .windows(2)
+        .map(|w| (costs[w[0]] - costs[w[1]]).abs())
+        .sum::<f64>()
+        / (order.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> Vec<f64> {
+        vec![5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+    }
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for i in order {
+            if seen[*i] {
+                return false;
+            }
+            seen[*i] = true;
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    #[test]
+    fn monotone_orders() {
+        let c = costs();
+        let desc = by_cost_desc(&c);
+        assert_eq!(desc, vec![2, 4, 0, 3, 5, 1]);
+        let asc = by_cost_asc(&c);
+        assert_eq!(asc, vec![1, 5, 3, 0, 4, 2]);
+        assert!(is_permutation(&desc, c.len()));
+    }
+
+    #[test]
+    fn zigzag_alternates_heavy_light() {
+        let c = costs();
+        let zz = zigzag_order(&c);
+        assert!(is_permutation(&zz, c.len()));
+        // 9, 1, 7, 2, 5, 3.
+        assert_eq!(zz, vec![2, 1, 4, 5, 0, 3]);
+        // Zig-zag maximizes adjacent contrast vs the sorted order.
+        assert!(adjacent_contrast(&zz, &c) > adjacent_contrast(&by_cost_desc(&c), &c));
+    }
+
+    #[test]
+    fn vshape_puts_heavy_at_edges() {
+        let c = costs();
+        let v = vshape_order(&c);
+        assert!(is_permutation(&v, c.len()));
+        // Ends are the two heaviest bins.
+        let first = c[v[0]];
+        let last = c[*v.last().unwrap()];
+        let max1 = 9.0;
+        let max2 = 7.0;
+        assert!(
+            (first == max1 && last == max2) || (first == max2 && last == max1),
+            "v = {v:?}"
+        );
+        // Middle element is among the lightest two.
+        let mid = c[v[v.len() / 2]];
+        assert!(mid <= 3.0, "mid = {mid}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(zigzag_order(&[]).is_empty());
+        assert_eq!(zigzag_order(&[4.2]), vec![0]);
+        assert_eq!(vshape_order(&[4.2]), vec![0]);
+        assert_eq!(adjacent_contrast(&[0], &[4.2]), 0.0);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let c = vec![2.0, 2.0, 2.0];
+        assert_eq!(by_cost_desc(&c), vec![0, 1, 2]);
+        assert_eq!(zigzag_order(&c), vec![0, 2, 1]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Architectural models of baseline dataloader systems.
+//!
+//! Fig 12 compares MegaScale-Data against five baselines spanning local
+//! (PyTorch DataLoader, tf.data), remote (Cachew, Ray Data), and hybrid
+//! (Pecan) processing. What determines their measured iteration time,
+//! fetch latency, and memory per node is *architecture*, not
+//! implementation polish:
+//!
+//! - **where loader instances live** (colocated per-rank clones vs. remote
+//!   workers) and therefore how many copies of per-source file access
+//!   states exist;
+//! - **parallelism awareness** (none of them share loads across CP/PP
+//!   ranks — each rank's loader independently fetches full batches);
+//! - **worker sizing** (all must provision for the slowest source's
+//!   transformation cost to avoid stalls).
+//!
+//! [`LoaderSystem`] captures those levers; each baseline fills them in
+//! with its published design. [`DirectTransfer`] is the Fig 20 ablation
+//! (MegaScale-Data without Data Constructors).
+
+pub mod model;
+pub mod systems;
+
+pub use model::{ClusterShape, LoaderSystem, SystemReport, WorkloadShape};
+pub use systems::{
+    fig12_systems, Cachew, DirectTransfer, MsdArchitecture, Pecan, RayData, TfDataService,
+    TorchDataLoader,
+};

@@ -1,0 +1,92 @@
+//! Fig 18 — Impact of the balancer on training-loss convergence.
+//!
+//! Runs the same data stream through the unbalanced and balanced pipelines
+//! and feeds the resulting microbatch compositions into the loss
+//! simulator, (a) without and (b) with Context Parallelism. The paper's
+//! conservative configuration (inter-microbatch only) leaves convergence
+//! intact; CP adds minor numerical fluctuation.
+
+use msd_balance::BalanceMethod;
+use msd_bench::{banner, table_header, table_row, Scenario};
+use msd_core::planner::Strategy;
+use msd_data::catalog::navit_like;
+use msd_mesh::DeviceMesh;
+use msd_sim::SimRng;
+use msd_train::models::vlm_preset;
+use msd_train::LossSim;
+
+fn curve(scenario: &Scenario, strategy: Strategy, cp: bool, reordered: bool) -> Vec<f64> {
+    let mut msd = scenario.pipeline(strategy, 18);
+    let mut sim = LossSim::new(1818, cp);
+    (0..50)
+        .map(|_| {
+            let out = msd.step().expect("step");
+            // Microbatch token counts of the first bucket (one replica).
+            let mb: Vec<u64> = out.plan.buckets[0]
+                .bins
+                .iter()
+                .map(|bin| {
+                    bin.samples
+                        .iter()
+                        .filter_map(|id| out.metas.get(id))
+                        .map(|m| m.total_tokens())
+                        .sum()
+                })
+                .collect();
+            sim.step(&mb, reordered)
+        })
+        .collect()
+}
+
+fn main() {
+    banner("Figure 18", "Balancer impact on training loss convergence");
+    let mut rng = SimRng::seed(18);
+    let catalog = navit_like(&mut rng);
+    let model = vlm_preset("ViT-1B", "Llama-12B");
+
+    for (label, cp) in [("(a) without CP", false), ("(b) with CP", true)] {
+        let mesh = if cp {
+            DeviceMesh::pp_dp_cp_tp(1, 2, 2, 1).unwrap()
+        } else {
+            DeviceMesh::pp_dp_cp_tp(1, 4, 1, 1).unwrap()
+        };
+        let scenario = Scenario {
+            mesh,
+            model: model.clone(),
+            ctx: 8192,
+            microbatches: 4,
+            samples_per_step: 64,
+            catalog: catalog.clone(),
+        };
+        let base = curve(&scenario, Strategy::Vanilla, cp, false);
+        let balanced = curve(
+            &scenario,
+            Strategy::BackboneBalance {
+                method: BalanceMethod::Greedy,
+                backbone: model.backbone,
+            },
+            cp,
+            true,
+        );
+        println!("\n{label}:");
+        table_header(&["step", "balance=False", "balance=True", "gap"]);
+        for step in (0..50).step_by(10).chain([49]) {
+            table_row(&[
+                step.to_string(),
+                format!("{:.3}", base[step]),
+                format!("{:.3}", balanced[step]),
+                format!("{:+.3}", balanced[step] - base[step]),
+            ]);
+        }
+        let max_gap = base
+            .iter()
+            .zip(&balanced)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!("max |gap| over 50 steps: {max_gap:.4}");
+        let tail_base: f64 = base[45..].iter().sum::<f64>() / 5.0;
+        let tail_bal: f64 = balanced[45..].iter().sum::<f64>() / 5.0;
+        println!("tail means: base {tail_base:.3} vs balanced {tail_bal:.3}  (both converge)");
+    }
+    println!("\n[paper: (a) curves tightly track; (b) CP adds minor fluctuation, still converges]");
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the balancing methods and the DGraph
+//! primitives — the design-choice ablation behind `balance(method=...)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msd_balance::{balance, BalanceMethod};
+use msd_core::buffer::{BufferInfo, BufferSummary};
+use msd_core::dgraph::{BalanceOpts, DGraph, MetaView};
+use msd_data::{Modality, SampleMeta, SourceId};
+use msd_mesh::{ClientPlaceTree, DeviceMesh, DistributeAxis};
+use msd_sim::SimRng;
+
+fn costs(n: usize) -> Vec<f64> {
+    let mut rng = SimRng::seed(77);
+    (0..n).map(|_| rng.lognormal(8.0, 1.2)).collect()
+}
+
+fn bench_balancers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balance_methods");
+    for n in [256usize, 2048] {
+        let items = costs(n);
+        for method in BalanceMethod::ALL {
+            group.bench_with_input(BenchmarkId::new(method.label(), n), &items, |b, items| {
+                b.iter(|| balance(std::hint::black_box(items), 16, method))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn buffer_info(n: usize) -> BufferInfo {
+    let mut rng = SimRng::seed(3);
+    BufferInfo::new(vec![BufferSummary {
+        loader_id: 0,
+        source: SourceId(0),
+        samples: (0..n as u64)
+            .map(|i| SampleMeta {
+                sample_id: i,
+                source: SourceId(0),
+                modality: Modality::Image,
+                text_tokens: (rng.lognormal(4.0, 1.0) as u32).max(1),
+                image_patches: (rng.lognormal(8.0, 1.0) as u32).max(1),
+                raw_bytes: 1024,
+            })
+            .collect(),
+        mean_transform_ns: 1000.0,
+    }])
+}
+
+fn bench_dgraph_pipeline(c: &mut Criterion) {
+    let info = buffer_info(4096);
+    let tree = ClientPlaceTree::from_device_mesh(&DeviceMesh::pp_dp_cp_tp(4, 8, 2, 4).unwrap());
+    c.bench_function("dgraph_distribute_cost_balance_plan_4096", |b| {
+        b.iter(|| {
+            let mut g = DGraph::from_buffer_infos(&info, MetaView::Tokens);
+            g.init(tree.clone());
+            g.distribute(DistributeAxis::DP, None).unwrap();
+            g.cost(|m| (m.total_tokens() as f64).powi(2));
+            g.balance(BalanceMethod::Greedy, BalanceOpts::inter_microbatch(8))
+                .unwrap();
+            std::hint::black_box(g.plan(0).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_balancers, bench_dgraph_pipeline
+}
+criterion_main!(benches);

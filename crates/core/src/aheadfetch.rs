@@ -1,0 +1,666 @@
+//! Ahead-of-Fetch load balancing (paper §9, "Future Work").
+//!
+//! The production pipeline balances *reactively*: Source Loaders fetch and
+//! transform samples into read buffers, and only then does the Planner see
+//! their metadata. Ahead-of-Fetch inverts this: per-sample metadata (and
+//! optionally pre-computed costs, embedded at dataset-build time) is read
+//! straight from storage footers and metadata columns with cheap
+//! column-projection scans, the Planner balances *first*, and loaders then
+//! fetch exactly the rows the plan names — never materializing excluded
+//! samples.
+//!
+//! Components:
+//!
+//! - [`MetaIndex`]: a per-source metadata index built from an `MSDCOL01`
+//!   file without touching payload columns.
+//! - [`PositionalFetcher`]: row-group-granular payload fetches for exactly
+//!   the sample ids a [`LoadingPlan`] directive names.
+//! - [`AheadOfFetchSession`]: drives a standard [`Planner`] from indexes
+//!   instead of loader buffers and accounts the avoided payload traffic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use msd_data::gen::COST_COLUMN;
+use msd_data::{Modality, Sample, SampleMeta, SourceId};
+use msd_storage::{ColumnarReader, MemStore, StorageError};
+
+use crate::buffer::{BufferInfo, BufferSummary};
+use crate::plan::LoadingPlan;
+use crate::planner::{PhaseBreakdown, Planner};
+
+/// A per-source metadata index built ahead of any payload fetch.
+///
+/// Sample ids are namespaced exactly like a shard-0
+/// [`crate::loader::SourceLoader`] would assign them
+/// (`source << 48 | ordinal`), so plans generated from an index are
+/// interchangeable with loader-driven plans.
+#[derive(Debug, Clone)]
+pub struct MetaIndex {
+    /// The source this index covers.
+    pub source: SourceId,
+    /// Loader id used in the buffer summaries this index emits.
+    pub loader_id: u32,
+    entries: Vec<SampleMeta>,
+    stored_costs: Option<Vec<f64>>,
+    /// Virtual-time cost of building the index (footer + projection reads).
+    pub build_io_ns: u64,
+    /// Bytes transferred to build the index (metadata columns only).
+    pub metadata_bytes: u64,
+    /// Per-row-group `(rows, payload_chunk_bytes)` from the footer — the
+    /// basis of fetch-savings accounting.
+    group_payload: Vec<(u64, u64)>,
+}
+
+impl MetaIndex {
+    /// Builds the index for `path`: opens the file, projection-scans the
+    /// `text_tokens`/`img_patches` columns (plus `msd_cost` when the file
+    /// embeds it), and never touches `text`/`image` payload chunks.
+    pub fn build(
+        store: &MemStore,
+        path: &str,
+        source: SourceId,
+        modality: Modality,
+        loader_id: u32,
+    ) -> Result<Self, StorageError> {
+        let mut reader = ColumnarReader::open(store, path)?;
+        let schema = reader.schema().clone();
+        let text_col = schema
+            .index_of("text_tokens")
+            .ok_or_else(|| StorageError::Corrupt("missing text_tokens column".into()))?;
+        let img_col = schema
+            .index_of("img_patches")
+            .ok_or_else(|| StorageError::Corrupt("missing img_patches column".into()))?;
+        let cost_col = schema.index_of(COST_COLUMN);
+
+        let mut cols = vec![text_col, img_col];
+        if let Some(c) = cost_col {
+            cols.push(c);
+        }
+        let projected = reader.scan_columns(&cols)?;
+        let footer = reader.footer();
+        let payload_col = schema.index_of("image");
+        let group_payload = footer
+            .row_groups
+            .iter()
+            .map(|rg| {
+                let payload = payload_col.map(|c| rg.columns[c].byte_len).unwrap_or(0);
+                (rg.rows, payload)
+            })
+            .collect();
+        let metadata_bytes: u64 = footer
+            .row_groups
+            .iter()
+            .flat_map(|rg| cols.iter().map(|c| rg.columns[*c].byte_len))
+            .sum::<u64>()
+            + footer.encoded_len() as u64;
+
+        let rows = projected[0].len();
+        let mut entries = Vec::with_capacity(rows);
+        for ordinal in 0..rows {
+            let text_tokens = projected[0][ordinal].as_i64().unwrap_or(0).max(0) as u32;
+            let image_patches = projected[1][ordinal].as_i64().unwrap_or(0).max(0) as u32;
+            entries.push(SampleMeta {
+                sample_id: (u64::from(source.0) << 48) | ordinal as u64,
+                source,
+                modality,
+                text_tokens,
+                image_patches,
+                // Estimated from lengths, same model as the catalog; actual
+                // payload bytes are only known after the (avoided) fetch.
+                raw_bytes: u64::from(text_tokens) * 4 + u64::from(image_patches) * 48,
+            });
+        }
+        let stored_costs = cost_col.map(|_| {
+            projected[2]
+                .iter()
+                .map(|v| v.as_i64().unwrap_or(0).max(0) as f64)
+                .collect()
+        });
+        Ok(MetaIndex {
+            source,
+            loader_id,
+            entries,
+            stored_costs,
+            build_io_ns: reader.io_ns(),
+            metadata_bytes,
+            group_payload,
+        })
+    }
+
+    /// Number of indexed samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Indexed metadata, in file order.
+    pub fn entries(&self) -> &[SampleMeta] {
+        &self.entries
+    }
+
+    /// Whether the file embedded pre-computed costs.
+    pub fn has_stored_costs(&self) -> bool {
+        self.stored_costs.is_some()
+    }
+
+    /// The file ordinal of an indexed sample id, if it belongs here.
+    pub fn ordinal_of(&self, sample_id: u64) -> Option<u64> {
+        if sample_id >> 48 != u64::from(self.source.0) {
+            return None;
+        }
+        let ordinal = sample_id & ((1 << 48) - 1);
+        (ordinal < self.entries.len() as u64).then_some(ordinal)
+    }
+
+    /// The stored cost of a sample, when the file embeds costs.
+    pub fn stored_cost(&self, sample_id: u64) -> Option<f64> {
+        let ordinal = self.ordinal_of(sample_id)?;
+        self.stored_costs.as_ref().map(|c| c[ordinal as usize])
+    }
+
+    /// A `sample_id → stored cost` table for use with
+    /// [`crate::dgraph::DGraph::cost`] (zero-recompute cost registration).
+    pub fn cost_table(&self) -> HashMap<u64, f64> {
+        match &self.stored_costs {
+            None => HashMap::new(),
+            Some(costs) => self
+                .entries
+                .iter()
+                .zip(costs)
+                .map(|(m, c)| (m.sample_id, *c))
+                .collect(),
+        }
+    }
+
+    /// A buffer summary over the index window `[start, start+len)`, shaped
+    /// exactly like a Source Loader's — so a standard [`Planner`] consumes
+    /// it unchanged.
+    pub fn summary(&self, start: usize, len: usize) -> BufferSummary {
+        let end = (start + len).min(self.entries.len());
+        let start = start.min(end);
+        BufferSummary {
+            loader_id: self.loader_id,
+            source: self.source,
+            samples: self.entries[start..end].to_vec(),
+            mean_transform_ns: 0.0,
+        }
+    }
+
+    /// Estimated payload bytes of the window `[start, start+len)` — what a
+    /// buffer-first loader would have fetched to show the Planner the same
+    /// metadata. Accounted at row-group granularity (a loader reads whole
+    /// groups).
+    pub fn window_payload_bytes(&self, start: usize, len: usize) -> u64 {
+        let end = (start + len).min(self.entries.len()) as u64;
+        let start = (start as u64).min(end);
+        let mut base = 0u64;
+        let mut bytes = 0u64;
+        for (rows, payload) in &self.group_payload {
+            let g_start = base;
+            let g_end = base + rows;
+            if g_end > start && g_start < end {
+                bytes += payload;
+            }
+            base = g_end;
+        }
+        bytes
+    }
+
+    /// Payload bytes of the row groups containing the given sample ids
+    /// (row-group-granular fetch accounting).
+    pub fn payload_bytes_for(&self, ids: &[u64]) -> u64 {
+        let mut touched = vec![false; self.group_payload.len()];
+        for id in ids {
+            if let Some(ordinal) = self.ordinal_of(*id) {
+                if let Some(g) = self.group_of(ordinal) {
+                    touched[g] = true;
+                }
+            }
+        }
+        touched
+            .iter()
+            .zip(&self.group_payload)
+            .filter(|(t, _)| **t)
+            .map(|(_, (_, payload))| *payload)
+            .sum()
+    }
+
+    fn group_of(&self, ordinal: u64) -> Option<usize> {
+        let mut base = 0u64;
+        for (g, (rows, _)) in self.group_payload.iter().enumerate() {
+            if ordinal < base + rows {
+                return Some(g);
+            }
+            base += rows;
+        }
+        None
+    }
+}
+
+/// Fetches payload rows for plan directives, at row-group granularity.
+pub struct PositionalFetcher {
+    store: Arc<MemStore>,
+    path: String,
+    /// Virtual-time I/O spent fetching payloads.
+    pub io_ns: u64,
+    /// Row groups read so far (deduplicated per call, not across calls).
+    pub groups_read: u64,
+}
+
+impl PositionalFetcher {
+    /// Creates a fetcher over one materialized source file.
+    pub fn new(store: Arc<MemStore>, path: impl Into<String>) -> Self {
+        PositionalFetcher {
+            store,
+            path: path.into(),
+            io_ns: 0,
+            groups_read: 0,
+        }
+    }
+
+    /// Fetches the named samples (ids must belong to `index`), reading each
+    /// touched row group once. Returns samples in `ids` order; ids not in
+    /// the index are skipped (mirrors `SourceLoader::pop` idempotence).
+    pub fn fetch(&mut self, index: &MetaIndex, ids: &[u64]) -> Result<Vec<Sample>, StorageError> {
+        let mut reader = ColumnarReader::open(self.store.as_ref(), &self.path)?;
+        let schema = reader.schema().clone();
+        let img_col = schema
+            .index_of("image")
+            .ok_or_else(|| StorageError::Corrupt("missing image column".into()))?;
+
+        // Group ordinals by row group, remembering output positions.
+        let mut by_group: HashMap<usize, Vec<(usize, u64)>> = HashMap::new();
+        let mut group_base: Vec<u64> = Vec::new();
+        let mut base = 0u64;
+        for rg in &reader.footer().row_groups {
+            group_base.push(base);
+            base += rg.rows;
+        }
+        for (pos, id) in ids.iter().enumerate() {
+            if let Some(ordinal) = index.ordinal_of(*id) {
+                if let Some(g) = index.group_of(ordinal) {
+                    by_group.entry(g).or_default().push((pos, ordinal));
+                }
+            }
+        }
+
+        let mut out: Vec<Option<Sample>> = (0..ids.len()).map(|_| None).collect();
+        let mut groups: Vec<usize> = by_group.keys().copied().collect();
+        groups.sort_unstable();
+        for g in groups {
+            let rows = reader.read_group(g)?;
+            for (pos, ordinal) in &by_group[&g] {
+                let local = (ordinal - group_base[g]) as usize;
+                let row = &rows[local];
+                let payload = row[img_col].as_bytes().unwrap_or_default().to_vec();
+                let meta = index.entries[*ordinal as usize];
+                out[*pos] = Some(Sample {
+                    meta: SampleMeta {
+                        raw_bytes: payload.len() as u64,
+                        ..meta
+                    },
+                    payload,
+                });
+            }
+            self.groups_read += 1;
+        }
+        self.io_ns += reader.io_ns();
+        Ok(out.into_iter().flatten().collect())
+    }
+}
+
+/// Fetch-traffic accounting for one Ahead-of-Fetch step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FetchSavings {
+    /// Payload bytes a buffer-first pipeline would have fetched to expose
+    /// the same planning window.
+    pub window_payload_bytes: u64,
+    /// Payload bytes actually fetched (row groups containing planned ids).
+    pub planned_payload_bytes: u64,
+    /// One-off metadata bytes attributable to this window (amortized index
+    /// build traffic).
+    pub metadata_bytes: u64,
+}
+
+impl FetchSavings {
+    /// Bytes avoided versus the buffer-first pipeline.
+    pub fn avoided_bytes(&self) -> u64 {
+        self.window_payload_bytes
+            .saturating_sub(self.planned_payload_bytes + self.metadata_bytes)
+    }
+}
+
+/// Drives a standard [`Planner`] from [`MetaIndex`]es: plan first, fetch
+/// after.
+pub struct AheadOfFetchSession {
+    indexes: Vec<MetaIndex>,
+    cursors: Vec<usize>,
+    planner: Planner,
+}
+
+impl AheadOfFetchSession {
+    /// Creates a session over per-source indexes and a configured planner.
+    /// Index order must match the planner's catalog source order.
+    pub fn new(indexes: Vec<MetaIndex>, planner: Planner) -> Self {
+        let cursors = vec![0; indexes.len()];
+        AheadOfFetchSession {
+            indexes,
+            cursors,
+            planner,
+        }
+    }
+
+    /// The wrapped planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The per-source indexes.
+    pub fn indexes(&self) -> &[MetaIndex] {
+        &self.indexes
+    }
+
+    /// Plans the next step over a `window`-sample lookahead per source,
+    /// advancing each source's cursor past the samples the plan consumed.
+    ///
+    /// Returns the plan, the planner's phase breakdown, and the
+    /// fetch-savings accounting (metadata bytes are amortized linearly over
+    /// the index length).
+    pub fn step(
+        &mut self,
+        window: usize,
+    ) -> Result<(LoadingPlan, PhaseBreakdown, FetchSavings), crate::dgraph::DGraphError> {
+        let summaries: Vec<BufferSummary> = self
+            .indexes
+            .iter()
+            .zip(&self.cursors)
+            .map(|(ix, cur)| ix.summary(*cur, window))
+            .collect();
+        let info = BufferInfo::new(summaries);
+        let (plan, phases) = self.planner.generate(&info)?;
+
+        let mut savings = FetchSavings::default();
+        let planned = plan.all_samples();
+        for (slot, ix) in self.indexes.iter().enumerate() {
+            let cur = self.cursors[slot];
+            savings.window_payload_bytes += ix.window_payload_bytes(cur, window);
+            let mine: Vec<u64> = planned
+                .iter()
+                .copied()
+                .filter(|id| ix.ordinal_of(*id).is_some())
+                .collect();
+            savings.planned_payload_bytes += ix.payload_bytes_for(&mine);
+            if !ix.is_empty() {
+                let frac = window.min(ix.len()) as f64 / ix.len() as f64;
+                savings.metadata_bytes += (ix.metadata_bytes as f64 * frac) as u64;
+            }
+            // Advance past the highest consumed ordinal in the window.
+            let max_consumed = mine
+                .iter()
+                .filter_map(|id| ix.ordinal_of(*id))
+                .max()
+                .map(|o| o as usize + 1);
+            if let Some(next) = max_consumed {
+                self.cursors[slot] = next.max(cur);
+            }
+        }
+        Ok((plan, phases, savings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlannerConfig, Strategy};
+    use crate::schedule::MixSchedule;
+    use msd_balance::BalanceMethod;
+    use msd_data::catalog::coyo700m_like;
+    use msd_data::gen::{materialize_source, materialize_source_with_cost};
+    use msd_data::SimRng;
+    use msd_mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
+    use msd_storage::ObjectStore;
+
+    fn setup() -> (Arc<MemStore>, Vec<msd_data::SourceSpec>) {
+        let store = Arc::new(MemStore::new());
+        let mut rng = SimRng::seed(21);
+        let cat = coyo700m_like(&mut rng);
+        (store, cat.sources()[..3].to_vec())
+    }
+
+    fn costfn(m: &SampleMeta) -> f64 {
+        (m.total_tokens() as f64).powi(2) / 1e3
+    }
+
+    #[test]
+    fn index_matches_full_scan_metadata() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(1);
+        let manifest =
+            materialize_source(store.as_ref(), "d", &specs[0], 120, &mut rng).unwrap();
+        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
+            .unwrap();
+        assert_eq!(ix.len(), 120);
+        assert!(!ix.has_stored_costs());
+        // Cross-check against a full scan.
+        let mut reader = ColumnarReader::open(store.as_ref(), &manifest.path).unwrap();
+        let schema = reader.schema().clone();
+        let rows = reader.scan().unwrap();
+        let t = schema.index_of("text_tokens").unwrap();
+        for (e, row) in ix.entries().iter().zip(&rows) {
+            assert_eq!(i64::from(e.text_tokens), row[t].as_i64().unwrap());
+        }
+        // The index transfers only the metadata columns — a small fraction
+        // of the file (payload columns dominate). Per-request latency is
+        // accounted separately in `build_io_ns`.
+        let file_bytes = store.get(&manifest.path).unwrap().len() as u64;
+        assert!(
+            ix.metadata_bytes * 4 < file_bytes,
+            "metadata {} vs file {file_bytes}",
+            ix.metadata_bytes
+        );
+        assert!(ix.build_io_ns > 0);
+    }
+
+    #[test]
+    fn index_ids_are_namespaced_and_reversible() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(2);
+        let manifest =
+            materialize_source(store.as_ref(), "d", &specs[1], 50, &mut rng).unwrap();
+        let ix = MetaIndex::build(&store, &manifest.path, specs[1].id, specs[1].modality, 3)
+            .unwrap();
+        for (ordinal, e) in ix.entries().iter().enumerate() {
+            assert_eq!(e.sample_id >> 48, u64::from(specs[1].id.0));
+            assert_eq!(ix.ordinal_of(e.sample_id), Some(ordinal as u64));
+        }
+        // Foreign ids are rejected.
+        assert_eq!(ix.ordinal_of(u64::from(specs[0].id.0) << 48), None);
+        assert_eq!(ix.ordinal_of((u64::from(specs[1].id.0) << 48) | 50), None);
+    }
+
+    #[test]
+    fn stored_costs_round_trip() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(3);
+        let manifest = materialize_source_with_cost(
+            store.as_ref(),
+            "d",
+            &specs[0],
+            60,
+            &mut rng,
+            costfn,
+        )
+        .unwrap();
+        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
+            .unwrap();
+        assert!(ix.has_stored_costs());
+        let table = ix.cost_table();
+        assert_eq!(table.len(), 60);
+        for e in ix.entries() {
+            let expect = costfn(e).round();
+            assert_eq!(table[&e.sample_id], expect);
+            assert_eq!(ix.stored_cost(e.sample_id), Some(expect));
+        }
+    }
+
+    #[test]
+    fn positional_fetch_returns_exactly_named_rows() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(4);
+        let manifest =
+            materialize_source(store.as_ref(), "d", &specs[0], 90, &mut rng).unwrap();
+        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
+            .unwrap();
+        let ids: Vec<u64> = [5usize, 17, 42, 88]
+            .iter()
+            .map(|o| ix.entries()[*o].sample_id)
+            .collect();
+        let mut fetcher = PositionalFetcher::new(store.clone(), manifest.path.clone());
+        let samples = fetcher.fetch(&ix, &ids).unwrap();
+        assert_eq!(samples.len(), 4);
+        for (s, id) in samples.iter().zip(&ids) {
+            assert_eq!(s.meta.sample_id, *id);
+            assert!(!s.payload.is_empty());
+        }
+        assert!(fetcher.io_ns > 0);
+        // Unknown ids are skipped, known ids still served.
+        let mixed = vec![ids[0], 0xFFFF_0000_0000_0000];
+        assert_eq!(fetcher.fetch(&ix, &mixed).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fetch_touches_only_needed_groups() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(5);
+        let manifest =
+            materialize_source(store.as_ref(), "d", &specs[0], 300, &mut rng).unwrap();
+        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
+            .unwrap();
+        let reader = ColumnarReader::open(store.as_ref(), &manifest.path).unwrap();
+        assert!(reader.group_count() > 2, "need multiple groups");
+        // Fetch two ids from the first group only.
+        let ids = vec![ix.entries()[0].sample_id, ix.entries()[1].sample_id];
+        let mut fetcher = PositionalFetcher::new(store.clone(), manifest.path.clone());
+        fetcher.fetch(&ix, &ids).unwrap();
+        assert_eq!(fetcher.groups_read, 1);
+    }
+
+    #[test]
+    fn session_plans_then_saves_fetch_traffic() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(6);
+        let mut indexes = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let manifest = materialize_source_with_cost(
+                store.as_ref(),
+                "d",
+                spec,
+                200,
+                &mut rng,
+                costfn,
+            )
+            .unwrap();
+            indexes
+                .push(MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32)
+                    .unwrap());
+        }
+        let mesh = DeviceMesh::pp_dp_cp_tp(1, 4, 1, 1).unwrap();
+        let planner = Planner::new(
+            PlannerConfig {
+                axis: DistributeAxis::DP,
+                group_size: None,
+                microbatches: 2,
+                broadcast_axes: vec![Axis::TP],
+                samples_per_step: 16,
+                schedule: MixSchedule::Static(vec![1.0, 1.0, 0.0]),
+            },
+            Strategy::BackboneBalance {
+                method: BalanceMethod::Greedy,
+                backbone: msd_balance::BackboneShape {
+                    layers: 4,
+                    hidden: 256,
+                    mlp_ratio: 4.0,
+                    heads: 8,
+                    vocab: 32000,
+                    experts_per_token: 1,
+                },
+            },
+            ClientPlaceTree::from_device_mesh(&mesh),
+            specs.iter().map(|s| s.id).collect(),
+            7,
+        );
+        let mut session = AheadOfFetchSession::new(indexes, planner);
+        let (plan, phases, savings) = session.step(64).unwrap();
+        assert_eq!(plan.all_samples().len(), 16);
+        assert!(phases.compute_ns > 0);
+        // 3 sources × 64-sample windows exposed; only 16 samples planned
+        // (and none from the zero-weighted source) — traffic is avoided.
+        assert!(savings.window_payload_bytes > savings.planned_payload_bytes);
+        assert!(savings.avoided_bytes() > 0, "savings = {savings:?}");
+        // The zero-weighted source contributes nothing to the plan.
+        for id in plan.all_samples() {
+            assert_ne!(id >> 48, u64::from(specs[2].id.0));
+        }
+    }
+
+    #[test]
+    fn session_cursors_advance_without_repeats() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(8);
+        let mut indexes = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let manifest =
+                materialize_source(store.as_ref(), "d", spec, 400, &mut rng).unwrap();
+            indexes
+                .push(MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32)
+                    .unwrap());
+        }
+        let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 1).unwrap();
+        let planner = Planner::new(
+            PlannerConfig {
+                axis: DistributeAxis::DP,
+                group_size: None,
+                microbatches: 1,
+                broadcast_axes: vec![],
+                samples_per_step: 24,
+                schedule: MixSchedule::uniform(3),
+            },
+            Strategy::Vanilla,
+            ClientPlaceTree::from_device_mesh(&mesh),
+            specs.iter().map(|s| s.id).collect(),
+            11,
+        );
+        let mut session = AheadOfFetchSession::new(indexes, planner);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let (plan, _, _) = session.step(48).unwrap();
+            for id in plan.all_samples() {
+                assert!(seen.insert(id), "sample {id} re-planned");
+            }
+        }
+    }
+
+    #[test]
+    fn window_payload_accounting_is_group_granular() {
+        let (store, specs) = setup();
+        let mut rng = SimRng::seed(12);
+        let manifest =
+            materialize_source(store.as_ref(), "d", &specs[0], 250, &mut rng).unwrap();
+        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
+            .unwrap();
+        let total = ix.window_payload_bytes(0, 250);
+        assert!(total > 0);
+        // Windows tile the file: non-overlapping windows sum to >= total
+        // (group granularity can double-count boundary groups).
+        let halves = ix.window_payload_bytes(0, 125) + ix.window_payload_bytes(125, 125);
+        assert!(halves >= total);
+        // Empty and out-of-range windows are zero.
+        assert_eq!(ix.window_payload_bytes(250, 10), 0);
+        assert_eq!(ix.window_payload_bytes(0, 0), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Data Constructor: microbatch assembly and parallelism transformation.
+//!
+//! The constructor is the data sink for a consumer bucket (e.g. one DP
+//! group). It aggregates samples from Source Loaders, performs the
+//! microbatch transformations of Fig 1 — packing fragmented subsequences
+//! into complete sequences with segment masks, padding, position-id
+//! (RoPE) generation — and applies the parallelism transformation so each
+//! trainer client receives exactly its slice:
+//!
+//! - CP ranks get sequence shards (contiguous or zig-zag);
+//! - PP stages beyond 0 get metadata only;
+//! - TP/CP ranks covered by `broadcast_at` are elided entirely.
+//!
+//! Because *one* constructor serves the whole bucket, CP/PP rank loaders
+//! are never replicated — the parallelism-redundancy fix of Fig 6.
+
+use std::collections::HashMap;
+
+use msd_data::Sample;
+use msd_mesh::{cp_partition, delivery_kind, Axis, DeliveryKind, DeviceMesh, Rank};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::BucketPlan;
+
+/// One packed segment (one original sample) inside a packed sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Originating sample.
+    pub sample_id: u64,
+    /// Tokens this segment contributes.
+    pub tokens: u64,
+}
+
+/// A complete (packed) sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedSequence {
+    /// Segments in packing order.
+    pub segments: Vec<Segment>,
+    /// Real tokens (sum of segments).
+    pub tokens: u64,
+    /// Dummy tokens appended to reach the padded length.
+    pub padding: u64,
+    /// Position ids (RoPE input): restart at 0 for every segment, then
+    /// zeros for padding.
+    pub position_ids: Vec<u32>,
+}
+
+impl PackedSequence {
+    /// Padded length (`tokens + padding`).
+    pub fn padded_len(&self) -> u64 {
+        self.tokens + self.padding
+    }
+}
+
+/// One assembled microbatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Microbatch {
+    /// Bin index within the bucket.
+    pub bin: u32,
+    /// Packed sequences.
+    pub sequences: Vec<PackedSequence>,
+    /// Payload bytes carried (sum of transformed sample payloads).
+    pub payload_bytes: u64,
+}
+
+impl Microbatch {
+    /// Total real tokens in the microbatch.
+    pub fn tokens(&self) -> u64 {
+        self.sequences.iter().map(|s| s.tokens).sum()
+    }
+
+    /// Total padded tokens.
+    pub fn padded_tokens(&self) -> u64 {
+        self.sequences.iter().map(PackedSequence::padded_len).sum()
+    }
+}
+
+/// What one trainer client receives for a bucket's batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientDelivery {
+    /// Target rank.
+    pub rank: Rank,
+    /// Payload, metadata-only, or elided.
+    pub kind: DeliveryKind,
+    /// For CP ranks receiving payloads: the token range of each packed
+    /// sequence this rank owns, per microbatch (`[mb][seq] -> (start,end)`).
+    pub cp_slices: Vec<Vec<(u64, u64)>>,
+    /// Estimated bytes shipped to this client.
+    pub bytes: u64,
+}
+
+/// A fully constructed batch for one bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstructedBatch {
+    /// Bucket index.
+    pub bucket: u32,
+    /// Assembled microbatches.
+    pub microbatches: Vec<Microbatch>,
+    /// Per-client deliveries.
+    pub deliveries: Vec<ClientDelivery>,
+}
+
+/// The Data Constructor component for one bucket.
+#[derive(Debug, Clone)]
+pub struct DataConstructor {
+    mesh: DeviceMesh,
+    /// Maximum packed-sequence length (the trainer context length).
+    pub max_seq_len: u64,
+    /// Pad packed sequences up to a multiple of this (1 = exact packing).
+    pub pad_multiple: u64,
+}
+
+impl DataConstructor {
+    /// Creates a constructor for the given trainer mesh and context length.
+    pub fn new(mesh: DeviceMesh, max_seq_len: u64) -> Self {
+        DataConstructor {
+            mesh,
+            max_seq_len: max_seq_len.max(1),
+            pad_multiple: 1,
+        }
+    }
+
+    /// First-fit packing of samples (in plan order) into sequences of at
+    /// most `max_seq_len` tokens. Oversized samples are truncated to fit.
+    pub fn pack(&self, samples: &[(u64, u64)]) -> Vec<PackedSequence> {
+        let mut sequences: Vec<Vec<Segment>> = Vec::new();
+        let mut loads: Vec<u64> = Vec::new();
+        for (sample_id, tokens) in samples {
+            let tokens = (*tokens).clamp(1, self.max_seq_len);
+            // First fit over existing open sequences.
+            match loads.iter().position(|l| l + tokens <= self.max_seq_len) {
+                Some(i) => {
+                    sequences[i].push(Segment {
+                        sample_id: *sample_id,
+                        tokens,
+                    });
+                    loads[i] += tokens;
+                }
+                None => {
+                    sequences.push(vec![Segment {
+                        sample_id: *sample_id,
+                        tokens,
+                    }]);
+                    loads.push(tokens);
+                }
+            }
+        }
+        sequences
+            .into_iter()
+            .zip(loads)
+            .map(|(segments, tokens)| {
+                let padded = tokens.div_ceil(self.pad_multiple) * self.pad_multiple;
+                let padding = padded - tokens;
+                let mut position_ids = Vec::with_capacity(padded as usize);
+                for seg in &segments {
+                    position_ids.extend(0..seg.tokens as u32);
+                }
+                position_ids.extend(std::iter::repeat_n(0u32, padding as usize));
+                PackedSequence {
+                    segments,
+                    tokens,
+                    padding,
+                    position_ids,
+                }
+            })
+            .collect()
+    }
+
+    /// Assembles one bucket's batch: microbatch transforms + parallelism
+    /// transforms. `samples` maps sample id → transformed sample.
+    pub fn construct(
+        &self,
+        bucket_plan: &BucketPlan,
+        samples: &HashMap<u64, Sample>,
+        broadcast_axes: &[Axis],
+    ) -> ConstructedBatch {
+        let microbatches: Vec<Microbatch> = bucket_plan
+            .bins
+            .iter()
+            .map(|bin| {
+                let toks: Vec<(u64, u64)> = bin
+                    .samples
+                    .iter()
+                    .filter_map(|id| samples.get(id))
+                    .map(|s| (s.meta.sample_id, s.meta.total_tokens().max(1)))
+                    .collect();
+                let payload_bytes: u64 = bin
+                    .samples
+                    .iter()
+                    .filter_map(|id| samples.get(id))
+                    .map(|s| s.payload.len() as u64)
+                    .sum();
+                Microbatch {
+                    bin: bin.bin,
+                    sequences: self.pack(&toks),
+                    payload_bytes,
+                }
+            })
+            .collect();
+
+        let cp = self.mesh.size(Axis::CP);
+        let deliveries = bucket_plan
+            .clients
+            .iter()
+            .map(|rank| {
+                let kind = delivery_kind(&self.mesh, *rank, broadcast_axes);
+                let cp_coord = self.mesh.coord(*rank, Axis::CP).unwrap_or(0);
+                let cp_slices: Vec<Vec<(u64, u64)>> = match kind {
+                    DeliveryKind::Payload => microbatches
+                        .iter()
+                        .map(|mb| {
+                            mb.sequences
+                                .iter()
+                                .map(|seq| {
+                                    let parts = cp_partition(seq.padded_len(), cp);
+                                    let r = &parts[cp_coord as usize];
+                                    (r.start, r.end)
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let bytes = match kind {
+                    DeliveryKind::Payload => {
+                        let total_payload: u64 = microbatches.iter().map(|m| m.payload_bytes).sum();
+                        // CP ranks receive ~1/cp of the tokens.
+                        total_payload / u64::from(cp.max(1))
+                    }
+                    DeliveryKind::MetadataOnly => {
+                        64 * microbatches
+                            .iter()
+                            .map(|m| m.sequences.len() as u64)
+                            .sum::<u64>()
+                    }
+                    DeliveryKind::Elided => 0,
+                };
+                ClientDelivery {
+                    rank: *rank,
+                    kind,
+                    cp_slices,
+                    bytes,
+                }
+            })
+            .collect();
+
+        ConstructedBatch {
+            bucket: bucket_plan.bucket,
+            microbatches,
+            deliveries,
+        }
+    }
+
+    /// Resident memory of a constructed batch held for delivery.
+    pub fn batch_memory_bytes(batch: &ConstructedBatch) -> u64 {
+        batch
+            .microbatches
+            .iter()
+            .map(|m| m.payload_bytes + m.padded_tokens() * 4)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{BinPlan, BucketPlan};
+    use msd_data::{Modality, SampleMeta, SourceId};
+
+    fn mk_sample(id: u64, tokens: u32) -> Sample {
+        Sample {
+            meta: SampleMeta {
+                sample_id: id,
+                source: SourceId(0),
+                modality: Modality::Text,
+                text_tokens: tokens,
+                image_patches: 0,
+                raw_bytes: u64::from(tokens) * 2,
+            },
+            payload: vec![0u8; tokens as usize * 2],
+        }
+    }
+
+    fn constructor(cp: u32, pp: u32, tp: u32, max_len: u64) -> DataConstructor {
+        let mesh = DeviceMesh::pp_dp_cp_tp(pp, 1, cp, tp).unwrap();
+        DataConstructor::new(mesh, max_len)
+    }
+
+    #[test]
+    fn packing_respects_max_len_and_conserves_tokens() {
+        let c = constructor(1, 1, 1, 100);
+        let samples: Vec<(u64, u64)> = vec![(1, 30), (2, 70), (3, 50), (4, 50), (5, 99)];
+        let packed = c.pack(&samples);
+        let total: u64 = packed.iter().map(|p| p.tokens).sum();
+        assert_eq!(total, 299);
+        for p in &packed {
+            assert!(p.padded_len() <= 100);
+        }
+        // First-fit: 30+70 share a sequence.
+        assert_eq!(packed[0].segments.len(), 2);
+        assert_eq!(packed[0].tokens, 100);
+    }
+
+    #[test]
+    fn position_ids_restart_per_segment() {
+        let c = constructor(1, 1, 1, 16);
+        let packed = c.pack(&[(1, 3), (2, 4)]);
+        assert_eq!(packed.len(), 1);
+        assert_eq!(
+            packed[0].position_ids,
+            vec![0, 1, 2, 0, 1, 2, 3] // Segment restarts at 0.
+        );
+    }
+
+    #[test]
+    fn padding_to_multiple() {
+        let mut c = constructor(1, 1, 1, 64);
+        c.pad_multiple = 16;
+        let packed = c.pack(&[(1, 20)]);
+        assert_eq!(packed[0].tokens, 20);
+        assert_eq!(packed[0].padding, 12);
+        assert_eq!(packed[0].position_ids.len(), 32);
+        // Trailing pad positions are zero.
+        assert!(packed[0].position_ids[20..].iter().all(|p| *p == 0));
+    }
+
+    #[test]
+    fn oversized_sample_is_truncated() {
+        let c = constructor(1, 1, 1, 64);
+        let packed = c.pack(&[(1, 500)]);
+        assert_eq!(packed[0].tokens, 64);
+    }
+
+    fn bucket_plan(clients: Vec<Rank>, bins: Vec<Vec<u64>>) -> BucketPlan {
+        BucketPlan {
+            bucket: 0,
+            clients,
+            bins: bins
+                .into_iter()
+                .enumerate()
+                .map(|(i, samples)| BinPlan {
+                    bin: i as u32,
+                    samples,
+                    total_cost: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn construct_delivers_by_parallelism_role() {
+        // Mesh: PP=2, CP=2, TP=2 → 8 ranks in this bucket.
+        let c = constructor(2, 2, 2, 128);
+        let plan = bucket_plan((0..8).collect(), vec![vec![1, 2], vec![3]]);
+        let samples: HashMap<u64, Sample> = [(1, 60), (2, 60), (3, 100)]
+            .iter()
+            .map(|(id, t)| (*id, mk_sample(*id, *t)))
+            .collect();
+        let batch = c.construct(&plan, &samples, &[Axis::TP]);
+        assert_eq!(batch.microbatches.len(), 2);
+        assert_eq!(batch.deliveries.len(), 8);
+        let kinds: Vec<DeliveryKind> = batch.deliveries.iter().map(|d| d.kind).collect();
+        // TP1 ranks elided (odd ranks in this mesh), PP1 ranks metadata.
+        assert!(kinds.contains(&DeliveryKind::Elided));
+        assert!(kinds.contains(&DeliveryKind::MetadataOnly));
+        assert!(kinds.contains(&DeliveryKind::Payload));
+        // Elided clients cost zero bytes.
+        for d in &batch.deliveries {
+            if d.kind == DeliveryKind::Elided {
+                assert_eq!(d.bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cp_slices_tile_each_sequence() {
+        let c = constructor(4, 1, 1, 1024);
+        let plan = bucket_plan((0..4).collect(), vec![vec![1]]);
+        let samples: HashMap<u64, Sample> = [(1u64, mk_sample(1, 1000))].into_iter().collect();
+        let batch = c.construct(&plan, &samples, &[]);
+        // 4 CP ranks each take a quarter of the packed sequence.
+        let seq_len = batch.microbatches[0].sequences[0].padded_len();
+        let mut covered = 0u64;
+        for d in &batch.deliveries {
+            assert_eq!(d.kind, DeliveryKind::Payload);
+            let (start, end) = d.cp_slices[0][0];
+            covered += end - start;
+            assert!(end <= seq_len);
+        }
+        assert_eq!(covered, seq_len);
+    }
+
+    #[test]
+    fn missing_samples_are_skipped() {
+        let c = constructor(1, 1, 1, 128);
+        let plan = bucket_plan(vec![0], vec![vec![1, 999]]);
+        let samples: HashMap<u64, Sample> = [(1u64, mk_sample(1, 10))].into_iter().collect();
+        let batch = c.construct(&plan, &samples, &[]);
+        assert_eq!(batch.microbatches[0].tokens(), 10);
+    }
+
+    #[test]
+    fn batch_memory_scales_with_payload() {
+        let c = constructor(1, 1, 1, 128);
+        let small = c.construct(
+            &bucket_plan(vec![0], vec![vec![1]]),
+            &[(1u64, mk_sample(1, 10))].into_iter().collect(),
+            &[],
+        );
+        let large = c.construct(
+            &bucket_plan(vec![0], vec![vec![1]]),
+            &[(1u64, mk_sample(1, 120))].into_iter().collect(),
+            &[],
+        );
+        assert!(
+            DataConstructor::batch_memory_bytes(&large)
+                > DataConstructor::batch_memory_bytes(&small)
+        );
+    }
+}

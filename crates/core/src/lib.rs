@@ -1,0 +1,63 @@
+//! MegaScale-Data core: the disaggregated multisource data plane.
+//!
+//! This crate implements the paper's contribution proper:
+//!
+//! - [`buffer`]: buffer-metadata summaries Source Loaders report to the
+//!   Planner (`summary_buffer` in the paper's low-level API).
+//! - [`schedule`]: data-mixture schedules — static, staged, warmup
+//!   (curriculum), and loss-adaptive — consumed by the `mix` primitive.
+//! - [`dgraph`]: [`dgraph::DGraph`], the stateful dataflow graph tracking
+//!   every sample's lifecycle, with the declarative primitives
+//!   `mix`/`distribute`/`cost`/`balance`/`broadcast_at`/`plan`.
+//! - [`plan`]: [`plan::LoadingPlan`] — the artifact the Planner broadcasts;
+//!   tells each Source Loader what to pop and each Data Constructor what to
+//!   assemble for which clients.
+//! - [`loader`]: the Source Loader component and its actor wrapper.
+//! - [`constructor`]: the Data Constructor — microbatch assembly (packing,
+//!   padding, position ids) and parallelism transformation.
+//! - [`planner`]: the Planner — plan synthesis with phase instrumentation.
+//! - [`autoscale`]: offline multi-level source auto-partitioning and online
+//!   mixture-driven scaling.
+//! - [`fault`]: shadow loaders, differential checkpointing, replay.
+//! - [`reshard`]: elastic resharding on trainer-topology changes.
+//! - [`system`]: the assembled `MegaScaleData` pipeline (threaded actors)
+//!   and the analytic memory model used by the cluster-scale experiments.
+//!
+//! The paper's §9 "Future Work" directions are implemented too:
+//!
+//! - [`replay`]: Replay Mode — pre-computed per-step plans executed by a
+//!   store-backed planner, freeing the live Planner for health monitoring.
+//! - [`aheadfetch`]: Ahead-of-Fetch balancing — plan from storage-resident
+//!   metadata (optionally with embedded pre-computed costs) before any
+//!   payload fetch.
+//! - [`optimizer`]: the Strategy Optimizer — rewrites declarative
+//!   orchestration programs (dead-primitive elimination, fusion, lineage
+//!   elision) while preserving plan semantics.
+
+pub mod aheadfetch;
+pub mod autoscale;
+pub mod buffer;
+pub mod constructor;
+pub mod dgraph;
+pub mod fault;
+pub mod loader;
+pub mod optimizer;
+pub mod overlap;
+pub mod plan;
+pub mod planner;
+pub mod replay;
+pub mod reshard;
+pub mod schedule;
+pub mod system;
+
+pub use aheadfetch::{AheadOfFetchSession, FetchSavings, MetaIndex, PositionalFetcher};
+pub use buffer::{BufferInfo, BufferSummary};
+pub use constructor::DataConstructor;
+pub use dgraph::{BalanceOpts, DGraph, DGraphError, MetaView, NodeState};
+pub use loader::SourceLoader;
+pub use optimizer::{CostExpr, OptimizeReport, StrategyOp, StrategyProgram};
+pub use plan::{BinPlan, BucketPlan, LoadingPlan};
+pub use planner::{Planner, Strategy};
+pub use replay::{PlanStore, ReplayOutcome, ReplayPlanner};
+pub use schedule::MixSchedule;
+pub use system::MegaScaleData;

@@ -1,0 +1,203 @@
+//! Steady-state fetch/compute overlap simulation.
+//!
+//! Fig 12 and Fig 15 rest on a pipelining claim: the data pipeline's
+//! latency is "fully masked by the training computation" as long as the
+//! loader fleet's throughput covers consumption. This module runs that
+//! claim on the discrete-event engine: a producer (the data pipeline, with
+//! per-step latency jitter) feeds a bounded prefetch queue; a consumer
+//! (the trainer) takes one batch per iteration. The observed *stall time*
+//! per iteration is the unhidden fetch latency — zero in the overlapped
+//! regime, and the throughput gap once the workload becomes input-bound.
+
+use msd_sim::{Engine, Scheduler, SimDuration, SimRng, SimTime};
+
+/// Parameters of the overlap simulation.
+#[derive(Debug, Clone)]
+pub struct OverlapConfig {
+    /// Mean end-to-end pipeline latency to produce one batch.
+    pub fetch: SimDuration,
+    /// Multiplicative jitter sigma on fetch (log-normal).
+    pub fetch_jitter: f64,
+    /// Training compute time per iteration.
+    pub compute: SimDuration,
+    /// Prefetch queue depth (batches).
+    pub queue_depth: usize,
+    /// Iterations to run.
+    pub iterations: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of an overlap run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapReport {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Total trainer stall time waiting for data.
+    pub stall: SimDuration,
+    /// Wall-clock (virtual) time of the whole run.
+    pub makespan: SimDuration,
+    /// Mean stall per iteration.
+    pub stall_per_iter: SimDuration,
+}
+
+impl OverlapReport {
+    /// Whether the pipeline kept the trainer fed (sub-1% stall share).
+    pub fn fully_overlapped(&self) -> bool {
+        self.stall.as_secs_f64() < 0.01 * self.makespan.as_secs_f64()
+    }
+}
+
+struct World {
+    ready: usize,
+    queue_depth: usize,
+    producing: bool,
+    trainer_waiting_since: Option<SimTime>,
+    iterations_left: u32,
+    stall: SimDuration,
+    rng: SimRng,
+    fetch: SimDuration,
+    fetch_jitter: f64,
+    compute: SimDuration,
+}
+
+impl World {
+    fn next_fetch(&mut self) -> SimDuration {
+        if self.fetch_jitter <= 0.0 {
+            return self.fetch;
+        }
+        let factor = self.rng.lognormal(0.0, self.fetch_jitter);
+        self.fetch * factor
+    }
+}
+
+fn maybe_produce(w: &mut World, s: &mut Scheduler<World>) {
+    if w.producing || w.ready >= w.queue_depth {
+        return;
+    }
+    w.producing = true;
+    let d = w.next_fetch();
+    s.schedule_in(d, |w, s| {
+        w.producing = false;
+        w.ready += 1;
+        // Wake a waiting trainer.
+        if let Some(since) = w.trainer_waiting_since.take() {
+            w.stall += s.now().since(since);
+            start_iteration(w, s);
+        }
+        maybe_produce(w, s);
+    });
+}
+
+fn start_iteration(w: &mut World, s: &mut Scheduler<World>) {
+    if w.iterations_left == 0 {
+        s.stop();
+        return;
+    }
+    if w.ready == 0 {
+        w.trainer_waiting_since = Some(s.now());
+        return;
+    }
+    w.ready -= 1;
+    w.iterations_left -= 1;
+    maybe_produce(w, s);
+    let compute = w.compute;
+    s.schedule_in(compute, start_iteration);
+}
+
+/// Runs the producer/consumer simulation.
+pub fn simulate_overlap(config: &OverlapConfig) -> OverlapReport {
+    let mut world = World {
+        ready: 0,
+        queue_depth: config.queue_depth.max(1),
+        producing: false,
+        trainer_waiting_since: None,
+        iterations_left: config.iterations,
+        stall: SimDuration::ZERO,
+        rng: SimRng::seed(config.seed),
+        fetch: config.fetch,
+        fetch_jitter: config.fetch_jitter,
+        compute: config.compute,
+    };
+    let mut engine: Engine<World> = Engine::new();
+    engine.scheduler().schedule_in(SimDuration::ZERO, |w, s| {
+        maybe_produce(w, s);
+        start_iteration(w, s);
+    });
+    let end = engine.run(&mut world);
+    OverlapReport {
+        iterations: config.iterations,
+        stall: world.stall,
+        makespan: end.since(SimTime::ZERO),
+        stall_per_iter: world.stall / u64::from(config.iterations.max(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(fetch_ms: u64, compute_ms: u64, depth: usize) -> OverlapConfig {
+        OverlapConfig {
+            fetch: SimDuration::from_millis(fetch_ms),
+            fetch_jitter: 0.0,
+            compute: SimDuration::from_millis(compute_ms),
+            queue_depth: depth,
+            iterations: 100,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn fetch_hides_behind_slower_compute() {
+        // Fetch 200 ms, compute 1 s: after the cold start the trainer
+        // never stalls (Fig 12's overlapped regime).
+        let r = simulate_overlap(&config(200, 1000, 2));
+        // Only the first batch's latency is exposed.
+        assert!(r.stall.as_secs_f64() <= 0.21, "stall = {}", r.stall);
+        assert!(r.fully_overlapped(), "stall share too high: {r:?}");
+        // Makespan ≈ iterations × compute.
+        assert!((r.makespan.as_secs_f64() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn input_bound_when_fetch_exceeds_compute() {
+        // Fetch 2 s, compute 1 s: the trainer stalls ~1 s per iteration.
+        let r = simulate_overlap(&config(2000, 1000, 2));
+        assert!(!r.fully_overlapped());
+        let per_iter = r.stall_per_iter.as_secs_f64();
+        assert!((0.8..1.2).contains(&per_iter), "per-iter stall = {per_iter}");
+        // Makespan ≈ iterations × fetch (producer-limited).
+        assert!((r.makespan.as_secs_f64() - 200.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn deeper_prefetch_absorbs_jitter() {
+        // Mean fetch 0.8 s with heavy jitter vs 1 s compute: a depth-1
+        // queue stalls on slow batches; a deep queue smooths them.
+        let mut cfg = config(800, 1000, 1);
+        cfg.fetch_jitter = 0.5;
+        let shallow = simulate_overlap(&cfg);
+        cfg.queue_depth = 8;
+        let deep = simulate_overlap(&cfg);
+        assert!(
+            deep.stall.as_secs_f64() < shallow.stall.as_secs_f64(),
+            "deep {:?} vs shallow {:?}",
+            deep.stall,
+            shallow.stall
+        );
+    }
+
+    #[test]
+    fn crossover_matches_analysis() {
+        // Sweep fetch/compute ratios: stall appears precisely past 1.0.
+        for (ratio_pct, expect_overlap) in [(50u64, true), (90, true), (150, false)] {
+            let r = simulate_overlap(&config(10 * ratio_pct, 1000, 4));
+            assert_eq!(
+                r.fully_overlapped(),
+                expect_overlap,
+                "ratio {ratio_pct}%: {r:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Threaded actor deployment of the pipeline.
+//!
+//! The synchronous components in [`crate::system`] are deterministic and
+//! drive the simulations; this module deploys the *same* Source Loader
+//! component inside [`msd_actor`] actors, with the Planner on the caller
+//! thread — the shape the paper runs on Ray. Loader failures surface as
+//! `ask` timeouts/dead errors, and supervised restarts rebuild loaders
+//! from their latest GCS checkpoint.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use msd_actor::actor::ReplyTo;
+use msd_actor::{Actor, ActorRef, ActorSystem, Ctx, Gcs, RestartPolicy};
+use msd_data::{Sample, SourceSpec};
+
+use crate::buffer::{BufferInfo, BufferSummary};
+use crate::constructor::{ConstructedBatch, DataConstructor};
+use crate::dgraph::DGraphError;
+use crate::loader::{LoaderConfig, SourceLoader};
+use crate::plan::LoadingPlan;
+use crate::planner::{PhaseBreakdown, Planner};
+
+/// Messages understood by a loader actor.
+pub enum LoaderMsg {
+    /// Refill the buffer toward `target` samples.
+    Refill {
+        /// Target buffered sample count.
+        target: usize,
+    },
+    /// Report the buffer summary.
+    Summary(ReplyTo<BufferSummary>),
+    /// Pop the given sample ids and reply with the samples.
+    Pop {
+        /// Sample ids to pop.
+        ids: Vec<u64>,
+        /// Reply channel.
+        reply: ReplyTo<Vec<Sample>>,
+    },
+    /// Snapshot the loader state into the GCS at `version`.
+    Checkpoint {
+        /// Snapshot version.
+        version: u64,
+    },
+}
+
+/// A Source Loader hosted in an actor.
+pub struct LoaderActor {
+    inner: SourceLoader,
+    gcs: Gcs,
+}
+
+impl LoaderActor {
+    /// Creates the actor, restoring from the GCS checkpoint if one exists
+    /// (this is how supervised restarts recover durable state).
+    pub fn new(spec: SourceSpec, config: LoaderConfig, seed: u64, gcs: Gcs) -> Self {
+        let key = format!("loader/{}", config.loader_id);
+        let inner = match gcs.get_state(&key) {
+            Some(cp) => {
+                let parsed: crate::loader::LoaderCheckpoint =
+                    serde_json::from_slice(&cp.data).expect("GCS holds valid checkpoints");
+                SourceLoader::restore(spec, config, &parsed)
+            }
+            None => SourceLoader::synthetic(spec, config, seed),
+        };
+        LoaderActor { inner, gcs }
+    }
+}
+
+impl Actor for LoaderActor {
+    type Msg = LoaderMsg;
+
+    fn handle(&mut self, msg: LoaderMsg, _ctx: &mut Ctx) {
+        match msg {
+            LoaderMsg::Refill { target } => {
+                let _ = self.inner.refill(target);
+            }
+            LoaderMsg::Summary(reply) => {
+                reply.send(self.inner.summary());
+            }
+            LoaderMsg::Pop { ids, reply } => {
+                reply.send(self.inner.pop(&ids));
+            }
+            LoaderMsg::Checkpoint { version } => {
+                let cp = self.inner.checkpoint(version);
+                let key = format!("loader/{}", cp.loader_id);
+                let data = serde_json::to_vec(&cp).expect("checkpoint serializes");
+                self.gcs.put_state(&key, version, data);
+            }
+        }
+    }
+}
+
+/// The threaded pipeline: loader actors + caller-side planner/constructors.
+pub struct ThreadedPipeline {
+    system: ActorSystem,
+    loaders: Vec<ActorRef<LoaderMsg>>,
+    planner: Planner,
+    constructors: Vec<DataConstructor>,
+    /// RPC timeout used as the failure detector.
+    pub rpc_timeout: Duration,
+    /// Shared control store (checkpoints, registry).
+    pub gcs: Gcs,
+    replay: Option<crate::replay::PlanStore>,
+    /// Steps served from the replay store (when one is installed).
+    pub replayed_steps: u64,
+}
+
+/// Errors from a threaded step.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A loader failed its RPC (timeout or death) — the failure signal.
+    LoaderFailure {
+        /// Index of the failing loader.
+        loader: usize,
+    },
+    /// Plan generation failed.
+    Plan(DGraphError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::LoaderFailure { loader } => write!(f, "loader {loader} failed RPC"),
+            RuntimeError::Plan(e) => write!(f, "plan generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl ThreadedPipeline {
+    /// Spawns supervised loader actors for the given `(spec, config)` pairs.
+    pub fn new(
+        sources: Vec<(SourceSpec, LoaderConfig)>,
+        planner: Planner,
+        constructors: Vec<DataConstructor>,
+        seed: u64,
+    ) -> Self {
+        let system = ActorSystem::new("msd");
+        let gcs = Gcs::new();
+        let loaders = sources
+            .into_iter()
+            .map(|(spec, config)| {
+                let name = format!("loader/{}", config.loader_id);
+                gcs.register(&name, &spec.name);
+                let gcs = gcs.clone();
+                system.spawn_supervised(
+                    &name,
+                    RestartPolicy::Restart { max_restarts: 3 },
+                    move || LoaderActor::new(spec.clone(), config.clone(), seed, gcs.clone()),
+                )
+            })
+            .collect();
+        ThreadedPipeline {
+            system,
+            loaders,
+            planner,
+            constructors,
+            rpc_timeout: Duration::from_secs(10),
+            gcs,
+            replay: None,
+            replayed_steps: 0,
+        }
+    }
+
+    /// Installs a Replay Mode plan store (paper §9): steps whose stored
+    /// plan validates against the live fleet's buffers are adopted without
+    /// running the strategy; the rest plan live.
+    pub fn set_replay_store(&mut self, store: crate::replay::PlanStore) {
+        self.replay = Some(store);
+    }
+
+    /// Loader handles (fault injection in tests).
+    pub fn loaders(&self) -> &[ActorRef<LoaderMsg>] {
+        &self.loaders
+    }
+
+    /// Access to the planner.
+    pub fn planner(&mut self) -> &mut Planner {
+        &mut self.planner
+    }
+
+    /// Runs one pull-model step across the actor fleet.
+    pub fn step(
+        &mut self,
+        refill_target: usize,
+    ) -> Result<(LoadingPlan, PhaseBreakdown, Vec<ConstructedBatch>), RuntimeError> {
+        // 1–2. Refill (tell) then gather summaries (ask with timeout: the
+        // failure detector).
+        for l in &self.loaders {
+            l.tell(LoaderMsg::Refill {
+                target: refill_target,
+            });
+        }
+        let mut summaries = Vec::with_capacity(self.loaders.len());
+        for (i, l) in self.loaders.iter().enumerate() {
+            let s = l
+                .ask(LoaderMsg::Summary, self.rpc_timeout)
+                .map_err(|_| RuntimeError::LoaderFailure { loader: i })?;
+            summaries.push(s);
+        }
+        let info = BufferInfo::new(summaries);
+
+        // 3–4. Plan — from the replay store when one is installed and the
+        // stored plan validates, otherwise live.
+        let replayed: Option<LoadingPlan> = self.replay.as_ref().and_then(|store| {
+            let step = self.planner.step();
+            let stored = store.get(step)?;
+            let buckets = self
+                .planner
+                .tree()
+                .bucket_count(self.planner.config.axis, self.planner.config.group_size);
+            crate::replay::validate_stored(stored, &info, buckets)
+                .ok()
+                .map(|()| stored.clone())
+        });
+        let (plan, phases) = match replayed {
+            Some(stored) => {
+                let plan = self.planner.adopt_plan(stored);
+                let phases = PhaseBreakdown {
+                    broadcast_ns: self.planner.broadcast_cost_ns(&plan),
+                    ..PhaseBreakdown::default()
+                };
+                self.replayed_steps += 1;
+                (plan, phases)
+            }
+            None => self.planner.generate(&info).map_err(RuntimeError::Plan)?,
+        };
+
+        // 5. Pop and construct.
+        let mut popped: HashMap<u64, Sample> = HashMap::new();
+        for (i, l) in self.loaders.iter().enumerate() {
+            let summary_id = i as u32; // loader_id == spawn order by construction
+            if let Some(ids) = plan.directives.get(&summary_id) {
+                let samples = l
+                    .ask(
+                        |reply| LoaderMsg::Pop {
+                            ids: ids.clone(),
+                            reply,
+                        },
+                        self.rpc_timeout,
+                    )
+                    .map_err(|_| RuntimeError::LoaderFailure { loader: i })?;
+                for s in samples {
+                    popped.insert(s.meta.sample_id, s);
+                }
+            }
+            l.tell(LoaderMsg::Checkpoint { version: plan.step });
+        }
+        let batches = plan
+            .buckets
+            .iter()
+            .map(|bp| {
+                let c = &self.constructors[bp.bucket as usize % self.constructors.len().max(1)];
+                c.construct(bp, &popped, &plan.broadcast_axes)
+            })
+            .collect();
+        Ok((plan, phases, batches))
+    }
+
+    /// Stops all actors and joins their threads.
+    pub fn shutdown(self) {
+        for l in &self.loaders {
+            l.stop();
+        }
+        self.system.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_balance::BalanceMethod;
+    use msd_data::catalog::coyo700m_like;
+    use msd_mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
+    use msd_sim::SimRng;
+
+    use crate::planner::{PlannerConfig, Strategy};
+    use crate::schedule::MixSchedule;
+
+    fn pipeline() -> ThreadedPipeline {
+        let mut rng = SimRng::seed(1);
+        let catalog = coyo700m_like(&mut rng);
+        let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
+        let tree = ClientPlaceTree::from_device_mesh(&mesh);
+        let planner = Planner::new(
+            PlannerConfig {
+                axis: DistributeAxis::DP,
+                group_size: None,
+                microbatches: 2,
+                broadcast_axes: vec![Axis::TP],
+                samples_per_step: 16,
+                schedule: MixSchedule::uniform(catalog.len()),
+            },
+            Strategy::BackboneBalance {
+                method: BalanceMethod::Greedy,
+                backbone: msd_balance::BackboneShape {
+                    layers: 2,
+                    hidden: 128,
+                    mlp_ratio: 4.0,
+                    heads: 2,
+                    vocab: 1000,
+                    experts_per_token: 1,
+                },
+            },
+            tree.clone(),
+            catalog.sources().iter().map(|s| s.id).collect(),
+            7,
+        );
+        let sources: Vec<(SourceSpec, LoaderConfig)> = catalog
+            .sources()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), LoaderConfig::solo(i as u32)))
+            .collect();
+        let constructors = (0..2)
+            .map(|_| DataConstructor::new(mesh.clone(), 4096))
+            .collect();
+        ThreadedPipeline::new(sources, planner, constructors, 99)
+    }
+
+    #[test]
+    fn threaded_step_delivers_batches() {
+        let mut p = pipeline();
+        let (plan, phases, batches) = p.step(32).unwrap();
+        assert_eq!(plan.all_samples().len(), 16);
+        assert_eq!(batches.len(), 2);
+        assert!(phases.compute_ns > 0);
+        p.shutdown();
+    }
+
+    #[test]
+    fn threaded_replay_serves_recorded_plans() {
+        // Record three steps on fleet A, then replay them on an
+        // identically seeded fleet B: plans match and no strategy runs.
+        let mut recorder = pipeline();
+        let mut store = crate::replay::PlanStore::new();
+        let mut recorded = Vec::new();
+        for _ in 0..3 {
+            let (plan, _, _) = recorder.step(32).unwrap();
+            recorded.push(plan.clone());
+            store.insert(plan);
+        }
+        recorder.shutdown();
+
+        let mut replayer = pipeline();
+        replayer.set_replay_store(store);
+        for expect in &recorded {
+            let (plan, phases, batches) = replayer.step(32).unwrap();
+            assert_eq!(&plan, expect);
+            assert_eq!(phases.gather_ns, 0, "replay skips gather accounting");
+            assert_eq!(phases.compute_ns, 0);
+            assert!(!batches.is_empty());
+        }
+        assert_eq!(replayer.replayed_steps, 3);
+        // Past the store: live planning resumes seamlessly.
+        let (plan, phases, _) = replayer.step(32).unwrap();
+        assert_eq!(plan.step, 3);
+        assert!(phases.compute_ns > 0);
+        assert_eq!(replayer.replayed_steps, 3);
+        replayer.shutdown();
+    }
+
+    #[test]
+    fn crashed_loader_recovers_via_supervision_and_gcs() {
+        let mut p = pipeline();
+        let (_, _, _) = p.step(32).unwrap();
+        // Kill loader 0; the supervisor restarts it and it restores from
+        // its GCS checkpoint.
+        p.loaders()[0].inject_crash("injected");
+        // Give the supervisor a moment to restart.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut ok = false;
+        for _ in 0..50 {
+            match p.step(32) {
+                Ok((plan, _, _)) => {
+                    assert_eq!(plan.all_samples().len(), 16);
+                    ok = true;
+                    break;
+                }
+                Err(RuntimeError::LoaderFailure { .. }) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(ok, "pipeline never recovered");
+        p.shutdown();
+    }
+
+    #[test]
+    fn stalled_loader_trips_the_failure_detector() {
+        let mut p = pipeline();
+        // Pre-warm buffers so an ordinary refill is fast, then stall one
+        // loader well past the RPC timeout. The timeout must stay generous
+        // enough that *healthy* loaders never trip it under parallel test
+        // load — only the injected stall may exceed it.
+        p.step(32).unwrap();
+        p.rpc_timeout = Duration::from_secs(2);
+        p.loaders()[1].inject_delay(Duration::from_secs(6));
+        let r = p.step(32);
+        assert!(
+            matches!(r, Err(RuntimeError::LoaderFailure { loader: 1 })),
+            "{r:?}"
+        );
+        p.shutdown();
+    }
+}

@@ -1,0 +1,450 @@
+//! Source catalogs calibrated to the paper's published workloads.
+//!
+//! [`coyo700m_like`] models the open `coyo700m` dataset (5 sources): text
+//! captions are extremely short (98.23% of samples ≤ 64 tokens) while the
+//! top 1.62% of long captions carry ~9.3% of all text tokens; image patch
+//! counts spread from under 1k to 32k (Fig 2 left).
+//!
+//! [`navit_like`] models the production `navit_data` corpus (306 sources):
+//! broader text lengths, heavier image tails (≥16k patches carry 27.3% of
+//! image tokens), and strong per-source heterogeneity in transformation
+//! cost and access-state memory (Fig 5).
+
+use msd_sim::SimRng;
+use msd_storage::AccessState;
+
+use crate::dist::LengthDist;
+use crate::sample::{Modality, SampleMeta, SourceId};
+use crate::transform::TransformPipeline;
+
+/// Static description of one data source.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Source identifier (unique within a catalog).
+    pub id: SourceId,
+    /// Human-readable name.
+    pub name: String,
+    /// Payload modality.
+    pub modality: Modality,
+    /// Distribution of text-token counts per sample.
+    pub text_dist: LengthDist,
+    /// Distribution of image-patch counts per sample (Constant(0) for text).
+    pub image_dist: LengthDist,
+    /// Per-source transformation cost multiplier (Fig 5b heterogeneity).
+    pub cost_scale: f64,
+    /// Resident access-state memory when this source is open (Fig 5a).
+    pub access_state: AccessState,
+    /// Default mixing weight (normalized by the schedule).
+    pub weight: f64,
+}
+
+impl SourceSpec {
+    /// Draws one sample's metadata.
+    pub fn sample_meta(&self, rng: &mut SimRng, sample_id: u64) -> SampleMeta {
+        let text_tokens = self.text_dist.sample_len(rng);
+        let image_patches = match self.modality {
+            Modality::Text => 0,
+            _ => self.image_dist.sample_len(rng),
+        };
+        // Raw bytes: ~4 B per text token (UTF-8) plus compressed pixels
+        // (~48 B per patch pre-decode for JPEG-like 16x16 patches).
+        let raw_bytes = u64::from(text_tokens) * 4 + u64::from(image_patches) * 48;
+        SampleMeta {
+            sample_id,
+            source: self.id,
+            modality: self.modality,
+            text_tokens,
+            image_patches,
+            raw_bytes,
+        }
+    }
+
+    /// The transformation pipeline for this source (modality pipeline with
+    /// this source's cost multiplier).
+    pub fn pipeline(&self) -> TransformPipeline {
+        let base = TransformPipeline::for_modality(self.modality);
+        TransformPipeline::new(base.transforms().to_vec(), self.cost_scale)
+    }
+
+    /// Mean per-sample transformation cost, estimated over `n` draws.
+    pub fn mean_transform_cost_ns(&self, rng: &mut SimRng, n: usize) -> f64 {
+        let pipeline = self.pipeline();
+        let total: u64 = (0..n)
+            .map(|i| pipeline.cost_ns(&self.sample_meta(rng, i as u64)))
+            .sum();
+        total as f64 / n.max(1) as f64
+    }
+}
+
+/// A collection of sources forming one training data mixture.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Catalog name (used in reports).
+    pub name: String,
+    sources: Vec<SourceSpec>,
+}
+
+impl Catalog {
+    /// Creates a catalog from sources.
+    pub fn new(name: impl Into<String>, sources: Vec<SourceSpec>) -> Self {
+        Catalog {
+            name: name.into(),
+            sources,
+        }
+    }
+
+    /// All sources.
+    pub fn sources(&self) -> &[SourceSpec] {
+        &self.sources
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Looks up a source by id.
+    pub fn get(&self, id: SourceId) -> Option<&SourceSpec> {
+        self.sources.iter().find(|s| s.id == id)
+    }
+
+    /// Default mixing weights, in source order (unnormalized).
+    pub fn default_weights(&self) -> Vec<f64> {
+        self.sources.iter().map(|s| s.weight).collect()
+    }
+
+    /// Total access-state bytes if one client opened every source.
+    pub fn total_access_state_bytes(&self) -> u64 {
+        self.sources.iter().map(|s| s.access_state.total()).sum()
+    }
+
+    /// Draws a sample from the source selected by `weights`.
+    pub fn sample_mixed(
+        &self,
+        rng: &mut SimRng,
+        weights: &[f64],
+        sample_id: u64,
+    ) -> Option<SampleMeta> {
+        let idx = rng.weighted_index(weights)?;
+        let spec = self.sources.get(idx)?;
+        Some(spec.sample_meta(rng, sample_id))
+    }
+}
+
+/// Text-token distribution of `coyo700m` (Fig 2a, left): short captions
+/// dominate samples; a thin Pareto tail carries ~9% of tokens.
+pub fn coyo_text_dist() -> LengthDist {
+    LengthDist::Mixture(vec![
+        (
+            0.982,
+            LengthDist::lognormal_median(22.0, 0.55).clamped(4.0, 64.0),
+        ),
+        (
+            0.018,
+            LengthDist::Pareto {
+                x_min: 65.0,
+                alpha: 1.8,
+            }
+            .clamped(65.0, 8192.0),
+        ),
+    ])
+}
+
+/// Image-patch distribution of `coyo700m` (Fig 2b, left).
+pub fn coyo_image_dist() -> LengthDist {
+    LengthDist::lognormal_median(3200.0, 1.15).clamped(64.0, 32768.0)
+}
+
+/// Text-token distribution of `navit_data` (Fig 2a, right): much broader,
+/// with ≥8k sequences carrying ~15% of tokens.
+pub fn navit_text_dist() -> LengthDist {
+    LengthDist::Mixture(vec![
+        (
+            0.72,
+            LengthDist::lognormal_median(64.0, 1.05).clamped(4.0, 512.0),
+        ),
+        (
+            0.28,
+            LengthDist::lognormal_median(1400.0, 1.3).clamped(256.0, 32768.0),
+        ),
+    ])
+}
+
+/// Image-patch distribution of `navit_data` (Fig 2b, right): variable
+/// resolution with a heavy ≥16k tail (27.3% of image tokens).
+pub fn navit_image_dist() -> LengthDist {
+    LengthDist::lognormal_median(4000.0, 1.0).clamped(64.0, 32768.0)
+}
+
+/// Builds the 5-source `coyo700m`-like catalog.
+pub fn coyo700m_like(rng: &mut SimRng) -> Catalog {
+    let mut rng = rng.split("coyo700m");
+    let sources = (0..5)
+        .map(|i| {
+            // The five shards are near-identical statistically; jitter the
+            // cost scale slightly so workers are not perfectly uniform.
+            let cost_scale = rng.lognormal(0.0, 0.25);
+            SourceSpec {
+                id: SourceId(i),
+                name: format!("coyo700m/part-{i:02}"),
+                modality: Modality::Image,
+                text_dist: coyo_text_dist(),
+                image_dist: coyo_image_dist(),
+                cost_scale,
+                access_state: AccessState::production(
+                    8 << 20,   // Footers of wide shards are sizable.
+                    768 << 20, // 768 MiB row groups.
+                ),
+                weight: 1.0,
+            }
+        })
+        .collect();
+    Catalog::new("coyo700m", sources)
+}
+
+/// Builds the 306-source `navit_data`-like catalog with Fig 5
+/// heterogeneity: per-source cost multipliers span ~3 orders of magnitude
+/// and access states range from tens of MiB to multiple GiB.
+pub fn navit_like(rng: &mut SimRng) -> Catalog {
+    navit_sized(rng, 306)
+}
+
+/// `navit_data`-like catalog with an explicit source count (Fig 15 sweeps
+/// 100 → 300 sources).
+pub fn navit_sized(rng: &mut SimRng, n_sources: u32) -> Catalog {
+    let mut rng = rng.split("navit_data");
+    let sources = (0..n_sources)
+        .map(|i| {
+            // Modalities: mostly image-text, some text-only, a few video
+            // and audio sources (the expensive tail of Fig 5b).
+            let roll = rng.f64();
+            let modality = if roll < 0.70 {
+                Modality::Image
+            } else if roll < 0.88 {
+                Modality::Text
+            } else if roll < 0.96 {
+                Modality::Video
+            } else {
+                Modality::Audio
+            };
+            // Jitter distribution parameters per source.
+            let text_dist = match modality {
+                Modality::Text => LengthDist::lognormal_median(
+                    rng.f64_range(200.0, 2400.0),
+                    rng.f64_range(0.9, 1.5),
+                )
+                .clamped(16.0, 32768.0),
+                _ => navit_text_dist(),
+            };
+            let image_dist = match modality {
+                Modality::Text => LengthDist::Constant(0.0),
+                Modality::Video => {
+                    LengthDist::lognormal_median(9000.0, 1.1).clamped(512.0, 65536.0)
+                }
+                _ => navit_image_dist(),
+            };
+            // Fig 5b: transformation latency spans ~1 s to ~1000 s across
+            // sources for the same batch size.
+            let cost_scale = rng.lognormal(0.0, 1.5).clamp(0.05, 40.0);
+            // Fig 5a: access-state memory up to ~6 GiB, median ~1 GiB.
+            let metadata = (rng.lognormal((32.0f64).ln(), 0.8) * (1 << 20) as f64) as u64;
+            let buffer = (rng.lognormal((700.0f64).ln(), 0.6) * (1 << 20) as f64)
+                .clamp(128.0 * (1 << 20) as f64, 5.0 * (1 << 30) as f64)
+                as u64;
+            SourceSpec {
+                id: SourceId(i),
+                name: format!("navit_data/{}-{i:03}", modality.label()),
+                modality,
+                text_dist,
+                image_dist,
+                cost_scale,
+                access_state: AccessState::production(metadata, buffer),
+                weight: rng.lognormal(0.0, 0.7),
+            }
+        })
+        .collect();
+    Catalog::new(format!("navit_data[{n_sources}]"), sources)
+}
+
+/// A small text-only catalog (used by the Fig 20 pure-text scaling study).
+pub fn text_only(rng: &mut SimRng, n_sources: u32) -> Catalog {
+    let mut rng = rng.split("text_only");
+    let sources = (0..n_sources)
+        .map(|i| SourceSpec {
+            id: SourceId(i),
+            name: format!("text/{i:03}"),
+            modality: Modality::Text,
+            text_dist: LengthDist::lognormal_median(
+                rng.f64_range(400.0, 1600.0),
+                rng.f64_range(0.8, 1.2),
+            )
+            .clamped(16.0, 16384.0),
+            image_dist: LengthDist::Constant(0.0),
+            cost_scale: rng.lognormal(0.0, 0.4).clamp(0.2, 5.0),
+            access_state: AccessState::production(4 << 20, 512 << 20),
+            weight: 1.0,
+        })
+        .collect();
+    Catalog::new("text_only", sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_sim::{Histogram, SimRng};
+
+    fn rng() -> SimRng {
+        SimRng::seed(2024)
+    }
+
+    #[test]
+    fn coyo_text_matches_published_skew() {
+        let mut r = rng();
+        let d = coyo_text_dist();
+        let n = 100_000;
+        let mut hist = Histogram::pow2(16, 32768);
+        let mut le64 = 0usize;
+        let mut tokens_total = 0u64;
+        let mut tokens_long = 0u64;
+        for _ in 0..n {
+            let len = d.sample_len(&mut r);
+            hist.add_weighted(f64::from(len), f64::from(len));
+            if len <= 64 {
+                le64 += 1;
+            } else {
+                tokens_long += u64::from(len);
+            }
+            tokens_total += u64::from(len);
+        }
+        let sample_share_le64 = le64 as f64 / n as f64;
+        let token_share_gt64 = tokens_long as f64 / tokens_total as f64;
+        // Paper: 98.23% of samples <= 64 tokens; >64-token tail carries 9.3%.
+        assert!(
+            (0.96..0.995).contains(&sample_share_le64),
+            "share <=64 = {sample_share_le64}"
+        );
+        assert!(
+            (0.04..0.20).contains(&token_share_gt64),
+            "token share >64 = {token_share_gt64}"
+        );
+    }
+
+    #[test]
+    fn navit_image_tail_is_heavy() {
+        let mut r = rng();
+        let d = navit_image_dist();
+        let n = 100_000;
+        let mut total = 0.0f64;
+        let mut ge16k = 0.0f64;
+        for _ in 0..n {
+            let v = d.sample(&mut r);
+            total += v;
+            if v >= 16384.0 {
+                ge16k += v;
+            }
+        }
+        let share = ge16k / total;
+        // Paper: >=16k patches carry 27.3% of image tokens.
+        assert!((0.15..0.45).contains(&share), "share >=16k = {share}");
+    }
+
+    #[test]
+    fn catalog_sizes() {
+        let mut r = rng();
+        assert_eq!(coyo700m_like(&mut r).len(), 5);
+        assert_eq!(navit_like(&mut r).len(), 306);
+        assert_eq!(navit_sized(&mut r, 100).len(), 100);
+        assert_eq!(text_only(&mut r, 10).len(), 10);
+    }
+
+    #[test]
+    fn navit_cost_heterogeneity_spans_orders_of_magnitude() {
+        let mut r = rng();
+        let cat = navit_like(&mut r);
+        let scales: Vec<f64> = cat.sources().iter().map(|s| s.cost_scale).collect();
+        let min = scales.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scales.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 50.0, "spread = {}", max / min);
+    }
+
+    #[test]
+    fn navit_access_state_range_matches_fig5a() {
+        let mut r = rng();
+        let cat = navit_like(&mut r);
+        let totals: Vec<u64> = cat
+            .sources()
+            .iter()
+            .map(|s| s.access_state.total())
+            .collect();
+        let max = *totals.iter().max().unwrap();
+        let min = *totals.iter().min().unwrap();
+        // Fig 5a: tail up to ~6 GiB, floor above 100 MiB.
+        assert!(max > 2 << 30, "max = {max}");
+        assert!(max < 8 << 30, "max = {max}");
+        assert!(min > 100 << 20, "min = {min}");
+    }
+
+    #[test]
+    fn sample_meta_respects_modality() {
+        let mut r = rng();
+        let cat = navit_like(&mut r);
+        let text_src = cat
+            .sources()
+            .iter()
+            .find(|s| s.modality == Modality::Text)
+            .expect("navit has text sources");
+        let m = text_src.sample_meta(&mut r, 7);
+        assert_eq!(m.image_patches, 0);
+        assert!(m.text_tokens >= 16);
+        assert_eq!(m.source, text_src.id);
+    }
+
+    #[test]
+    fn mixed_sampling_follows_weights() {
+        let mut r = rng();
+        let cat = coyo700m_like(&mut r);
+        let mut weights = vec![0.0; cat.len()];
+        weights[3] = 1.0;
+        for i in 0..100 {
+            let m = cat.sample_mixed(&mut r, &weights, i).unwrap();
+            assert_eq!(m.source, SourceId(3));
+        }
+        assert!(cat.sample_mixed(&mut r, &[0.0; 5], 0).is_none());
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut r = rng();
+        let cat = coyo700m_like(&mut r);
+        assert!(cat.get(SourceId(0)).is_some());
+        assert!(cat.get(SourceId(99)).is_none());
+        assert_eq!(cat.default_weights().len(), 5);
+        assert!(cat.total_access_state_bytes() > 5 * (768 << 20));
+    }
+
+    #[test]
+    fn mean_transform_cost_is_finite_and_modality_ordered() {
+        let mut r = rng();
+        let cat = navit_like(&mut r);
+        // Compare a text source vs a video source at equal cost_scale by
+        // normalizing the scale away.
+        let text = cat
+            .sources()
+            .iter()
+            .find(|s| s.modality == Modality::Text)
+            .unwrap();
+        let video = cat
+            .sources()
+            .iter()
+            .find(|s| s.modality == Modality::Video)
+            .unwrap();
+        let ct = text.mean_transform_cost_ns(&mut r, 200) / text.cost_scale;
+        let cv = video.mean_transform_cost_ns(&mut r, 200) / video.cost_scale;
+        assert!(cv > ct * 10.0, "video {cv} vs text {ct}");
+    }
+}

@@ -1,0 +1,416 @@
+//! Sample-level transformations and their cost model.
+//!
+//! Sec 2.3 of the paper quantifies transformation heterogeneity: *"audio
+//! processing requires 4× more computation per output token than image
+//! decoding and 300× more than text tokenization"*. The `cost_ns` model
+//! below encodes exactly that ratio (text = 1×, image = 75×, audio = 300×
+//! per output token), plus fixed per-sample overheads. Costs are virtual
+//! time; `apply` additionally performs real byte-level work so the actor
+//! pipeline moves genuine data.
+
+use crate::sample::{Modality, Sample, SampleMeta};
+
+/// Per-output-token cost of text tokenization, in nanoseconds.
+pub const TEXT_TOKENIZE_NS_PER_TOKEN: f64 = 50.0;
+/// Image decoding per output token: 75× text (so audio is 4× image).
+pub const IMAGE_DECODE_NS_PER_TOKEN: f64 = TEXT_TOKENIZE_NS_PER_TOKEN * 75.0;
+/// Audio processing per output token: 300× text.
+pub const AUDIO_NS_PER_TOKEN: f64 = TEXT_TOKENIZE_NS_PER_TOKEN * 300.0;
+/// Video keyframe extraction per output token: heavier than audio.
+pub const VIDEO_NS_PER_TOKEN: f64 = TEXT_TOKENIZE_NS_PER_TOKEN * 450.0;
+
+/// One sample-level transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Text → token ids.
+    TextTokenize,
+    /// JPEG → RGB tensor (inflates bytes substantially).
+    ImageDecode,
+    /// Crop/resize to a target patch budget.
+    Crop {
+        /// Maximum patches retained.
+        max_patches: u32,
+    },
+    /// Horizontal flip (cheap, in-place).
+    Flip,
+    /// Video keyframe extraction.
+    VideoKeyframe,
+    /// Audio resample + feature extraction.
+    AudioResample,
+}
+
+impl Transform {
+    /// Virtual-time cost of applying this transform to a sample.
+    pub fn cost_ns(&self, meta: &SampleMeta) -> u64 {
+        let tokens = meta.total_tokens() as f64;
+        let patches = f64::from(meta.image_patches);
+        let per_sample = 2_000.0; // Dispatch + allocation overhead.
+        let work = match self {
+            Transform::TextTokenize => f64::from(meta.text_tokens) * TEXT_TOKENIZE_NS_PER_TOKEN,
+            Transform::ImageDecode => patches * IMAGE_DECODE_NS_PER_TOKEN,
+            Transform::Crop { .. } => patches * IMAGE_DECODE_NS_PER_TOKEN * 0.1,
+            Transform::Flip => patches * IMAGE_DECODE_NS_PER_TOKEN * 0.02,
+            Transform::VideoKeyframe => tokens * VIDEO_NS_PER_TOKEN,
+            Transform::AudioResample => tokens * AUDIO_NS_PER_TOKEN,
+        };
+        (per_sample + work) as u64
+    }
+
+    /// Multiplicative effect on payload size (JPEG→RGB inflates; the paper
+    /// cites up to 200× for OCR workloads).
+    pub fn inflation(&self) -> f64 {
+        match self {
+            Transform::TextTokenize => 0.5, // Tokens are denser than UTF-8.
+            Transform::ImageDecode => 12.0,
+            Transform::Crop { .. } => 0.8,
+            Transform::Flip => 1.0,
+            Transform::VideoKeyframe => 0.05, // Keyframes drop most frames.
+            Transform::AudioResample => 2.0,
+        }
+    }
+
+    /// Applies the transform: performs real byte work on the payload and
+    /// updates the metadata (patch budget, byte size).
+    pub fn apply(&self, sample: &mut Sample) {
+        match self {
+            Transform::TextTokenize => {
+                // "Tokenize": fold pairs of bytes into one (dense ids).
+                let folded: Vec<u8> = sample
+                    .payload
+                    .chunks(2)
+                    .map(|c| c.iter().fold(0u8, |a, b| a.wrapping_add(*b)))
+                    .collect();
+                sample.payload = folded;
+            }
+            Transform::ImageDecode => {
+                // "Decode": expand each byte into an RGB-ish triple block,
+                // capped to keep the in-process footprint bounded.
+                let target = (sample.payload.len() as f64 * self.inflation()) as usize;
+                let target = target.min(1 << 20);
+                let src = std::mem::take(&mut sample.payload);
+                let mut out = Vec::with_capacity(target);
+                let mut i = 0usize;
+                while out.len() < target && !src.is_empty() {
+                    let b = src[i % src.len()];
+                    out.push(b);
+                    out.push(b.wrapping_mul(3));
+                    out.push(b.wrapping_add(7));
+                    i += 1;
+                }
+                sample.payload = out;
+            }
+            Transform::Crop { max_patches } => {
+                if sample.meta.image_patches > *max_patches {
+                    let keep =
+                        f64::from(*max_patches) / f64::from(sample.meta.image_patches.max(1));
+                    let new_len = (sample.payload.len() as f64 * keep) as usize;
+                    sample.payload.truncate(new_len.max(1));
+                    sample.meta.image_patches = *max_patches;
+                }
+            }
+            Transform::Flip => {
+                sample.payload.reverse();
+            }
+            Transform::VideoKeyframe => {
+                // Keep every 20th byte-block ("keyframe").
+                let kept: Vec<u8> = sample
+                    .payload
+                    .chunks(20)
+                    .filter_map(|c| c.first().copied())
+                    .collect();
+                sample.payload = kept;
+            }
+            Transform::AudioResample => {
+                // "Resample": duplicate with interpolation-ish mixing.
+                let src = std::mem::take(&mut sample.payload);
+                let mut out = Vec::with_capacity(src.len() * 2);
+                for w in src.windows(2) {
+                    out.push(w[0]);
+                    out.push(w[0].wrapping_add(w[1]) / 2);
+                }
+                sample.payload = out;
+            }
+        }
+        sample.meta.raw_bytes = sample.payload.len() as u64;
+    }
+}
+
+/// An ordered pipeline of transforms with a per-source cost multiplier.
+///
+/// The multiplier models Fig 5b: identical pipelines cost wildly different
+/// amounts across sources (resolution, codec, OCR density), spanning three
+/// orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformPipeline {
+    transforms: Vec<Transform>,
+    /// Per-source cost multiplier (1.0 = nominal).
+    pub cost_scale: f64,
+}
+
+impl TransformPipeline {
+    /// Creates a pipeline from explicit transforms.
+    pub fn new(transforms: Vec<Transform>, cost_scale: f64) -> Self {
+        TransformPipeline {
+            transforms,
+            cost_scale: cost_scale.max(0.0),
+        }
+    }
+
+    /// The canonical pipeline for a modality.
+    pub fn for_modality(modality: Modality) -> Self {
+        let transforms = match modality {
+            Modality::Text => vec![Transform::TextTokenize],
+            Modality::Image => vec![
+                Transform::ImageDecode,
+                Transform::Crop { max_patches: 65536 },
+                Transform::Flip,
+                Transform::TextTokenize,
+            ],
+            Modality::Video => vec![
+                Transform::VideoKeyframe,
+                Transform::ImageDecode,
+                Transform::Crop { max_patches: 65536 },
+                Transform::TextTokenize,
+            ],
+            Modality::Audio => vec![Transform::AudioResample, Transform::TextTokenize],
+        };
+        TransformPipeline::new(transforms, 1.0)
+    }
+
+    /// The transforms in order.
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
+    /// Total virtual-time cost for one sample.
+    pub fn cost_ns(&self, meta: &SampleMeta) -> u64 {
+        let base: u64 = self.transforms.iter().map(|t| t.cost_ns(meta)).sum();
+        (base as f64 * self.cost_scale) as u64
+    }
+
+    /// Applies all transforms in order.
+    pub fn apply(&self, sample: &mut Sample) {
+        for t in &self.transforms {
+            t.apply(sample);
+        }
+    }
+
+    /// Splits the pipeline at `idx`: `(head, tail)`. Used by transformation
+    /// reordering (Pecan-style "deferred decode": ship the sample after
+    /// `head`, run `tail` at the Data Constructor).
+    pub fn split_at(&self, idx: usize) -> (TransformPipeline, TransformPipeline) {
+        let idx = idx.min(self.transforms.len());
+        (
+            TransformPipeline::new(self.transforms[..idx].to_vec(), self.cost_scale),
+            TransformPipeline::new(self.transforms[idx..].to_vec(), self.cost_scale),
+        )
+    }
+
+    /// The split index that minimizes the bytes shipped from loader to
+    /// constructor (Sec 6.2's transformation-reordering trick,
+    /// generalized): the earliest prefix whose cumulative payload
+    /// inflation is minimal.
+    ///
+    /// For the canonical pipelines this lands where intuition says:
+    /// image ships raw JPEG (decode deferred entirely), video runs
+    /// keyframe extraction first (it *shrinks* 20×) then defers the
+    /// decode, text tokenizes loader-side (tokens are denser than UTF-8),
+    /// audio ships raw (resampling inflates 2×).
+    pub fn min_transfer_index(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_product = 1.0f64;
+        let mut product = 1.0f64;
+        for (i, t) in self.transforms.iter().enumerate() {
+            product *= t.inflation();
+            if product < best_product {
+                best_product = product;
+                best = i + 1;
+            }
+        }
+        best
+    }
+
+    /// Convenience: [`TransformPipeline::split_at`] the
+    /// [`TransformPipeline::min_transfer_index`].
+    pub fn split_for_transfer(&self) -> (TransformPipeline, TransformPipeline) {
+        self.split_at(self.min_transfer_index())
+    }
+
+    /// Whether the pipeline has no transforms.
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SourceId;
+
+    fn meta(modality: Modality, text: u32, img: u32) -> SampleMeta {
+        SampleMeta {
+            sample_id: 9,
+            source: SourceId(1),
+            modality,
+            text_tokens: text,
+            image_patches: img,
+            raw_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn cost_ratios_match_paper() {
+        // Per output token: audio = 4x image = 300x text.
+        let m = meta(Modality::Text, 1000, 0);
+        let text = Transform::TextTokenize.cost_ns(&m) as f64;
+        let m_img = meta(Modality::Image, 0, 1000);
+        let image = Transform::ImageDecode.cost_ns(&m_img) as f64;
+        let m_audio = meta(Modality::Audio, 1000, 0);
+        let audio = Transform::AudioResample.cost_ns(&m_audio) as f64;
+        let img_ratio = image / text;
+        let audio_ratio = audio / text;
+        assert!(
+            (70.0..80.0).contains(&img_ratio),
+            "image/text = {img_ratio}"
+        );
+        assert!(
+            (280.0..320.0).contains(&audio_ratio),
+            "audio/text = {audio_ratio}"
+        );
+        assert!(
+            (3.5..4.5).contains(&(audio / image)),
+            "audio/image = {}",
+            audio / image
+        );
+    }
+
+    #[test]
+    fn tokenize_shrinks_payload() {
+        let mut s = Sample::synthesize(meta(Modality::Text, 100, 0));
+        let before = s.payload.len();
+        Transform::TextTokenize.apply(&mut s);
+        assert_eq!(s.payload.len(), before.div_ceil(2));
+        assert_eq!(s.meta.raw_bytes, s.payload.len() as u64);
+    }
+
+    #[test]
+    fn decode_inflates_payload() {
+        let mut s = Sample::synthesize(meta(Modality::Image, 10, 500));
+        let before = s.payload.len();
+        Transform::ImageDecode.apply(&mut s);
+        assert!(
+            s.payload.len() > before * 8,
+            "{} -> {}",
+            before,
+            s.payload.len()
+        );
+    }
+
+    #[test]
+    fn crop_limits_patches() {
+        let mut s = Sample::synthesize(meta(Modality::Image, 10, 5000));
+        Transform::Crop { max_patches: 1000 }.apply(&mut s);
+        assert_eq!(s.meta.image_patches, 1000);
+        // Crop below the current count is a no-op.
+        let mut s2 = Sample::synthesize(meta(Modality::Image, 10, 100));
+        let len = s2.payload.len();
+        Transform::Crop { max_patches: 1000 }.apply(&mut s2);
+        assert_eq!(s2.meta.image_patches, 100);
+        assert_eq!(s2.payload.len(), len);
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let mut s = Sample::synthesize(meta(Modality::Image, 10, 100));
+        let orig = s.payload.clone();
+        Transform::Flip.apply(&mut s);
+        assert_ne!(s.payload, orig);
+        Transform::Flip.apply(&mut s);
+        assert_eq!(s.payload, orig);
+    }
+
+    #[test]
+    fn pipeline_cost_scales() {
+        let m = meta(Modality::Image, 100, 2000);
+        let p1 = TransformPipeline::for_modality(Modality::Image);
+        let p2 = TransformPipeline::new(p1.transforms().to_vec(), 10.0);
+        assert!(p2.cost_ns(&m) > p1.cost_ns(&m) * 9);
+    }
+
+    #[test]
+    fn pipeline_split_preserves_transforms() {
+        let p = TransformPipeline::for_modality(Modality::Video);
+        let n = p.transforms().len();
+        let (head, tail) = p.split_at(1);
+        assert_eq!(head.transforms().len(), 1);
+        assert_eq!(tail.transforms().len(), n - 1);
+        // Out-of-range splits clamp.
+        let (all, none) = p.split_at(99);
+        assert_eq!(all.transforms().len(), n);
+        assert!(none.transforms().is_empty());
+    }
+
+    #[test]
+    fn min_transfer_index_per_modality() {
+        // Image: decode inflates 12x, so ship raw (defer everything).
+        let img = TransformPipeline::for_modality(Modality::Image);
+        assert_eq!(img.min_transfer_index(), 0);
+        // Video: keyframe extraction shrinks 20x — run it, then defer.
+        let vid = TransformPipeline::for_modality(Modality::Video);
+        assert_eq!(vid.min_transfer_index(), 1);
+        assert_eq!(
+            vid.split_for_transfer().0.transforms(),
+            &[Transform::VideoKeyframe]
+        );
+        // Text: tokens are denser than UTF-8 — tokenize loader-side.
+        let txt = TransformPipeline::for_modality(Modality::Text);
+        assert_eq!(txt.min_transfer_index(), 1);
+        assert!(txt.split_for_transfer().1.is_empty());
+        // Audio: resampling inflates — ship raw.
+        let aud = TransformPipeline::for_modality(Modality::Audio);
+        assert_eq!(aud.min_transfer_index(), 0);
+    }
+
+    #[test]
+    fn split_for_transfer_reduces_shipped_bytes() {
+        // Applying only the head leaves a strictly smaller payload than
+        // applying the whole pipeline, for inflating modalities.
+        for modality in [Modality::Image, Modality::Video] {
+            let p = TransformPipeline::for_modality(modality);
+            let (head, tail) = p.split_for_transfer();
+            let mut shipped = Sample::synthesize(meta(modality, 64, 3000));
+            head.apply(&mut shipped);
+            let ship_bytes = shipped.payload.len();
+            let mut full = Sample::synthesize(meta(modality, 64, 3000));
+            p.apply(&mut full);
+            assert!(
+                ship_bytes < full.payload.len(),
+                "{modality:?}: ship {ship_bytes} vs full {}",
+                full.payload.len()
+            );
+            // head ∘ tail ≡ full pipeline.
+            tail.apply(&mut shipped);
+            assert_eq!(shipped.payload, full.payload);
+            assert_eq!(shipped.meta, full.meta);
+        }
+    }
+
+    #[test]
+    fn modality_pipelines_ordering() {
+        let m_txt = meta(Modality::Text, 512, 0);
+        let m_img = meta(Modality::Image, 64, 2048);
+        let m_aud = meta(Modality::Audio, 2048, 0);
+        let text = TransformPipeline::for_modality(Modality::Text).cost_ns(&m_txt);
+        let image = TransformPipeline::for_modality(Modality::Image).cost_ns(&m_img);
+        let audio = TransformPipeline::for_modality(Modality::Audio).cost_ns(&m_aud);
+        assert!(text < image, "text {text} < image {image}");
+        assert!(image < audio, "image {image} < audio {audio}");
+    }
+
+    #[test]
+    fn video_pipeline_applies_end_to_end() {
+        let mut s = Sample::synthesize(meta(Modality::Video, 100, 4000));
+        TransformPipeline::for_modality(Modality::Video).apply(&mut s);
+        assert!(!s.payload.is_empty());
+    }
+}

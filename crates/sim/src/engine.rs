@@ -1,0 +1,374 @@
+//! Discrete-event simulation engine.
+//!
+//! The engine drives a user-supplied *world* (`W`) through a totally ordered
+//! sequence of events. Handlers receive `&mut W` plus a [`Scheduler`] command
+//! buffer; new events scheduled from inside a handler are committed to the
+//! queue after the handler returns, which keeps the engine non-reentrant and
+//! the borrow story simple.
+//!
+//! Two properties matter for reproducibility:
+//!
+//! 1. Events at the same timestamp fire in scheduling (FIFO) order.
+//! 2. Cancellation is tombstone-based, so cancelled events never fire but
+//!    also never perturb the ordering of others.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+type Handler<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    handler: Handler<W>,
+}
+
+// Manual ordering impls: BinaryHeap is a max-heap, so wrap in Reverse at the
+// usage site; ordering here is (time, seq) ascending semantics.
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Command buffer handed to event handlers for scheduling follow-up events.
+pub struct Scheduler<W> {
+    now: SimTime,
+    next_seq: u64,
+    next_id: u64,
+    pending: Vec<Scheduled<W>>,
+    cancelled: Vec<EventId>,
+    stopped: bool,
+}
+
+impl<W> Scheduler<W> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `handler` to run after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, handler)
+    }
+
+    /// Schedules `handler` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (the event still runs after
+    /// all already-queued events at `now`, preserving FIFO order).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Scheduled {
+            at,
+            seq,
+            id,
+            handler: Box::new(handler),
+        });
+        id
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// unknown event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id);
+    }
+
+    /// Stops the simulation after the current handler returns.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+}
+
+/// The discrete-event engine.
+///
+/// # Examples
+///
+/// ```
+/// use msd_sim::{Engine, SimDuration};
+///
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// engine.scheduler().schedule_in(SimDuration::from_secs(2), |w, s| {
+///     w.push(s.now().as_nanos());
+/// });
+/// let mut world = Vec::new();
+/// engine.run(&mut world);
+/// assert_eq!(world, vec![2_000_000_000]);
+/// ```
+pub struct Engine<W> {
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    scheduler: Scheduler<W>,
+    tombstones: HashSet<EventId>,
+    events_fired: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            scheduler: Scheduler {
+                now: SimTime::ZERO,
+                next_seq: 0,
+                next_id: 0,
+                pending: Vec::new(),
+                cancelled: Vec::new(),
+                stopped: false,
+            },
+            tombstones: HashSet::new(),
+            events_fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
+    /// Access to the scheduler for seeding initial events.
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.scheduler
+    }
+
+    fn commit_pending(&mut self) {
+        for ev in self.scheduler.pending.drain(..) {
+            self.queue.push(Reverse(ev));
+        }
+        for id in self.scheduler.cancelled.drain(..) {
+            self.tombstones.insert(id);
+        }
+    }
+
+    /// Executes a single event. Returns `false` when the queue is empty or
+    /// the simulation has been stopped.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        self.commit_pending();
+        if self.scheduler.stopped {
+            return false;
+        }
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.scheduler.now, "time went backwards");
+        self.scheduler.now = ev.at;
+        if self.tombstones.remove(&ev.id) {
+            // Cancelled: advance time but do not execute.
+            return true;
+        }
+        self.events_fired += 1;
+        (ev.handler)(world, &mut self.scheduler);
+        self.commit_pending();
+        true
+    }
+
+    /// Runs until the event queue drains or [`Scheduler::stop`] is called.
+    /// Returns the final virtual time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world) {}
+        self.scheduler.now
+    }
+
+    /// Runs until the given deadline (inclusive), queue exhaustion, or stop.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        loop {
+            self.commit_pending();
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    if !self.step(world) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.scheduler.now = self.scheduler.now.max(deadline.min(self.scheduler.now));
+        self.scheduler.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<World> = Engine::new();
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(3), |w, s| {
+                w.log.push((s.now().as_nanos(), "c"))
+            });
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(1), |w, s| {
+                w.log.push((s.now().as_nanos(), "a"))
+            });
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(2), |w, s| {
+                w.log.push((s.now().as_nanos(), "b"))
+            });
+        let mut world = World::default();
+        let end = engine.run(&mut world);
+        assert_eq!(
+            world.log.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(end, SimTime::from_nanos(3_000_000_000));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut engine: Engine<World> = Engine::new();
+        let t = SimDuration::from_millis(10);
+        for name in ["first", "second", "third"] {
+            engine
+                .scheduler()
+                .schedule_in(t, move |w, s| w.log.push((s.now().as_nanos(), name)));
+        }
+        let mut world = World::default();
+        engine.run(&mut world);
+        assert_eq!(
+            world.log.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+            vec!["first", "second", "third"]
+        );
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut engine: Engine<World> = Engine::new();
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(1), |w, s| {
+                w.log.push((s.now().as_nanos(), "outer"));
+                s.schedule_in(SimDuration::from_secs(1), |w, s| {
+                    w.log.push((s.now().as_nanos(), "inner"));
+                });
+            });
+        let mut world = World::default();
+        let end = engine.run(&mut world);
+        assert_eq!(world.log.len(), 2);
+        assert_eq!(end.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn cancellation_suppresses_execution() {
+        let mut engine: Engine<World> = Engine::new();
+        let id = engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(1), |w, s| {
+                w.log.push((s.now().as_nanos(), "cancelled"))
+            });
+        engine.scheduler().cancel(id);
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(2), |w, s| {
+                w.log.push((s.now().as_nanos(), "kept"))
+            });
+        let mut world = World::default();
+        engine.run(&mut world);
+        assert_eq!(world.log.len(), 1);
+        assert_eq!(world.log[0].1, "kept");
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        let mut engine: Engine<World> = Engine::new();
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(1), |w, s| {
+                w.log.push((0, "ran"));
+                s.stop();
+            });
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::from_secs(2), |w, _| {
+                w.log.push((0, "never"));
+            });
+        let mut world = World::default();
+        engine.run(&mut world);
+        assert_eq!(world.log.len(), 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut engine: Engine<World> = Engine::new();
+        for s in 1..=5u64 {
+            engine
+                .scheduler()
+                .schedule_in(SimDuration::from_secs(s), move |w, sch| {
+                    w.log.push((sch.now().as_nanos(), "tick"))
+                });
+        }
+        let mut world = World::default();
+        engine.run_until(&mut world, SimTime::from_nanos(3_000_000_000));
+        assert_eq!(world.log.len(), 3);
+        engine.run(&mut world);
+        assert_eq!(world.log.len(), 5);
+    }
+
+    #[test]
+    fn periodic_self_rescheduling() {
+        struct Counter {
+            ticks: u32,
+        }
+        fn tick(w: &mut Counter, s: &mut Scheduler<Counter>) {
+            w.ticks += 1;
+            if w.ticks < 10 {
+                s.schedule_in(SimDuration::from_millis(100), tick);
+            }
+        }
+        let mut engine: Engine<Counter> = Engine::new();
+        engine.scheduler().schedule_in(SimDuration::ZERO, tick);
+        let mut world = Counter { ticks: 0 };
+        let end = engine.run(&mut world);
+        assert_eq!(world.ticks, 10);
+        assert_eq!(end.as_nanos(), 900_000_000);
+        assert_eq!(engine.events_fired(), 10);
+    }
+}

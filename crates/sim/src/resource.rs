@@ -1,0 +1,338 @@
+//! Counted resources and hierarchical memory accounting.
+//!
+//! [`ResourcePool`] models fungible resources such as CPU cores on a pod:
+//! the AutoScaler experiments (Fig 19) allocate and release worker cores
+//! against pools. [`MemoryMeter`] is the measurement backbone for every
+//! memory figure (Fig 4, 12, 16, 17): components register labeled,
+//! categorized allocations and the meter tracks per-category totals and the
+//! global peak.
+
+use std::collections::HashMap;
+
+/// Error returned when a pool cannot satisfy an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Units requested.
+    pub requested: u64,
+    /// Units currently available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "resource exhausted: requested {} but only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// A counted pool of identical resource units (e.g. CPU cores).
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    name: String,
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+impl ResourcePool {
+    /// Creates a pool with the given capacity.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        ResourcePool {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Pool name, used in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in units.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Units currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Units still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// High-water mark of allocation.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Fraction of the pool currently allocated, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.in_use as f64 / self.capacity as f64
+    }
+
+    /// Attempts to allocate `units`, failing without side effects if the
+    /// pool lacks capacity.
+    pub fn try_alloc(&mut self, units: u64) -> Result<(), Exhausted> {
+        if units > self.available() {
+            return Err(Exhausted {
+                requested: units,
+                available: self.available(),
+            });
+        }
+        self.in_use += units;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Releases `units` back to the pool, saturating at zero.
+    pub fn release(&mut self, units: u64) {
+        self.in_use = self.in_use.saturating_sub(units);
+    }
+
+    /// Grows the pool capacity (elastic scale-out).
+    pub fn grow(&mut self, units: u64) {
+        self.capacity += units;
+    }
+
+    /// Shrinks capacity; in-use units are never revoked, so the effective
+    /// capacity cannot drop below the current allocation.
+    pub fn shrink(&mut self, units: u64) {
+        self.capacity = self.capacity.saturating_sub(units).max(self.in_use);
+    }
+}
+
+/// Identifies a live allocation inside a [`MemoryMeter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// Hierarchical memory accounting.
+///
+/// Allocations carry a `category` (e.g. `"source_state"`, `"batch_buffer"`,
+/// `"worker_ctx"`) so reports can break memory down the way Fig 4 does
+/// (source-related vs. everything else).
+///
+/// # Examples
+///
+/// ```
+/// use msd_sim::MemoryMeter;
+///
+/// let mut m = MemoryMeter::new();
+/// let a = m.alloc("source_state", 512 << 20);
+/// let b = m.alloc("batch_buffer", 128 << 20);
+/// assert_eq!(m.total(), 640 << 20);
+/// assert_eq!(m.category_total("source_state"), 512 << 20);
+/// m.free(a);
+/// assert_eq!(m.total(), 128 << 20);
+/// let _ = b;
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MemoryMeter {
+    next_id: u64,
+    live: HashMap<u64, (String, u64)>,
+    by_category: HashMap<String, u64>,
+    total: u64,
+    peak: u64,
+}
+
+impl MemoryMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation of `bytes` under `category`.
+    pub fn alloc(&mut self, category: &str, bytes: u64) -> AllocId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, (category.to_string(), bytes));
+        *self.by_category.entry(category.to_string()).or_insert(0) += bytes;
+        self.total += bytes;
+        self.peak = self.peak.max(self.total);
+        AllocId(id)
+    }
+
+    /// Releases a previously registered allocation. Double-frees are no-ops.
+    pub fn free(&mut self, id: AllocId) {
+        if let Some((cat, bytes)) = self.live.remove(&id.0) {
+            if let Some(c) = self.by_category.get_mut(&cat) {
+                *c = c.saturating_sub(bytes);
+            }
+            self.total = self.total.saturating_sub(bytes);
+        }
+    }
+
+    /// Adjusts an existing allocation to a new size (e.g. a growing buffer).
+    pub fn resize(&mut self, id: AllocId, new_bytes: u64) {
+        let Some((cat, bytes)) = self.live.get_mut(&id.0) else {
+            return;
+        };
+        let old = *bytes;
+        *bytes = new_bytes;
+        let cat = cat.clone();
+        let c = self.by_category.entry(cat).or_insert(0);
+        *c = c.saturating_sub(old) + new_bytes;
+        self.total = self.total.saturating_sub(old) + new_bytes;
+        self.peak = self.peak.max(self.total);
+    }
+
+    /// Current total live bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Peak total live bytes observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Current live bytes in a category.
+    pub fn category_total(&self, category: &str) -> u64 {
+        self.by_category.get(category).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(category, live_bytes)` pairs in unspecified order.
+    pub fn categories(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.by_category.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fraction of current memory attributable to `category`, in `[0, 1]`.
+    pub fn category_share(&self, category: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.category_total(category) as f64 / self.total as f64
+    }
+
+    /// Merges another meter's *current* totals into this one (used to roll
+    /// per-node meters up to a cluster view). Live allocation ids are not
+    /// transferred; the merge is additive and categorical.
+    pub fn absorb(&mut self, other: &MemoryMeter) {
+        for (cat, bytes) in other.categories() {
+            *self.by_category.entry(cat.to_string()).or_insert(0) += bytes;
+            self.total += bytes;
+        }
+        self.peak = self.peak.max(self.total);
+    }
+}
+
+/// Pretty-prints bytes with binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{v:.2}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_alloc_release_cycle() {
+        let mut p = ResourcePool::new("cpu", 10);
+        assert!(p.try_alloc(4).is_ok());
+        assert!(p.try_alloc(6).is_ok());
+        assert_eq!(p.available(), 0);
+        assert_eq!(
+            p.try_alloc(1),
+            Err(Exhausted {
+                requested: 1,
+                available: 0
+            })
+        );
+        p.release(5);
+        assert_eq!(p.available(), 5);
+        assert_eq!(p.peak(), 10);
+        assert!((p.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_grow_shrink() {
+        let mut p = ResourcePool::new("cpu", 4);
+        p.try_alloc(3).unwrap();
+        p.grow(4);
+        assert_eq!(p.capacity(), 8);
+        p.shrink(10);
+        // Cannot shrink below current allocation.
+        assert_eq!(p.capacity(), 3);
+    }
+
+    #[test]
+    fn pool_release_saturates() {
+        let mut p = ResourcePool::new("cpu", 4);
+        p.try_alloc(2).unwrap();
+        p.release(100);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn meter_tracks_categories_and_peak() {
+        let mut m = MemoryMeter::new();
+        let a = m.alloc("source_state", 100);
+        let _b = m.alloc("source_state", 50);
+        let c = m.alloc("batch_buffer", 30);
+        assert_eq!(m.total(), 180);
+        assert_eq!(m.category_total("source_state"), 150);
+        assert!((m.category_share("source_state") - 150.0 / 180.0).abs() < 1e-12);
+        m.free(a);
+        m.free(c);
+        assert_eq!(m.total(), 50);
+        assert_eq!(m.peak(), 180);
+        // Double free is a no-op.
+        m.free(a);
+        assert_eq!(m.total(), 50);
+    }
+
+    #[test]
+    fn meter_resize() {
+        let mut m = MemoryMeter::new();
+        let a = m.alloc("buf", 10);
+        m.resize(a, 100);
+        assert_eq!(m.total(), 100);
+        m.resize(a, 5);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.peak(), 100);
+    }
+
+    #[test]
+    fn meter_absorb_rolls_up() {
+        let mut node0 = MemoryMeter::new();
+        node0.alloc("source_state", 100);
+        let mut node1 = MemoryMeter::new();
+        node1.alloc("source_state", 40);
+        node1.alloc("batch_buffer", 60);
+        let mut cluster = MemoryMeter::new();
+        cluster.absorb(&node0);
+        cluster.absorb(&node1);
+        assert_eq!(cluster.total(), 200);
+        assert_eq!(cluster.category_total("source_state"), 140);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 << 30), "3.00GiB");
+    }
+}

@@ -1,0 +1,380 @@
+//! Statistics utilities: histograms, CDFs, and streaming summaries.
+//!
+//! Fig 2 of the paper shows token-length histograms with power-of-two
+//! buckets (16, 32, ..., 32k) plus token-share pies; Fig 5 shows CDFs of
+//! per-source memory and latency. These types regenerate those presentations.
+
+/// A histogram over explicit right-open bucket boundaries.
+///
+/// A value `v` lands in bucket `i` where `bounds[i-1] <= v < bounds[i]`;
+/// values below `bounds[0]` land in bucket 0 and values at or above the last
+/// bound land in the final overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    weights: Vec<f64>,
+    total_count: u64,
+    total_weight: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            weights: vec![0.0; n],
+            total_count: 0,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Power-of-two boundaries from `lo` to `hi` inclusive (e.g. 16..32768),
+    /// matching the x-axis of Fig 2.
+    pub fn pow2(lo: u64, hi: u64) -> Self {
+        let mut bounds = Vec::new();
+        let mut b = lo;
+        while b <= hi {
+            bounds.push(b as f64);
+            b *= 2;
+        }
+        Histogram::new(bounds)
+    }
+
+    fn bucket_of(&self, v: f64) -> usize {
+        match self
+            .bounds
+            .binary_search_by(|b| b.partial_cmp(&v).expect("NaN in histogram"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Records a value with weight 1.
+    pub fn add(&mut self, v: f64) {
+        self.add_weighted(v, v.max(0.0));
+    }
+
+    /// Records a value carrying an explicit weight (e.g. its token count, so
+    /// the weight distribution gives the Fig 2 "token share" pies).
+    pub fn add_weighted(&mut self, v: f64, weight: f64) {
+        let i = self.bucket_of(v);
+        self.counts[i] += 1;
+        self.weights[i] += weight;
+        self.total_count += 1;
+        self.total_weight += weight;
+    }
+
+    /// Number of buckets (`bounds.len() + 1`).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Human-readable label of bucket `i`.
+    pub fn label(&self, i: usize) -> String {
+        if i == 0 {
+            format!("<{}", self.bounds[0])
+        } else if i == self.bounds.len() {
+            format!(">={}", self.bounds[i - 1])
+        } else {
+            format!("[{},{})", self.bounds[i - 1], self.bounds[i])
+        }
+    }
+
+    /// Fraction of samples in bucket `i`.
+    pub fn sample_ratio(&self, i: usize) -> f64 {
+        if self.total_count == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / self.total_count as f64
+    }
+
+    /// Fraction of total weight in bucket `i`.
+    pub fn weight_ratio(&self, i: usize) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        self.weights[i] / self.total_weight
+    }
+
+    /// Raw count of bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total number of samples recorded.
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Fraction of *samples* at or below `v` (empirical, bucket-resolution).
+    pub fn sample_fraction_le(&self, v: f64) -> f64 {
+        if self.total_count == 0 {
+            return 0.0;
+        }
+        let cut = self.bucket_of(v);
+        let c: u64 = self.counts[..=cut].iter().sum();
+        c as f64 / self.total_count as f64
+    }
+}
+
+/// An empirical CDF built from raw samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF, dropping NaNs.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|s| !s.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|s| *s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1).max(1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std/mean), 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Minimum observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Max/min ratio — the "imbalance factor" annotated on Fig 3's heatmaps.
+    pub fn imbalance(&self) -> f64 {
+        if self.count == 0 || self.min <= 0.0 {
+            return f64::NAN;
+        }
+        self.max / self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::pow2(16, 128); // bounds: 16, 32, 64, 128
+        assert_eq!(h.buckets(), 5);
+        h.add(3.0); // bucket 0 (< 16)
+        h.add(16.0); // bucket 1 ([16, 32))
+        h.add(31.0); // bucket 1
+        h.add(64.0); // bucket 3
+        h.add(500.0); // bucket 4 (>= 128)
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(4), 1);
+        assert!((h.sample_ratio(1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_weight_ratio_differs_from_sample_ratio() {
+        // Many short samples, few long ones: the long bucket should carry a
+        // much larger share of weight than of samples — the Fig 2 skew.
+        let mut h = Histogram::pow2(16, 1024);
+        for _ in 0..98 {
+            h.add(20.0);
+        }
+        for _ in 0..2 {
+            h.add(2000.0);
+        }
+        let long = h.buckets() - 1;
+        assert!(h.sample_ratio(long) < 0.03);
+        assert!(h.weight_ratio(long) > 0.5);
+    }
+
+    #[test]
+    fn histogram_labels() {
+        let h = Histogram::new(vec![10.0, 20.0]);
+        assert_eq!(h.label(0), "<10");
+        assert_eq!(h.label(1), "[10,20)");
+        assert_eq!(h.label(2), ">=20");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert!((c.quantile(0.5) - 50.0).abs() <= 1.0);
+        assert!((c.fraction_le(25.0) - 0.25).abs() < 0.01);
+        let curve = c.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn cdf_empty_and_nan() {
+        let c = Cdf::from_samples(vec![f64::NAN]);
+        assert!(c.is_empty());
+        assert!(c.quantile(0.5).is_nan());
+        assert_eq!(c.fraction_le(1.0), 0.0);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.imbalance() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.imbalance().is_nan());
+    }
+}

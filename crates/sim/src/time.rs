@@ -1,0 +1,265 @@
+//! Virtual time primitives.
+//!
+//! All simulated latencies in the repository are expressed as
+//! [`SimDuration`] values with nanosecond resolution, and the discrete-event
+//! engine advances a [`SimTime`] clock. Keeping these as dedicated newtypes
+//! (instead of bare `u64`s or `std::time` types) prevents accidentally mixing
+//! wall-clock and virtual time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the virtual timeline, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Returns the raw nanosecond value.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, saturating negatives to 0.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Returns the raw nanosecond value.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        let t2 = t + SimDuration::from_secs(1);
+        assert_eq!((t2 - t).as_secs_f64(), 1.0);
+        assert_eq!(t2.since(t), SimDuration::from_secs(1));
+        // `since` saturates instead of underflowing.
+        assert_eq!(t.since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!((d * 3).as_nanos(), 30_000_000);
+        assert_eq!((d * 0.5).as_nanos(), 5_000_000);
+        assert_eq!((d / 2).as_nanos(), 5_000_000);
+        // Division by zero clamps to division by one rather than panicking.
+        assert_eq!((d / 0).as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+        assert!(SimDuration::from_secs(2) > SimDuration::from_millis(1999));
+        assert_eq!(
+            SimDuration::from_secs(1).max(SimDuration::from_secs(2)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+}

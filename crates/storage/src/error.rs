@@ -1,0 +1,83 @@
+//! Storage error types.
+
+use std::fmt;
+
+/// Errors produced by the storage subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested object does not exist in the store.
+    NotFound(String),
+    /// The file bytes do not form a valid `MSDCOL01` file.
+    Corrupt(String),
+    /// A value's type does not match the schema column type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Expected data type name.
+        expected: &'static str,
+        /// Actual value type name.
+        actual: &'static str,
+    },
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Number of columns the schema defines.
+        expected: usize,
+        /// Number of values in the offending row.
+        actual: usize,
+    },
+    /// A row group or row index is out of bounds.
+    OutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(path) => write!(f, "object not found: {path}"),
+            StorageError::Corrupt(why) => write!(f, "corrupt columnar file: {why}"),
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in column {column:?}: expected {expected}, got {actual}"
+            ),
+            StorageError::ArityMismatch { expected, actual } => write!(
+                f,
+                "row arity mismatch: schema has {expected} columns, row has {actual}"
+            ),
+            StorageError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::NotFound("hdfs://x".into());
+        assert!(e.to_string().contains("hdfs://x"));
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = StorageError::TypeMismatch {
+            column: "tokens".into(),
+            expected: "Int64",
+            actual: "Utf8",
+        };
+        assert!(e.to_string().contains("tokens"));
+    }
+}

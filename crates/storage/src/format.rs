@@ -1,0 +1,477 @@
+//! The `MSDCOL01` columnar byte format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +----------+------------+------------+-----+--------+------------+----------+
+//! | MAGIC(8) | row group0 | row group1 | ... | footer | footer_len | MAGIC(8) |
+//! +----------+------------+------------+-----+--------+------------+----------+
+//! ```
+//!
+//! A row group stores each column as a contiguous *column chunk*:
+//! `Int64`/`Float64` chunks are packed 8-byte values; `Utf8`/`Bytes` chunks
+//! are `u32` length-prefixed payloads. The footer carries the schema, and
+//! per row group its offset, byte length, row count, per-column chunk sizes,
+//! and min/max statistics for `Int64` columns (sequence lengths — the
+//! metadata the Planner reads without touching data pages).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::StorageError;
+use crate::schema::{DataType, Field, Row, Schema, Value};
+
+/// Leading/trailing file magic.
+pub const MAGIC: &[u8; 8] = b"MSDCOL01";
+
+/// Per-column min/max statistics (only tracked for `Int64` columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Minimum value in the chunk.
+    pub min: i64,
+    /// Maximum value in the chunk.
+    pub max: i64,
+}
+
+/// Footer metadata for one column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    /// Encoded size of the chunk in bytes.
+    pub byte_len: u64,
+    /// Min/max stats for `Int64` columns.
+    pub stats: Option<ColumnStats>,
+}
+
+/// Footer metadata for one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGroupMeta {
+    /// Offset of the row group from the start of the file.
+    pub offset: u64,
+    /// Total encoded size in bytes.
+    pub byte_len: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// Per-column chunk metadata, in schema order.
+    pub columns: Vec<ChunkMeta>,
+}
+
+/// Parsed file footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footer {
+    /// File schema.
+    pub schema: Schema,
+    /// Row group directory.
+    pub row_groups: Vec<RowGroupMeta>,
+}
+
+impl Footer {
+    /// Total number of rows across all row groups.
+    pub fn total_rows(&self) -> u64 {
+        self.row_groups.iter().map(|rg| rg.rows).sum()
+    }
+
+    /// Size of the encoded footer in bytes (recomputed, used for the
+    /// metadata component of access-state memory).
+    pub fn encoded_len(&self) -> usize {
+        encode_footer(self).len()
+    }
+}
+
+/// Encodes one row group (columns of `rows`, validated against `schema`)
+/// and returns `(bytes, per-column metadata)`.
+pub fn encode_row_group(
+    schema: &Schema,
+    rows: &[Row],
+) -> Result<(Bytes, Vec<ChunkMeta>), StorageError> {
+    for row in rows {
+        schema.check_row(row)?;
+    }
+    let mut buf = BytesMut::new();
+    let mut metas = Vec::with_capacity(schema.len());
+    for (col_idx, field) in schema.fields().iter().enumerate() {
+        let start = buf.len();
+        let mut stats: Option<ColumnStats> = None;
+        for row in rows {
+            match &row[col_idx] {
+                Value::Int64(v) => {
+                    buf.put_i64_le(*v);
+                    stats = Some(match stats {
+                        None => ColumnStats { min: *v, max: *v },
+                        Some(s) => ColumnStats {
+                            min: s.min.min(*v),
+                            max: s.max.max(*v),
+                        },
+                    });
+                }
+                Value::Float64(v) => buf.put_f64_le(*v),
+                Value::Utf8(s) => {
+                    buf.put_u32_le(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+                Value::Bytes(b) => {
+                    buf.put_u32_le(b.len() as u32);
+                    buf.put_slice(b);
+                }
+            }
+        }
+        if field.dtype != DataType::Int64 {
+            stats = None;
+        }
+        metas.push(ChunkMeta {
+            byte_len: (buf.len() - start) as u64,
+            stats,
+        });
+    }
+    Ok((buf.freeze(), metas))
+}
+
+/// Decodes a row group back into rows.
+pub fn decode_row_group(
+    schema: &Schema,
+    meta: &RowGroupMeta,
+    mut bytes: Bytes,
+) -> Result<Vec<Row>, StorageError> {
+    if bytes.len() as u64 != meta.byte_len {
+        return Err(StorageError::Corrupt(format!(
+            "row group length mismatch: footer says {} bytes, got {}",
+            meta.byte_len,
+            bytes.len()
+        )));
+    }
+    let rows = meta.rows as usize;
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(schema.len());
+    for (field, chunk) in schema.fields().iter().zip(&meta.columns) {
+        if bytes.remaining() < chunk.byte_len as usize {
+            return Err(StorageError::Corrupt("truncated column chunk".into()));
+        }
+        let chunk_bytes = bytes.split_to(chunk.byte_len as usize);
+        columns.push(decode_column_chunk(field.dtype, rows, chunk_bytes)?);
+    }
+    // Transpose columns back to rows.
+    let mut out: Vec<Row> = (0..rows)
+        .map(|_| Vec::with_capacity(schema.len()))
+        .collect();
+    for col in columns {
+        for (r, v) in col.into_iter().enumerate() {
+            out[r].push(v);
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a single column chunk (one column of one row group) into values.
+///
+/// Column chunks are self-delimiting, so a chunk can be decoded from a
+/// range read of just its bytes — the mechanism behind column-projection
+/// reads ([`crate::ColumnarReader::read_columns`]) and Ahead-of-Fetch
+/// metadata scans that never touch payload columns.
+pub fn decode_column_chunk(
+    dtype: DataType,
+    rows: usize,
+    mut chunk_bytes: Bytes,
+) -> Result<Vec<Value>, StorageError> {
+    let mut col = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let value = match dtype {
+            DataType::Int64 => {
+                if chunk_bytes.remaining() < 8 {
+                    return Err(StorageError::Corrupt("short Int64 chunk".into()));
+                }
+                Value::Int64(chunk_bytes.get_i64_le())
+            }
+            DataType::Float64 => {
+                if chunk_bytes.remaining() < 8 {
+                    return Err(StorageError::Corrupt("short Float64 chunk".into()));
+                }
+                Value::Float64(chunk_bytes.get_f64_le())
+            }
+            DataType::Utf8 | DataType::Bytes => {
+                if chunk_bytes.remaining() < 4 {
+                    return Err(StorageError::Corrupt("short length prefix".into()));
+                }
+                let len = chunk_bytes.get_u32_le() as usize;
+                if chunk_bytes.remaining() < len {
+                    return Err(StorageError::Corrupt("truncated var-len payload".into()));
+                }
+                let payload = chunk_bytes.split_to(len);
+                if dtype == DataType::Utf8 {
+                    let s = std::str::from_utf8(&payload)
+                        .map_err(|_| StorageError::Corrupt("invalid UTF-8".into()))?;
+                    Value::Utf8(s.to_string())
+                } else {
+                    Value::Bytes(payload.to_vec())
+                }
+            }
+        };
+        col.push(value);
+    }
+    if chunk_bytes.has_remaining() {
+        return Err(StorageError::Corrupt(
+            "trailing bytes in column chunk".into(),
+        ));
+    }
+    Ok(col)
+}
+
+impl RowGroupMeta {
+    /// Byte offset of column `col`'s chunk from the start of the file
+    /// (the group's offset plus the preceding chunks' lengths).
+    pub fn column_offset(&self, col: usize) -> u64 {
+        self.offset + self.columns[..col].iter().map(|c| c.byte_len).sum::<u64>()
+    }
+}
+
+/// Encodes the footer.
+pub fn encode_footer(footer: &Footer) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(footer.schema.len() as u16);
+    for field in footer.schema.fields() {
+        buf.put_u16_le(field.name.len() as u16);
+        buf.put_slice(field.name.as_bytes());
+        buf.put_u8(field.dtype.tag());
+    }
+    buf.put_u32_le(footer.row_groups.len() as u32);
+    for rg in &footer.row_groups {
+        buf.put_u64_le(rg.offset);
+        buf.put_u64_le(rg.byte_len);
+        buf.put_u64_le(rg.rows);
+        buf.put_u16_le(rg.columns.len() as u16);
+        for col in &rg.columns {
+            buf.put_u64_le(col.byte_len);
+            match col.stats {
+                Some(s) => {
+                    buf.put_u8(1);
+                    buf.put_i64_le(s.min);
+                    buf.put_i64_le(s.max);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes the footer.
+pub fn decode_footer(mut bytes: Bytes) -> Result<Footer, StorageError> {
+    fn need(bytes: &Bytes, n: usize) -> Result<(), StorageError> {
+        if bytes.remaining() < n {
+            Err(StorageError::Corrupt("truncated footer".into()))
+        } else {
+            Ok(())
+        }
+    }
+    need(&bytes, 2)?;
+    let nfields = bytes.get_u16_le() as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        need(&bytes, 2)?;
+        let name_len = bytes.get_u16_le() as usize;
+        need(&bytes, name_len + 1)?;
+        let name_bytes = bytes.split_to(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| StorageError::Corrupt("invalid field name".into()))?
+            .to_string();
+        let tag = bytes.get_u8();
+        let dtype = DataType::from_tag(tag)
+            .ok_or_else(|| StorageError::Corrupt(format!("unknown dtype tag {tag}")))?;
+        fields.push(Field::new(name, dtype));
+    }
+    need(&bytes, 4)?;
+    let ngroups = bytes.get_u32_le() as usize;
+    let mut row_groups = Vec::with_capacity(ngroups);
+    for _ in 0..ngroups {
+        need(&bytes, 8 + 8 + 8 + 2)?;
+        let offset = bytes.get_u64_le();
+        let byte_len = bytes.get_u64_le();
+        let rows = bytes.get_u64_le();
+        let ncols = bytes.get_u16_le() as usize;
+        if ncols != nfields {
+            return Err(StorageError::Corrupt(format!(
+                "row group has {ncols} column chunks but schema has {nfields}"
+            )));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            need(&bytes, 9)?;
+            let clen = bytes.get_u64_le();
+            let has_stats = bytes.get_u8();
+            let stats = match has_stats {
+                0 => None,
+                1 => {
+                    need(&bytes, 16)?;
+                    Some(ColumnStats {
+                        min: bytes.get_i64_le(),
+                        max: bytes.get_i64_le(),
+                    })
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "invalid stats marker {other}"
+                    )))
+                }
+            };
+            columns.push(ChunkMeta {
+                byte_len: clen,
+                stats,
+            });
+        }
+        row_groups.push(RowGroupMeta {
+            offset,
+            byte_len,
+            rows,
+            columns,
+        });
+    }
+    Ok(Footer {
+        schema: Schema::new(fields),
+        row_groups,
+    })
+}
+
+/// Splits a complete file into `(row-group region, footer)`.
+pub fn parse_file(bytes: &Bytes) -> Result<(Bytes, Footer), StorageError> {
+    let min_len = MAGIC.len() * 2 + 8;
+    if bytes.len() < min_len {
+        return Err(StorageError::Corrupt("file too short".into()));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StorageError::Corrupt("bad leading magic".into()));
+    }
+    if &bytes[bytes.len() - MAGIC.len()..] != MAGIC {
+        return Err(StorageError::Corrupt("bad trailing magic".into()));
+    }
+    let len_pos = bytes.len() - MAGIC.len() - 8;
+    let footer_len = u64::from_le_bytes(
+        bytes[len_pos..len_pos + 8]
+            .try_into()
+            .expect("slice of fixed length"),
+    ) as usize;
+    let footer_start = len_pos
+        .checked_sub(footer_len)
+        .ok_or_else(|| StorageError::Corrupt("footer length exceeds file".into()))?;
+    if footer_start < MAGIC.len() {
+        return Err(StorageError::Corrupt("footer overlaps header".into()));
+    }
+    let footer = decode_footer(bytes.slice(footer_start..len_pos))?;
+    let body = bytes.slice(0..footer_start);
+    Ok((body, footer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int64(i as i64),
+                    Value::Utf8(format!("caption-{i}")),
+                    Value::Bytes(vec![i as u8; i % 7 + 1]),
+                    Value::Int64((i * 13 % 97) as i64),
+                    Value::Int64((i * 31 % 1024) as i64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_group_roundtrip() {
+        let schema = Schema::sample_schema();
+        let rows = sample_rows(64);
+        let (bytes, metas) = encode_row_group(&schema, &rows).unwrap();
+        let meta = RowGroupMeta {
+            offset: 0,
+            byte_len: bytes.len() as u64,
+            rows: rows.len() as u64,
+            columns: metas,
+        };
+        let decoded = decode_row_group(&schema, &meta, bytes).unwrap();
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn int64_stats_are_tracked() {
+        let schema = Schema::new(vec![Field::new("len", DataType::Int64)]);
+        let rows: Vec<Row> = [5i64, -3, 100, 42]
+            .iter()
+            .map(|v| vec![Value::Int64(*v)])
+            .collect();
+        let (_, metas) = encode_row_group(&schema, &rows).unwrap();
+        assert_eq!(metas[0].stats, Some(ColumnStats { min: -3, max: 100 }));
+    }
+
+    #[test]
+    fn non_int_columns_have_no_stats() {
+        let schema = Schema::new(vec![Field::new("s", DataType::Utf8)]);
+        let rows: Vec<Row> = vec![vec![Value::Utf8("a".into())]];
+        let (_, metas) = encode_row_group(&schema, &rows).unwrap();
+        assert_eq!(metas[0].stats, None);
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let footer = Footer {
+            schema: Schema::sample_schema(),
+            row_groups: vec![RowGroupMeta {
+                offset: 8,
+                byte_len: 1234,
+                rows: 10,
+                columns: vec![
+                    ChunkMeta {
+                        byte_len: 80,
+                        stats: Some(ColumnStats { min: 0, max: 9 }),
+                    },
+                    ChunkMeta {
+                        byte_len: 200,
+                        stats: None,
+                    },
+                    ChunkMeta {
+                        byte_len: 700,
+                        stats: None,
+                    },
+                    ChunkMeta {
+                        byte_len: 80,
+                        stats: Some(ColumnStats { min: 1, max: 96 }),
+                    },
+                    ChunkMeta {
+                        byte_len: 80,
+                        stats: Some(ColumnStats { min: 3, max: 993 }),
+                    },
+                ],
+            }],
+        };
+        let encoded = encode_footer(&footer);
+        let decoded = decode_footer(encoded).unwrap();
+        assert_eq!(decoded, footer);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let footer = Footer {
+            schema: Schema::sample_schema(),
+            row_groups: vec![],
+        };
+        let encoded = encode_footer(&footer);
+        for cut in [0, 1, encoded.len() / 2, encoded.len() - 1] {
+            let r = decode_footer(encoded.slice(0..cut));
+            if cut < encoded.len() {
+                assert!(r.is_err(), "cut at {cut} should fail");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_chunk_lengths() {
+        let schema = Schema::new(vec![Field::new("len", DataType::Int64)]);
+        let rows: Vec<Row> = vec![vec![Value::Int64(7)]];
+        let (bytes, metas) = encode_row_group(&schema, &rows).unwrap();
+        let mut meta = RowGroupMeta {
+            offset: 0,
+            byte_len: bytes.len() as u64,
+            rows: 1,
+            columns: metas,
+        };
+        meta.rows = 2; // Claim more rows than encoded.
+        assert!(decode_row_group(&schema, &meta, bytes).is_err());
+    }
+}

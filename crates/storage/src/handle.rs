@@ -1,0 +1,123 @@
+//! Access-state memory model.
+//!
+//! When a client opens a columnar source file it pays for, and keeps
+//! resident until close (Sec 2.3 "Source Scaling"):
+//!
+//! 1. a **socket** / connection buffer to the storage service,
+//! 2. the parsed **footer metadata** (schema, row-group directory, stats),
+//! 3. a **row-group read buffer** sized to one row group (512 MiB–1 GiB for
+//!    production Parquet).
+//!
+//! [`AccessState`] is that triple. The memory figures of the paper (Fig 4,
+//! Fig 5a, Fig 12, Fig 17b) all reduce to counting how many `AccessState`s
+//! each architecture replicates.
+
+/// Default socket/connection buffer per open file.
+pub const DEFAULT_SOCKET_BYTES: u64 = 256 << 10;
+
+/// Resident memory held by one open source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessState {
+    /// Connection/socket buffer bytes.
+    pub socket_bytes: u64,
+    /// Parsed footer + schema + stats bytes.
+    pub metadata_bytes: u64,
+    /// Row-group read buffer bytes (one group resident at a time).
+    pub buffer_bytes: u64,
+}
+
+impl AccessState {
+    /// Creates an access state from its three components.
+    pub fn new(socket_bytes: u64, metadata_bytes: u64, buffer_bytes: u64) -> Self {
+        AccessState {
+            socket_bytes,
+            metadata_bytes,
+            buffer_bytes,
+        }
+    }
+
+    /// A production-Parquet-like state: `row_group_bytes` should be in the
+    /// 512 MiB–1 GiB range, `metadata_bytes` grows with row-group count.
+    pub fn production(metadata_bytes: u64, row_group_bytes: u64) -> Self {
+        AccessState::new(DEFAULT_SOCKET_BYTES, metadata_bytes, row_group_bytes)
+    }
+
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.socket_bytes + self.metadata_bytes + self.buffer_bytes
+    }
+}
+
+/// Aggregates the access states a single worker process keeps open.
+///
+/// In a parallelism-unaware dataloader every worker of every rank holds one
+/// state per source; MegaScale-Data's Source Loaders hold exactly one.
+#[derive(Debug, Default, Clone)]
+pub struct OpenFiles {
+    states: Vec<AccessState>,
+}
+
+impl OpenFiles {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an open file.
+    pub fn open(&mut self, state: AccessState) {
+        self.states.push(state);
+    }
+
+    /// Number of open files.
+    pub fn count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total resident bytes across open files.
+    pub fn total_bytes(&self) -> u64 {
+        self.states.iter().map(AccessState::total).sum()
+    }
+
+    /// Closes all files.
+    pub fn close_all(&mut self) {
+        self.states.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = AccessState::new(100, 200, 300);
+        assert_eq!(s.total(), 600);
+        let p = AccessState::production(1 << 20, 512 << 20);
+        assert_eq!(p.socket_bytes, DEFAULT_SOCKET_BYTES);
+        assert_eq!(p.total(), DEFAULT_SOCKET_BYTES + (1 << 20) + (512 << 20));
+    }
+
+    #[test]
+    fn open_files_aggregate() {
+        let mut of = OpenFiles::new();
+        for _ in 0..10 {
+            of.open(AccessState::new(1, 2, 3));
+        }
+        assert_eq!(of.count(), 10);
+        assert_eq!(of.total_bytes(), 60);
+        of.close_all();
+        assert_eq!(of.total_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_scales_linearly_with_sources() {
+        // The core observation of Sec 2.3: per-source state makes worker
+        // memory linear in source count.
+        let per_source = AccessState::production(4 << 20, 512 << 20).total();
+        let mut of = OpenFiles::new();
+        for _ in 0..306 {
+            of.open(AccessState::production(4 << 20, 512 << 20));
+        }
+        assert_eq!(of.total_bytes(), per_source * 306);
+    }
+}

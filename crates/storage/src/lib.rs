@@ -1,0 +1,39 @@
+//! Columnar storage substrate with per-handle access-state accounting.
+//!
+//! LFM training data lives in columnar files (Parquet in the paper): data is
+//! partitioned into *row groups*, a *footer* carries schema and row-group
+//! metadata, and a reader holds a socket, the parsed footer, and a row-group
+//! buffer for the lifetime of the scan. Those three allocations are the
+//! "per-source file access states" whose replication across loader workers
+//! is the central memory problem MegaScale-Data attacks (Sec 2.3, Fig 4/5a).
+//!
+//! This crate implements:
+//!
+//! - [`schema`]: column schemas and typed values.
+//! - [`format`]: the `MSDCOL01` byte format — real encode/decode, not a
+//!   mock — with row groups, column chunks, and a stats-bearing footer.
+//! - [`writer`] / [`reader`]: streaming writer and a reader whose
+//!   [`reader::ColumnarReader::access_state`] reports exactly the memory the
+//!   paper's model attributes to an open source file.
+//! - [`store`]: an [`store::ObjectStore`] abstraction with an in-memory
+//!   implementation and an HDFS-like latency model.
+//! - [`handle`]: [`handle::AccessState`] — the unit of source-state memory
+//!   used by every memory experiment.
+
+pub mod error;
+pub mod format;
+pub mod handle;
+pub mod reader;
+pub mod schema;
+pub mod store;
+pub mod writer;
+
+pub use error::StorageError;
+pub use handle::AccessState;
+pub use reader::ColumnarReader;
+pub use schema::{DataType, Field, Row, Schema, Value};
+pub use store::{LatencyModel, MemStore, ObjectStore};
+pub use writer::ColumnarWriter;
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,260 @@
+//! Column schemas and typed values.
+
+use crate::error::StorageError;
+
+/// Data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Opaque byte blob (image payloads, encoded video).
+    Bytes,
+}
+
+impl DataType {
+    /// Stable on-disk tag for the type.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DataType::Int64 => 0,
+            DataType::Float64 => 1,
+            DataType::Utf8 => 2,
+            DataType::Bytes => 3,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => DataType::Int64,
+            1 => DataType::Float64,
+            2 => DataType::Utf8,
+            3 => DataType::Bytes,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bytes => "Bytes",
+        }
+    }
+}
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit IEEE float.
+    Float64(f64),
+    /// UTF-8 string.
+    Utf8(String),
+    /// Opaque byte blob.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Utf8(_) => DataType::Utf8,
+            Value::Bytes(_) => DataType::Bytes,
+        }
+    }
+
+    /// Extracts an `i64`, if this is an [`Value::Int64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f64`, if this is a [`Value::Float64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `&str`, if this is a [`Value::Utf8`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts bytes, if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// In-memory footprint of the value payload in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Value::Int64(_) | Value::Float64(_) => 8,
+            Value::Utf8(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+/// A single row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Validates that a row matches this schema.
+    pub fn check_row(&self, row: &Row) -> Result<(), StorageError> {
+        if row.len() != self.fields.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.fields.len(),
+                actual: row.len(),
+            });
+        }
+        for (field, value) in self.fields.iter().zip(row) {
+            if value.data_type() != field.dtype {
+                return Err(StorageError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.dtype.name(),
+                    actual: value.data_type().name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical schema for multimodal training samples used throughout
+    /// the reproduction: `(sample_id, text, image, text_tokens, img_patches)`.
+    pub fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("sample_id", DataType::Int64),
+            Field::new("text", DataType::Utf8),
+            Field::new("image", DataType::Bytes),
+            Field::new("text_tokens", DataType::Int64),
+            Field::new("img_patches", DataType::Int64),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Utf8,
+            DataType::Bytes,
+        ] {
+            assert_eq!(DataType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DataType::from_tag(42), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int64(5).as_i64(), Some(5));
+        assert_eq!(Value::Int64(5).as_f64(), None);
+        assert_eq!(Value::Utf8("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).payload_bytes(), 3);
+        assert_eq!(Value::Float64(0.5).payload_bytes(), 8);
+    }
+
+    #[test]
+    fn schema_lookup_and_validation() {
+        let s = Schema::sample_schema();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.index_of("text_tokens"), Some(3));
+        assert_eq!(s.index_of("missing"), None);
+
+        let good: Row = vec![
+            Value::Int64(1),
+            Value::Utf8("caption".into()),
+            Value::Bytes(vec![0xFF; 16]),
+            Value::Int64(12),
+            Value::Int64(256),
+        ];
+        assert!(s.check_row(&good).is_ok());
+
+        let short: Row = vec![Value::Int64(1)];
+        assert!(matches!(
+            s.check_row(&short),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+
+        let mut wrong = good;
+        wrong[1] = Value::Int64(0);
+        assert!(matches!(
+            s.check_row(&wrong),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+}

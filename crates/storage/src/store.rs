@@ -1,0 +1,192 @@
+//! Object store abstraction and latency model.
+//!
+//! The paper reads training data from HDFS/S3. [`ObjectStore`] abstracts a
+//! flat byte-addressed namespace; [`MemStore`] is the in-process
+//! implementation used everywhere in the reproduction. [`LatencyModel`]
+//! converts operation shapes into virtual-time costs so the simulation can
+//! charge realistic read latencies without real I/O.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::StorageError;
+
+/// A flat key→bytes object store (HDFS/S3 stand-in).
+pub trait ObjectStore: Send + Sync {
+    /// Stores an object, replacing any existing one.
+    fn put(&self, path: &str, data: Bytes);
+
+    /// Retrieves a whole object.
+    fn get(&self, path: &str) -> Result<Bytes, StorageError>;
+
+    /// Retrieves `[offset, offset+len)` of an object (range read — how row
+    /// groups are fetched without pulling the whole file).
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes, StorageError> {
+        let all = self.get(path)?;
+        let start = offset.min(all.len() as u64) as usize;
+        let end = (offset + len).min(all.len() as u64) as usize;
+        Ok(all.slice(start..end))
+    }
+
+    /// Object size in bytes.
+    fn len(&self, path: &str) -> Result<u64, StorageError>;
+
+    /// Lists keys with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+}
+
+/// Thread-safe in-memory object store.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    objects: Arc<RwLock<BTreeMap<String, Bytes>>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Sum of stored object sizes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn put(&self, path: &str, data: Bytes) {
+        self.objects.write().insert(path.to_string(), data);
+    }
+
+    fn get(&self, path: &str) -> Result<Bytes, StorageError> {
+        self.objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
+
+    fn len(&self, path: &str) -> Result<u64, StorageError> {
+        self.objects
+            .read()
+            .get(path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Latency model for storage operations, in nanoseconds of virtual time.
+///
+/// Modeled after HDFS served over a datacenter network: a fixed per-request
+/// cost (NameNode lookup + connection round trip) plus a bandwidth term.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Fixed cost per request in nanoseconds.
+    pub request_ns: u64,
+    /// Sustained read bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            request_ns: 2_000_000, // 2 ms per request
+            bandwidth_bps: 1.25e9, // 10 Gb/s per client stream
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Virtual-time cost (ns) of reading `bytes` in one request.
+    pub fn read_ns(&self, bytes: u64) -> u64 {
+        self.request_ns + (bytes as f64 / self.bandwidth_bps * 1e9) as u64
+    }
+
+    /// Virtual-time cost (ns) of opening a file (footer fetch: one request
+    /// for the tail, one for the footer body).
+    pub fn open_ns(&self, footer_bytes: u64) -> u64 {
+        2 * self.request_ns + (footer_bytes as f64 / self.bandwidth_bps * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = MemStore::new();
+        store.put("a/b", Bytes::from_static(b"hello"));
+        assert_eq!(store.get("a/b").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(store.len("a/b").unwrap(), 5);
+        assert!(matches!(store.get("nope"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn range_reads() {
+        let store = MemStore::new();
+        store.put("x", Bytes::from_static(b"0123456789"));
+        assert_eq!(
+            store.get_range("x", 2, 3).unwrap(),
+            Bytes::from_static(b"234")
+        );
+        // Over-long ranges clamp.
+        assert_eq!(
+            store.get_range("x", 8, 100).unwrap(),
+            Bytes::from_static(b"89")
+        );
+        assert_eq!(store.get_range("x", 100, 5).unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn listing_is_prefix_filtered_and_sorted() {
+        let store = MemStore::new();
+        store.put("ds/b", Bytes::new());
+        store.put("ds/a", Bytes::new());
+        store.put("other/z", Bytes::new());
+        assert_eq!(
+            store.list("ds/"),
+            vec!["ds/a".to_string(), "ds/b".to_string()]
+        );
+        assert_eq!(store.list("nothing/"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn latency_scales_with_bytes() {
+        let m = LatencyModel::default();
+        let small = m.read_ns(1 << 10);
+        let large = m.read_ns(1 << 30);
+        assert!(large > small);
+        // 1 GiB at 10 Gb/s is ~859 ms plus request overhead.
+        assert!(large > 800_000_000 && large < 1_000_000_000, "{large}");
+        assert!(m.open_ns(0) == 2 * m.request_ns);
+    }
+
+    #[test]
+    fn store_accounting() {
+        let store = MemStore::new();
+        store.put("a", Bytes::from(vec![0u8; 100]));
+        store.put("b", Bytes::from(vec![0u8; 50]));
+        assert_eq!(store.object_count(), 2);
+        assert_eq!(store.total_bytes(), 150);
+        store.put("a", Bytes::from(vec![0u8; 10])); // Replace.
+        assert_eq!(store.total_bytes(), 60);
+    }
+}

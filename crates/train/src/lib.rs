@@ -1,0 +1,29 @@
+//! Hybrid-parallel trainer model: FLOPs, pipeline schedule, HBM, loss.
+//!
+//! The paper's throughput numbers come from real VLM training on L20
+//! clusters; this crate is the analytic stand-in. It models exactly the
+//! structure the evaluation depends on:
+//!
+//! - [`models`]: the Table 1 configurations (ViT-1B/2B, Llama-12B,
+//!   tMoE-25B, Mixtral-8×7B).
+//! - [`gpu`]: accelerator throughput/memory specs (NVIDIA L20 class).
+//! - [`iteration`]: iteration-time composition under PP/DP/CP/TP — 1F1B
+//!   pipeline with heterogeneous microbatches, DP stragglers, encoder
+//!   (EDP) phase, encoder→backbone All-to-All, and gradient allreduce.
+//! - [`hbm`]: activation-memory model with OOM detection (the ViT-2B
+//!   OOM-under-imbalance observation of Sec 7.3).
+//! - [`loss`]: loss-convergence simulation for the Fig 18 balancer-impact
+//!   study.
+
+pub mod gpu;
+pub mod hbm;
+pub mod iteration;
+pub mod loss;
+pub mod models;
+pub mod timeline;
+
+pub use gpu::GpuSpec;
+pub use iteration::{IterationBreakdown, RankLoads, TrainSetup};
+pub use loss::LossSim;
+pub use timeline::{Span, Timeline};
+pub use models::ModelPreset;

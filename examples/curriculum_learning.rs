@@ -1,0 +1,84 @@
+//! Curriculum learning: dynamic data mixing with mixture-driven scaling.
+//!
+//! ```text
+//! cargo run --example curriculum_learning
+//! ```
+//!
+//! The mixture starts dominated by "easy" short-text sources and ramps
+//! toward "hard" long-context multimodal sources over 60 steps. The
+//! Planner's AutoScaler watches the moving-average weights and grows the
+//! hot sources' loader actors while reclaiming idle ones (Sec 5.2).
+
+use megascale_data::core::autoscale::{
+    partition_sources, AutoScaler, ClusterResources, PartitionOpts, ScaleAction,
+};
+use megascale_data::core::schedule::MixSchedule;
+use megascale_data::data::catalog::navit_sized;
+use megascale_data::sim::SimRng;
+
+fn main() {
+    let mut rng = SimRng::seed(11);
+    let catalog = navit_sized(&mut rng, 12);
+    let n = catalog.len();
+
+    // Curriculum: uniform over the first half ("easy"), ramping to the
+    // second half ("hard") by step 60.
+    let mut from = vec![0.0; n];
+    let mut to = vec![0.0; n];
+    for i in 0..n {
+        if i < n / 2 {
+            from[i] = 1.0;
+            to[i] = 0.2;
+        } else {
+            to[i] = 1.0;
+        }
+    }
+    let schedule = MixSchedule::Warmup {
+        from,
+        to,
+        steps: 60,
+    };
+
+    // Offline auto-partitioning provisions the starting configuration.
+    let resources = ClusterResources {
+        total_cores: 128,
+        total_mem_bytes: 2 << 40,
+    };
+    let setups = partition_sources(&catalog, resources, &PartitionOpts::default(), &mut rng);
+    println!("initial provisioning:");
+    for s in &setups {
+        println!(
+            "  {}: {} actor(s) x {} worker(s)  (~{:.1} GiB/actor)",
+            catalog.get(s.source).expect("known source").name,
+            s.actors,
+            s.workers_per_actor,
+            s.mem_per_actor as f64 / (1u64 << 30) as f64
+        );
+    }
+
+    // Online: the AutoScaler follows the curriculum.
+    let mut scaler = AutoScaler::new(setups);
+    println!("\ncurriculum progression:");
+    for step in 0..90u64 {
+        let weights = schedule.weights(step);
+        let actions = scaler.observe(&weights);
+        for action in actions {
+            match action {
+                ScaleAction::ScaleUp(src) => println!(
+                    "  step {step:>3}: scale UP   {}",
+                    catalog.get(src).expect("known").name
+                ),
+                ScaleAction::ScaleDown(src) => println!(
+                    "  step {step:>3}: scale DOWN {}",
+                    catalog.get(src).expect("known").name
+                ),
+            }
+        }
+    }
+    println!(
+        "\nrescale events: {}, loader cores in use: {}, memory: {:.1} GiB",
+        scaler.rescale_events,
+        scaler.cores_in_use(),
+        scaler.mem_in_use() as f64 / (1u64 << 30) as f64
+    );
+}

@@ -1,0 +1,243 @@
+//! End-to-end integration tests spanning storage → loaders → planner →
+//! constructors → trainer delivery.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use megascale_data::balance::{BackboneShape, BalanceMethod};
+use megascale_data::core::autoscale::{ClusterResources, PartitionOpts};
+use megascale_data::core::buffer::BufferInfo;
+use megascale_data::core::constructor::DataConstructor;
+use megascale_data::core::loader::{LoaderConfig, SourceLoader};
+use megascale_data::core::planner::{Planner, PlannerConfig, Strategy};
+use megascale_data::core::schedule::MixSchedule;
+use megascale_data::core::system::{MegaScaleData, MsdConfig};
+use megascale_data::data::catalog::coyo700m_like;
+use megascale_data::data::gen::materialize_catalog;
+use megascale_data::mesh::{Axis, ClientPlaceTree, DeliveryKind, DeviceMesh, DistributeAxis};
+use megascale_data::sim::SimRng;
+use megascale_data::storage::MemStore;
+
+fn backbone() -> BackboneShape {
+    BackboneShape {
+        layers: 4,
+        hidden: 256,
+        mlp_ratio: 4.0,
+        heads: 4,
+        vocab: 1000,
+        experts_per_token: 1,
+    }
+}
+
+/// Full path over *real materialized storage*: columnar files → stored
+/// loaders → planner → constructor → per-client deliveries.
+#[test]
+fn stored_pipeline_end_to_end() {
+    let store = Arc::new(MemStore::new());
+    let mut rng = SimRng::seed(100);
+    let catalog = coyo700m_like(&mut rng);
+    let manifests =
+        materialize_catalog(store.as_ref(), "data", &catalog, 64, &mut rng).expect("materialize");
+
+    // One stored loader per source.
+    let mut loaders: Vec<SourceLoader> = catalog
+        .sources()
+        .iter()
+        .zip(&manifests)
+        .enumerate()
+        .map(|(i, (spec, manifest))| {
+            SourceLoader::stored(
+                spec.clone(),
+                LoaderConfig::solo(i as u32),
+                store.clone(),
+                manifest.path.clone(),
+                5,
+            )
+        })
+        .collect();
+    for l in &mut loaders {
+        l.refill(32).expect("refill from storage");
+    }
+
+    let mesh = DeviceMesh::pp_dp_cp_tp(2, 2, 2, 2).expect("mesh");
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let mut planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: 40,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::BackboneBalance {
+            method: BalanceMethod::Greedy,
+            backbone: backbone(),
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        77,
+    );
+
+    let info = BufferInfo::new(loaders.iter().map(SourceLoader::summary).collect());
+    let (plan, phases) = planner.generate(&info).expect("plan");
+    assert_eq!(plan.all_samples().len(), 40);
+    assert!(phases.compute_ns > 0);
+
+    // Loaders pop; constructor assembles; deliveries respect parallelism.
+    let mut popped = HashMap::new();
+    for l in &mut loaders {
+        if let Some(ids) = plan.directives.get(&l.id()) {
+            for s in l.pop(ids) {
+                popped.insert(s.meta.sample_id, s);
+            }
+        }
+    }
+    assert_eq!(popped.len(), 40, "all planned samples must be popped");
+
+    let constructor = DataConstructor::new(mesh.clone(), 4096);
+    let mut delivered_samples = HashSet::new();
+    for bucket in &plan.buckets {
+        let batch = constructor.construct(bucket, &popped, &plan.broadcast_axes);
+        for mb in &batch.microbatches {
+            for seq in &mb.sequences {
+                for seg in &seq.segments {
+                    delivered_samples.insert(seg.sample_id);
+                }
+            }
+        }
+        // Parallelism roles: TP>0 elided; PP>0 metadata-only; CP slices
+        // tile every payload sequence exactly.
+        for d in &batch.deliveries {
+            let tp = mesh.coord(d.rank, Axis::TP).expect("rank valid");
+            let pp = mesh.coord(d.rank, Axis::PP).expect("rank valid");
+            match d.kind {
+                DeliveryKind::Elided => assert!(tp > 0),
+                DeliveryKind::MetadataOnly => {
+                    assert_eq!(tp, 0);
+                    assert!(pp > 0);
+                }
+                DeliveryKind::Payload => {
+                    assert_eq!(tp, 0);
+                    assert_eq!(pp, 0);
+                }
+            }
+        }
+        for (mb_idx, mb) in batch.microbatches.iter().enumerate() {
+            for (seq_idx, seq) in mb.sequences.iter().enumerate() {
+                let mut covered = 0u64;
+                for d in &batch.deliveries {
+                    if d.kind == DeliveryKind::Payload {
+                        let (s, e) = d.cp_slices[mb_idx][seq_idx];
+                        covered += e - s;
+                    }
+                }
+                // Each payload rank covers its CP shard; the CP group
+                // of payload ranks tiles the sequence once per TP0/PP0.
+                assert_eq!(covered, seq.padded_len(), "sequence must be tiled");
+            }
+        }
+    }
+    assert_eq!(delivered_samples.len(), 40);
+}
+
+/// The facade pipeline is deterministic, non-repeating, and keeps plans,
+/// metas, and batches mutually consistent across many steps.
+#[test]
+fn sustained_run_consistency() {
+    let mut rng = SimRng::seed(4);
+    let catalog = coyo700m_like(&mut rng);
+    let mut msd = MegaScaleData::new(MsdConfig {
+        catalog: catalog.clone(),
+        mesh: DeviceMesh::pp_dp_cp_tp(1, 4, 1, 1).expect("mesh"),
+        strategy: Strategy::Vanilla,
+        planner: PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 4,
+            broadcast_axes: vec![],
+            samples_per_step: 48,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        max_seq_len: 4096,
+        resources: ClusterResources {
+            total_cores: 32,
+            total_mem_bytes: 1 << 40,
+        },
+        partition: PartitionOpts::default(),
+        shadow_loaders: 0,
+        buffer_capacity: 512,
+        seed: 6,
+    });
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    for step in 0..10 {
+        let out = msd.step().expect("step");
+        let ids = out.plan.all_samples();
+        assert_eq!(ids.len(), 48, "step {step}");
+        // Single-epoch: no sample is ever scheduled twice.
+        for id in &ids {
+            assert!(seen.insert(*id), "sample {id} rescheduled at step {step}");
+        }
+        // Metas cover exactly the scheduled set.
+        assert_eq!(out.metas.len(), ids.len());
+        for id in &ids {
+            assert!(out.metas.contains_key(id));
+        }
+        // Plan step counter advances.
+        assert_eq!(out.plan.step, step);
+    }
+}
+
+/// Loss-adaptive mixing shifts realized source composition.
+#[test]
+fn loss_adaptive_mixing_responds() {
+    let mut rng = SimRng::seed(9);
+    let catalog = coyo700m_like(&mut rng);
+    let n = catalog.len();
+    let mut msd = MegaScaleData::new(MsdConfig {
+        catalog: catalog.clone(),
+        mesh: DeviceMesh::pp_dp_cp_tp(1, 2, 1, 1).expect("mesh"),
+        strategy: Strategy::Vanilla,
+        planner: PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![],
+            samples_per_step: 40,
+            schedule: MixSchedule::LossAdaptive {
+                base: vec![1.0; n],
+                sensitivity: 3.0,
+                losses: vec![0.0; n],
+            },
+        },
+        max_seq_len: 4096,
+        resources: ClusterResources {
+            total_cores: 16,
+            total_mem_bytes: 1 << 40,
+        },
+        partition: PartitionOpts::default(),
+        shadow_loaders: 0,
+        buffer_capacity: 512,
+        seed: 2,
+    });
+    // Uniform losses: roughly even sampling.
+    let out = msd.step().expect("step");
+    let count_src0 = |out: &megascale_data::core::system::StepOutput| {
+        out.metas
+            .values()
+            .filter(|m| m.source == catalog.sources()[0].id)
+            .count()
+    };
+    let before = count_src0(&out);
+    // Source 0 suddenly has much higher loss: sampling should shift to it.
+    let mut losses = vec![0.0; n];
+    losses[0] = 3.0;
+    msd.planner().observe_loss(&losses);
+    let out = msd.step().expect("step");
+    let after = count_src0(&out);
+    assert!(
+        after > before + 5,
+        "loss-adaptive shift too weak: {before} -> {after}"
+    );
+}

@@ -1,0 +1,263 @@
+//! Paper-shape assertions on orchestration quality: the orderings the
+//! evaluation figures rely on must hold for the real pipeline.
+
+use std::collections::HashMap;
+
+use megascale_data::balance::imbalance_factor;
+use megascale_data::core::planner::Strategy;
+use megascale_data::data::catalog::navit_like;
+use megascale_data::data::SampleMeta;
+use megascale_data::mesh::DeviceMesh;
+use megascale_data::sim::SimRng;
+use megascale_data::train::models::vlm_preset;
+use megascale_data::train::{hbm, GpuSpec, TrainSetup};
+
+fn scenario(ctx: u64, samples: usize) -> msd_bench_shim::Scenario {
+    let mut rng = SimRng::seed(99);
+    msd_bench_shim::Scenario {
+        mesh: DeviceMesh::pp_dp_cp_tp(2, 4, 1, 2).unwrap(),
+        model: vlm_preset("ViT-1B", "Llama-12B"),
+        ctx,
+        microbatches: 8,
+        samples_per_step: samples,
+        catalog: navit_like(&mut rng),
+    }
+}
+
+// The bench harness is a private crate; mirror the tiny bits we need so
+// the integration test exercises the same public APIs end users see.
+mod msd_bench_shim {
+    pub use msd_bench_like::*;
+    mod msd_bench_like {
+        use super::super::*;
+        use megascale_data::core::autoscale::{ClusterResources, PartitionOpts};
+        use megascale_data::core::planner::PlannerConfig;
+        use megascale_data::core::schedule::MixSchedule;
+        use megascale_data::core::system::{MegaScaleData, MsdConfig};
+        use megascale_data::data::Catalog;
+        use megascale_data::mesh::{Axis, DistributeAxis};
+        use megascale_data::train::ModelPreset;
+
+        pub struct Scenario {
+            pub mesh: DeviceMesh,
+            pub model: ModelPreset,
+            pub ctx: u64,
+            pub microbatches: u32,
+            pub samples_per_step: usize,
+            pub catalog: Catalog,
+        }
+
+        impl Scenario {
+            pub fn pipeline(&self, strategy: Strategy, seed: u64) -> MegaScaleData {
+                MegaScaleData::new(MsdConfig {
+                    catalog: self.catalog.clone(),
+                    mesh: self.mesh.clone(),
+                    strategy,
+                    planner: PlannerConfig {
+                        axis: DistributeAxis::DP,
+                        group_size: None,
+                        microbatches: self.microbatches,
+                        broadcast_axes: vec![Axis::TP],
+                        samples_per_step: self.samples_per_step,
+                        schedule: MixSchedule::uniform(self.catalog.len()),
+                    },
+                    max_seq_len: self.ctx,
+                    resources: ClusterResources {
+                        total_cores: 256,
+                        total_mem_bytes: 4 << 40,
+                    },
+                    partition: PartitionOpts::default(),
+                    shadow_loaders: 0,
+                    buffer_capacity: self.samples_per_step.max(64) * 2,
+                    seed,
+                })
+            }
+        }
+    }
+}
+
+fn strategies(model: &megascale_data::train::ModelPreset) -> [Strategy; 3] {
+    [
+        Strategy::Vanilla,
+        Strategy::BackboneBalance {
+            method: megascale_data::balance::BalanceMethod::Greedy,
+            backbone: model.backbone,
+        },
+        Strategy::HybridBalance {
+            method: megascale_data::balance::BalanceMethod::Greedy,
+            backbone: model.backbone,
+            encoder: model.encoder.unwrap(),
+        },
+    ]
+}
+
+/// Per-bucket backbone-cost imbalance: balanced plans must beat vanilla.
+#[test]
+fn backbone_balance_reduces_bucket_imbalance() {
+    let s = scenario(8192, 96);
+    let [vanilla, backbone, _] = strategies(&s.model);
+    let bucket_imbalance = |strategy: Strategy| {
+        let mut msd = s.pipeline(strategy, 5);
+        let out = msd.step().unwrap();
+        let metas: &HashMap<u64, SampleMeta> = &out.metas;
+        let costs: Vec<f64> = out
+            .plan
+            .buckets
+            .iter()
+            .map(|b| {
+                b.bins
+                    .iter()
+                    .flat_map(|bin| &bin.samples)
+                    .filter_map(|id| metas.get(id))
+                    .map(|m| s.model.backbone.flops(m.total_tokens().clamp(1, s.ctx)))
+                    .sum()
+            })
+            .collect();
+        imbalance_factor(&costs)
+    };
+    let v = bucket_imbalance(vanilla);
+    let b = bucket_imbalance(backbone);
+    assert!(b < v, "balanced {b:.3} must beat vanilla {v:.3}");
+    assert!(b < 1.1, "balanced imbalance should be near 1: {b:.3}");
+}
+
+/// End-to-end iteration ordering: hybrid ≤ backbone ≤ vanilla (Fig 13).
+#[test]
+fn strategy_ordering_matches_fig13() {
+    let s = scenario(8192, 96);
+    let setup = TrainSetup::new(s.mesh.clone(), GpuSpec::l20(), s.model.clone());
+    let iteration = |strategy: Strategy| {
+        let mut msd = s.pipeline(strategy, 5);
+        let mut total = 0.0;
+        for _ in 0..2 {
+            let out = msd.step().unwrap();
+            let loads =
+                msd_bench_loads::plan_to_loads(&out.plan, &out.metas, &s.model, &s.mesh, s.ctx);
+            total += setup.iteration(&loads).total_s();
+        }
+        total
+    };
+    let [vanilla, backbone, hybrid] = strategies(&s.model);
+    let v = iteration(vanilla);
+    let b = iteration(backbone);
+    let h = iteration(hybrid);
+    assert!(h < v, "hybrid {h:.2} must beat vanilla {v:.2}");
+    assert!(b <= v * 1.02, "backbone {b:.2} must not lose to vanilla {v:.2}");
+    assert!(h <= b * 1.02, "hybrid {h:.2} must not lose to backbone {b:.2}");
+}
+
+/// Balancing bounds peak microbatch tokens, which is what prevents the
+/// ViT-2B OOMs of Sec 7.3.
+#[test]
+fn balancing_reduces_peak_hbm_pressure() {
+    let s = scenario(16384, 128);
+    let [vanilla, backbone, _] = strategies(&s.model);
+    let max_mb_tokens = |strategy: Strategy| {
+        let mut msd = s.pipeline(strategy, 5);
+        let out = msd.step().unwrap();
+        out.plan
+            .buckets
+            .iter()
+            .flat_map(|b| &b.bins)
+            .map(|bin| {
+                bin.samples
+                    .iter()
+                    .filter_map(|id| out.metas.get(id))
+                    .map(|m| m.total_tokens().clamp(1, s.ctx))
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let v = max_mb_tokens(vanilla);
+    let b = max_mb_tokens(backbone);
+    assert!(b <= v, "balanced peak {b} must not exceed vanilla {v}");
+    // And peak HBM follows the peak microbatch monotonically.
+    assert!(
+        hbm::peak_hbm_bytes(&s.mesh, &s.model, b) <= hbm::peak_hbm_bytes(&s.mesh, &s.model, v)
+    );
+}
+
+// Minimal local copy of the bench harness's load conversion, exercising
+// only public APIs (kept in sync by the shared unit tests in msd-bench).
+mod msd_bench_loads {
+    use super::*;
+    use megascale_data::core::plan::LoadingPlan;
+    use megascale_data::train::{ModelPreset, RankLoads};
+
+    pub fn plan_to_loads(
+        plan: &LoadingPlan,
+        metas: &HashMap<u64, SampleMeta>,
+        model: &ModelPreset,
+        mesh: &DeviceMesh,
+        ctx: u64,
+    ) -> RankLoads {
+        let backbone_mb_flops = plan
+            .buckets
+            .iter()
+            .map(|b| {
+                b.bins
+                    .iter()
+                    .map(|bin| {
+                        model.backbone.flops_packed(
+                            bin.samples
+                                .iter()
+                                .filter_map(|id| metas.get(id))
+                                .map(|m| m.total_tokens().clamp(1, ctx)),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let world = mesh.world_size() as usize;
+        let encoder = model.encoder.unwrap();
+        let mut encoder_rank_flops = vec![0.0; world];
+        match plan.subplans.get("encoder") {
+            Some(sub) => {
+                for (r, bucket) in sub.buckets.iter().enumerate() {
+                    for bin in &bucket.bins {
+                        for id in &bin.samples {
+                            if let Some(m) = metas.get(id) {
+                                encoder_rank_flops[r % world] +=
+                                    encoder.flops_sample(u64::from(m.image_patches));
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for bucket in &plan.buckets {
+                    let ranks: Vec<usize> = bucket
+                        .clients
+                        .iter()
+                        .filter(|r| {
+                            megascale_data::mesh::delivery_kind(
+                                mesh,
+                                **r,
+                                &plan.broadcast_axes,
+                            ) == megascale_data::mesh::DeliveryKind::Payload
+                        })
+                        .map(|r| *r as usize)
+                        .collect();
+                    let mut i = 0usize;
+                    for bin in &bucket.bins {
+                        for id in &bin.samples {
+                            if let Some(m) = metas.get(id) {
+                                if m.image_patches > 0 && !ranks.is_empty() {
+                                    encoder_rank_flops[ranks[i % ranks.len()]] +=
+                                        encoder.flops_sample(u64::from(m.image_patches));
+                                    i += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        RankLoads {
+            backbone_mb_flops,
+            encoder_rank_flops,
+            a2a_bytes_per_rank: 1e6,
+        }
+    }
+}
