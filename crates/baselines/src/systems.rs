@@ -280,9 +280,8 @@ impl LoaderSystem for DirectTransfer {
         // communication bottleneck that collapses the baseline at 4k GPUs
         // while the Data Constructor's per-bucket fan-in stays flat.
         let per_client_bytes = w.samples_per_iter * w.sample_bytes / clients.max(1);
-        let request_handling_s = clients as f64
-            * net.conn_setup.as_secs_f64()
-            * net.incast_factor(clients as u32);
+        let request_handling_s =
+            clients as f64 * net.conn_setup.as_secs_f64() * net.incast_factor(clients as u32);
         let fetch_latency_s = request_handling_s
             + net
                 .fanin_transfer(per_client_bytes, clients as u32)

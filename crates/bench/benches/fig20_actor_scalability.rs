@@ -43,8 +43,8 @@ fn main() {
             direct_1k = direct.fetch_latency_s;
         }
         let blowup = direct.fetch_latency_s / direct_1k;
-        let conn_mem = msd_sim::NetModel::default()
-            .conn_memory(direct.loader_instances * u64::from(gpus / 4));
+        let conn_mem =
+            msd_sim::NetModel::default().conn_memory(direct.loader_instances * u64::from(gpus / 4));
         let verdict = if direct.fetch_latency_s > iter_compute_s {
             "COLLAPSED (input-bound)"
         } else if blowup > 5.0 {

@@ -151,15 +151,11 @@ fn ahead_of_fetch_section() {
     let mut indexes = Vec::new();
     let mut build_ns = 0u64;
     for (i, spec) in specs.iter().enumerate() {
-        let manifest = materialize_source_with_cost(
-            store.as_ref(),
-            "aof",
-            spec,
-            4000,
-            &mut rng,
-            |m| shape.flops(m.total_tokens()) / 1e6,
-        )
-        .expect("materialize");
+        let manifest =
+            materialize_source_with_cost(store.as_ref(), "aof", spec, 4000, &mut rng, |m| {
+                shape.flops(m.total_tokens()) / 1e6
+            })
+            .expect("materialize");
         let ix = MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32)
             .expect("index");
         build_ns += ix.build_io_ns;

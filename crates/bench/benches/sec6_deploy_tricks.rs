@@ -165,7 +165,10 @@ fn selective_broadcast_section() {
         "Selective broadcasting: synchronized clients vs subgroup replication",
     );
     let meshes = vec![
-        ("288 (PP8 DP9 TP4)", DeviceMesh::pp_dp_cp_tp(8, 9, 1, 4).unwrap()),
+        (
+            "288 (PP8 DP9 TP4)",
+            DeviceMesh::pp_dp_cp_tp(8, 9, 1, 4).unwrap(),
+        ),
         (
             "576 (PP4 DP9 CP4 TP4)",
             DeviceMesh::pp_dp_cp_tp(4, 9, 4, 4).unwrap(),
@@ -190,8 +193,7 @@ fn selective_broadcast_section() {
         for axes in [vec![], vec![Axis::TP], vec![Axis::TP, Axis::CP]] {
             let t = tree.broadcast_tradeoff(&axes);
             let barrier_ms = net.barrier(t.sync_clients).as_nanos() as f64 / 1e6;
-            let extra_mib =
-                payload_bytes * u64::from(t.extra_traffic_factor()) / (1 << 20);
+            let extra_mib = payload_bytes * u64::from(t.extra_traffic_factor()) / (1 << 20);
             table_row(&[
                 label.to_string(),
                 format!("{:?}", t.axes),

@@ -440,10 +440,9 @@ mod tests {
     fn index_matches_full_scan_metadata() {
         let (store, specs) = setup();
         let mut rng = SimRng::seed(1);
-        let manifest =
-            materialize_source(store.as_ref(), "d", &specs[0], 120, &mut rng).unwrap();
-        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
-            .unwrap();
+        let manifest = materialize_source(store.as_ref(), "d", &specs[0], 120, &mut rng).unwrap();
+        let ix =
+            MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0).unwrap();
         assert_eq!(ix.len(), 120);
         assert!(!ix.has_stored_costs());
         // Cross-check against a full scan.
@@ -470,10 +469,9 @@ mod tests {
     fn index_ids_are_namespaced_and_reversible() {
         let (store, specs) = setup();
         let mut rng = SimRng::seed(2);
-        let manifest =
-            materialize_source(store.as_ref(), "d", &specs[1], 50, &mut rng).unwrap();
-        let ix = MetaIndex::build(&store, &manifest.path, specs[1].id, specs[1].modality, 3)
-            .unwrap();
+        let manifest = materialize_source(store.as_ref(), "d", &specs[1], 50, &mut rng).unwrap();
+        let ix =
+            MetaIndex::build(&store, &manifest.path, specs[1].id, specs[1].modality, 3).unwrap();
         for (ordinal, e) in ix.entries().iter().enumerate() {
             assert_eq!(e.sample_id >> 48, u64::from(specs[1].id.0));
             assert_eq!(ix.ordinal_of(e.sample_id), Some(ordinal as u64));
@@ -487,17 +485,11 @@ mod tests {
     fn stored_costs_round_trip() {
         let (store, specs) = setup();
         let mut rng = SimRng::seed(3);
-        let manifest = materialize_source_with_cost(
-            store.as_ref(),
-            "d",
-            &specs[0],
-            60,
-            &mut rng,
-            costfn,
-        )
-        .unwrap();
-        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
-            .unwrap();
+        let manifest =
+            materialize_source_with_cost(store.as_ref(), "d", &specs[0], 60, &mut rng, costfn)
+                .unwrap();
+        let ix =
+            MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0).unwrap();
         assert!(ix.has_stored_costs());
         let table = ix.cost_table();
         assert_eq!(table.len(), 60);
@@ -512,10 +504,9 @@ mod tests {
     fn positional_fetch_returns_exactly_named_rows() {
         let (store, specs) = setup();
         let mut rng = SimRng::seed(4);
-        let manifest =
-            materialize_source(store.as_ref(), "d", &specs[0], 90, &mut rng).unwrap();
-        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
-            .unwrap();
+        let manifest = materialize_source(store.as_ref(), "d", &specs[0], 90, &mut rng).unwrap();
+        let ix =
+            MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0).unwrap();
         let ids: Vec<u64> = [5usize, 17, 42, 88]
             .iter()
             .map(|o| ix.entries()[*o].sample_id)
@@ -537,10 +528,9 @@ mod tests {
     fn fetch_touches_only_needed_groups() {
         let (store, specs) = setup();
         let mut rng = SimRng::seed(5);
-        let manifest =
-            materialize_source(store.as_ref(), "d", &specs[0], 300, &mut rng).unwrap();
-        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
-            .unwrap();
+        let manifest = materialize_source(store.as_ref(), "d", &specs[0], 300, &mut rng).unwrap();
+        let ix =
+            MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0).unwrap();
         let reader = ColumnarReader::open(store.as_ref(), &manifest.path).unwrap();
         assert!(reader.group_count() > 2, "need multiple groups");
         // Fetch two ids from the first group only.
@@ -556,18 +546,12 @@ mod tests {
         let mut rng = SimRng::seed(6);
         let mut indexes = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
-            let manifest = materialize_source_with_cost(
-                store.as_ref(),
-                "d",
-                spec,
-                200,
-                &mut rng,
-                costfn,
-            )
-            .unwrap();
-            indexes
-                .push(MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32)
-                    .unwrap());
+            let manifest =
+                materialize_source_with_cost(store.as_ref(), "d", spec, 200, &mut rng, costfn)
+                    .unwrap();
+            indexes.push(
+                MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32).unwrap(),
+            );
         }
         let mesh = DeviceMesh::pp_dp_cp_tp(1, 4, 1, 1).unwrap();
         let planner = Planner::new(
@@ -614,11 +598,10 @@ mod tests {
         let mut rng = SimRng::seed(8);
         let mut indexes = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
-            let manifest =
-                materialize_source(store.as_ref(), "d", spec, 400, &mut rng).unwrap();
-            indexes
-                .push(MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32)
-                    .unwrap());
+            let manifest = materialize_source(store.as_ref(), "d", spec, 400, &mut rng).unwrap();
+            indexes.push(
+                MetaIndex::build(&store, &manifest.path, spec.id, spec.modality, i as u32).unwrap(),
+            );
         }
         let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 1).unwrap();
         let planner = Planner::new(
@@ -649,10 +632,9 @@ mod tests {
     fn window_payload_accounting_is_group_granular() {
         let (store, specs) = setup();
         let mut rng = SimRng::seed(12);
-        let manifest =
-            materialize_source(store.as_ref(), "d", &specs[0], 250, &mut rng).unwrap();
-        let ix = MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0)
-            .unwrap();
+        let manifest = materialize_source(store.as_ref(), "d", &specs[0], 250, &mut rng).unwrap();
+        let ix =
+            MetaIndex::build(&store, &manifest.path, specs[0].id, specs[0].modality, 0).unwrap();
         let total = ix.window_payload_bytes(0, 250);
         assert!(total > 0);
         // Windows tile the file: non-overlapping windows sum to >= total

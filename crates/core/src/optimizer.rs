@@ -571,10 +571,7 @@ mod tests {
         assert_eq!(CostExpr::Tokens.eval(&meta), 100.0);
         assert_eq!(CostExpr::TextTokens.eval(&meta), 30.0);
         assert_eq!(CostExpr::ImagePatches.eval(&meta), 70.0);
-        assert_eq!(
-            CostExpr::QuadraticTokens { scale: 0.5 }.eval(&meta),
-            5000.0
-        );
+        assert_eq!(CostExpr::QuadraticTokens { scale: 0.5 }.eval(&meta), 5000.0);
     }
 
     #[test]

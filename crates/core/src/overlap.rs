@@ -166,7 +166,10 @@ mod tests {
         let r = simulate_overlap(&config(2000, 1000, 2));
         assert!(!r.fully_overlapped());
         let per_iter = r.stall_per_iter.as_secs_f64();
-        assert!((0.8..1.2).contains(&per_iter), "per-iter stall = {per_iter}");
+        assert!(
+            (0.8..1.2).contains(&per_iter),
+            "per-iter stall = {per_iter}"
+        );
         // Makespan ≈ iterations × fetch (producer-limited).
         assert!((r.makespan.as_secs_f64() - 200.0).abs() < 5.0);
     }

@@ -196,15 +196,11 @@ mod tests {
         let store = MemStore::new();
         let mut rng = SimRng::seed(10);
         let cat = coyo700m_like(&mut rng);
-        let manifest = materialize_source_with_cost(
-            &store,
-            "data",
-            &cat.sources()[0],
-            200,
-            &mut rng,
-            |m| m.total_tokens() as f64,
-        )
-        .unwrap();
+        let manifest =
+            materialize_source_with_cost(&store, "data", &cat.sources()[0], 200, &mut rng, |m| {
+                m.total_tokens() as f64
+            })
+            .unwrap();
         let mut reader = ColumnarReader::open(&store, &manifest.path).unwrap();
         let cost_col = reader.schema().index_of(COST_COLUMN).unwrap();
         let footer = reader.footer().clone();

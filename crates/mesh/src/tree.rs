@@ -420,10 +420,7 @@ mod tests {
         let tree = ClientPlaceTree::from_device_mesh(&mesh);
         for axes in [vec![], vec![Axis::TP], vec![Axis::TP, Axis::CP]] {
             let t = tree.broadcast_tradeoff(&axes);
-            assert_eq!(
-                t.sync_clients as usize,
-                tree.fetching_clients(&axes).len()
-            );
+            assert_eq!(t.sync_clients as usize, tree.fetching_clients(&axes).len());
             // sync × replication covers all payload-receiving ranks.
             assert_eq!(t.sync_clients * t.replication, mesh.world_size());
         }

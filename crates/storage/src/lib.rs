@@ -10,7 +10,7 @@
 //! This crate implements:
 //!
 //! - [`schema`]: column schemas and typed values.
-//! - [`format`]: the `MSDCOL01` byte format — real encode/decode, not a
+//! - [`mod@format`]: the `MSDCOL01` byte format — real encode/decode, not a
 //!   mock — with row groups, column chunks, and a stats-bearing footer.
 //! - [`writer`] / [`reader`]: streaming writer and a reader whose
 //!   [`reader::ColumnarReader::access_state`] reports exactly the memory the

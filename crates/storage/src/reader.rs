@@ -4,8 +4,8 @@ use bytes::Bytes;
 
 use crate::error::StorageError;
 use crate::format::{decode_column_chunk, decode_row_group, parse_file, Footer};
-use crate::schema::Value;
 use crate::handle::{AccessState, DEFAULT_SOCKET_BYTES};
+use crate::schema::Value;
 use crate::schema::{Row, Schema};
 use crate::store::{LatencyModel, ObjectStore};
 
@@ -128,9 +128,9 @@ impl<'s> ColumnarReader<'s> {
                 });
             }
             let chunk = &meta.columns[col];
-            let bytes = self
-                .store
-                .get_range(&self.path, meta.column_offset(col), chunk.byte_len)?;
+            let bytes =
+                self.store
+                    .get_range(&self.path, meta.column_offset(col), chunk.byte_len)?;
             self.io_ns += self.latency.read_ns(chunk.byte_len);
             let dtype = self.footer.schema.fields()[col].dtype;
             out.push(decode_column_chunk(dtype, meta.rows as usize, bytes)?);

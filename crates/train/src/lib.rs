@@ -25,5 +25,5 @@ pub mod timeline;
 pub use gpu::GpuSpec;
 pub use iteration::{IterationBreakdown, RankLoads, TrainSetup};
 pub use loss::LossSim;
-pub use timeline::{Span, Timeline};
 pub use models::ModelPreset;
+pub use timeline::{Span, Timeline};

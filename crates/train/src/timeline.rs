@@ -53,10 +53,7 @@ impl Timeline {
         for (label, dur) in [
             ("encoder fwd+bwd", b.encoder_s),
             ("all-to-all", b.a2a_s),
-            (
-                "backbone compute",
-                (b.backbone_s - b.bubble_s).max(0.0),
-            ),
+            ("backbone compute", (b.backbone_s - b.bubble_s).max(0.0)),
             ("pipeline bubbles", b.bubble_s),
             ("grad allreduce", b.allreduce_s),
         ] {
@@ -75,11 +72,7 @@ impl Timeline {
 
     /// Total critical-path length (excludes the overlapped fetch span).
     pub fn total_s(&self) -> f64 {
-        self.spans
-            .iter()
-            .skip(1)
-            .map(|s| s.dur_s)
-            .sum()
+        self.spans.iter().skip(1).map(|s| s.dur_s).sum()
     }
 
     /// Renders an ASCII gantt (one row per span, `width` columns).

@@ -192,7 +192,10 @@ fn main() {
     for step in 0..steps {
         let (_, phases, outcome) = rp.next(&buffers(step)).expect("replay step");
         online_ns += phases.gather_ns + phases.compute_ns;
-        assert_eq!(outcome, megascale_data::core::replay::ReplayOutcome::Replayed);
+        assert_eq!(
+            outcome,
+            megascale_data::core::replay::ReplayOutcome::Replayed
+        );
     }
     println!(
         "  served {}/{} steps from the store; total online planner work {:.3} ms \

@@ -1,0 +1,190 @@
+//! Shim for `criterion`: the macro/struct surface of the real harness
+//! with plain wall-clock measurement — each benchmark runs
+//! `sample_size` batches and reports the mean ns/iteration. No warm-up
+//! modeling, outlier analysis, or HTML reports.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(name, bencher.mean_ns);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), bencher.mean_ns);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.into().id), bencher.mean_ns);
+    }
+
+    /// Ends the group (reporting happens per-bench; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Measures a closure; handed to benchmark functions.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let mut total_ns = 0u128;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            total_ns += start.elapsed().as_nanos();
+            iters += 1;
+        }
+        self.mean_ns = total_ns as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("bench {name:<50} {value:>10.3} {unit}/iter");
+}
+
+/// Declares a benchmark entry point running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_nonzero_mean() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 8), &8u32, |b, n| {
+            b.iter(|| *n * 2);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,121 @@
+//! Shim for `crossbeam`: the `channel` module, backed by
+//! `std::sync::mpsc`. Unlike `mpsc`, crossbeam exposes a single `Sender`
+//! type for bounded and unbounded channels, so the shim wraps both
+//! flavors behind one enum.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel (bounded or unbounded).
+    pub struct Sender<T> {
+        inner: Flavor<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: match &self.inner {
+                    Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                    Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+                },
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        /// Fails only when all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                Flavor::Unbounded(tx) => tx.send(value),
+                Flavor::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over received messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Flavor::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Flavor::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn bounded_timeout() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 1);
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

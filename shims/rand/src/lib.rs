@@ -1,0 +1,169 @@
+//! Shim for `rand`: the fallible/infallible generator traits and the
+//! `random_range` extension used by `msd_sim::SimRng`. No generator
+//! implementations live here — the repository brings its own
+//! (xoshiro256++), this crate only supplies the trait vocabulary.
+
+use std::convert::Infallible;
+use std::ops::Range;
+
+/// A fallible random number generator.
+pub trait TryRng {
+    /// The error produced when the underlying entropy source fails.
+    type Error;
+
+    /// Returns the next random `u32`.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Returns the next random `u64`.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number generator: every [`TryRng`] whose error is
+/// [`Infallible`] gets this for free.
+pub trait Rng: TryRng<Error = Infallible> {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+        }
+    }
+}
+
+impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {}
+
+/// A type from which a uniform value can be drawn by an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from `self`.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // The wrapped difference is the span modulo 2^width; cast
+                // through the unsigned sibling so it widens zero-extended
+                // (`as u64` directly would sign-extend for ranges wider
+                // than the type's positive half, e.g. -100i8..100).
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!((i8, u8), (i16, u16), (i32, u32), (i64, u64), (isize, usize));
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Convenience extension methods available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Returns a uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl TryRng for Lcg {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.try_next_u64()? >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for b in dest {
+                *b = (self.try_next_u64()? >> 56) as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn wide_signed_ranges_stay_in_bounds() {
+        // Span 200 exceeds i8::MAX: the span must widen zero-extended or
+        // samples escape the range.
+        let mut rng = Lcg(3);
+        for _ in 0..2000 {
+            let v = rng.random_range(-100i8..100);
+            assert!((-100..100).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_works() {
+        let mut rng = Lcg(1);
+        let mut buf = [0u8; 9];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}

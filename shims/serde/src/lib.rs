@@ -1,0 +1,421 @@
+//! Shim for `serde`: serialization through a small self-describing
+//! [`Content`] data model instead of serde's visitor architecture.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` shim and targets the same two traits. `serde_json`
+//! (also shimmed) renders `Content` to JSON text and back. The format is
+//! serde-flavored — structs are maps, enums are externally tagged — but
+//! only self-round-trip fidelity is guaranteed.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (struct fields, enum tags).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Returns the map entries if this is a [`Content::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is a [`Content::Seq`].
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map key (first match).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization (or serialization) failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl std::fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into [`Content`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can rebuild itself from [`Content`].
+pub trait Deserialize: Sized {
+    /// Parses a value of `Self` out of the data model.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // For narrow types the i64 conversion is infallible; the
+            // `if let` is only refutable for u64/usize.
+            #[allow(irrefutable_let_patterns)]
+            fn to_content(&self) -> Content {
+                if let Ok(v) = i64::try_from(*self) {
+                    Content::I64(v)
+                } else {
+                    Content::U64(*self as u64)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let out = match content {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        content
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(Error::custom(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {content:?}")))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let v = Vec::<T>::from_content(content)?;
+        <[T; N]>::try_from(v)
+            .map_err(|v| Error::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// Maps serialize as a sequence of [key, value] pairs so non-string keys
+// (u64 ids, newtype ids) round-trip without a string encoding.
+fn map_to_content<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Content::Seq(
+        entries
+            .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+            .collect(),
+    )
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(
+    content: &Content,
+) -> Result<Vec<(K, V)>, Error> {
+    content
+        .as_seq()
+        .ok_or_else(|| Error::custom("expected map pair sequence"))?
+        .iter()
+        .map(|pair| {
+            let kv = pair
+                .as_seq()
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            if kv.len() != 2 {
+                return Err(Error::custom("map pair must have 2 elements"));
+            }
+            Ok((K::from_content(&kv[0])?, V::from_content(&kv[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(content)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(content)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-9i64).to_content()).unwrap(), -9);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&String::from("hi").to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_content(&None::<u8>.to_content()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u64, vec![1.0f64, 2.0])];
+        let back = Vec::<(u64, Vec<f64>)>::from_content(&v.to_content()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(7u64, String::from("x"));
+        let back = HashMap::<u64, String>::from_content(&m.to_content()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn u64_beyond_i64_survives() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_content(&big.to_content()).unwrap(), big);
+    }
+}

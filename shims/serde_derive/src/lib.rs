@@ -1,0 +1,424 @@
+//! `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` — no `syn`/`quote`
+//! (unavailable offline). Supports non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, and struct variants). Generic items are
+//! rejected with a compile error; the workspace has none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past a type (or expression) until a top-level `,`, tracking
+/// `<...>` nesting so generic arguments' commas don't terminate early.
+fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `field: Type, ...` out of a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                tokens[i]
+            );
+        };
+        fields.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_until_comma(tokens, i);
+        i += 1; // ','
+    }
+    fields
+}
+
+/// Counts the types in a paren group's tokens (tuple struct / variant).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_until_comma(tokens, i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_until_comma(tokens, i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!(
+            "serde_derive shim: expected struct/enum, got {:?}",
+            tokens[i]
+        );
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type {name})");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named(
+                    parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+                ),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive shim: expected enum body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(&g.stream().into_iter().collect::<Vec<_>>()),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Renders the serialization expression for a variant/struct payload whose
+/// fields are bound to `__f0..` (tuple) or `__<name>` (named).
+fn payload_to_content(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => unreachable!(),
+        Shape::Tuple(1) => "::serde::Serialize::to_content(__f0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(__f{k})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(__{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let expr = match &shape {
+                Shape::Unit => "::serde::Content::Null".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let payload = payload_to_content(&v.shape);
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                            let payload = payload_to_content(&v.shape);
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Rust")
+}
+
+/// Renders the deserialization expression building a struct/variant from
+/// a payload expression `_payload: &Content`.
+fn payload_from_content(path: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => unreachable!(),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({path}(::serde::Deserialize::from_content(_payload)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let __seq = _payload.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected sequence for {path}\"))?;\n\
+                     if __seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong arity for {path}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({path}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(_payload.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::custom(\
+                             \"missing field `{f}` in {path}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({path} {{ {} }})",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let expr = match &shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                _ => {
+                    let inner = payload_from_content(&name, &shape);
+                    format!("{{ let _payload = __content; {inner} }}")
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__content: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {expr}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let path = format!("{name}::{}", v.name);
+                    let build = payload_from_content(&path, &v.shape);
+                    format!("\"{vname}\" => {build},", vname = v.name)
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__content: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {units}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown unit variant `{{}}` for {name}\", __other))),\n\
+                             }},\n\
+                             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (_tag, _payload) = &__entries[0];\n\
+                                 match _tag.as_str() {{\n\
+                                     {datas}\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected {name} enum, got {{:?}}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Rust")
+}

@@ -1,0 +1,33 @@
+//! Compile-time smoke test: every facade re-export resolves and exposes
+//! at least one symbol. Guards against a crate silently dropping out of
+//! the `megascale_data` facade during workspace refactors.
+
+use std::collections::HashMap;
+
+use megascale_data::actor::ActorSystem;
+use megascale_data::balance::{balance, BalanceMethod};
+use megascale_data::baselines::fig12_systems;
+use megascale_data::core::dgraph::DGraph;
+use megascale_data::data::SampleMeta;
+use megascale_data::mesh::DeviceMesh;
+use megascale_data::sim::SimRng;
+use megascale_data::storage::MemStore;
+use megascale_data::train::GpuSpec;
+
+#[test]
+fn every_subsystem_is_reachable_through_the_facade() {
+    // One touch per crate; the values themselves are irrelevant.
+    let _system: Option<ActorSystem> = None;
+    let assignment = balance(&[1.0, 2.0, 3.0], 2, BalanceMethod::Greedy);
+    assert_eq!(assignment.bins.len(), 2);
+    assert!(!fig12_systems().is_empty());
+    let _dgraph: Option<DGraph> = None;
+    let _meta: Option<SampleMeta> = None;
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 1).unwrap();
+    assert_eq!(mesh.world_size(), 2);
+    let mut rng = SimRng::seed(1);
+    assert_ne!(rng.next(), rng.next());
+    let _store = MemStore::new();
+    let _gpu = GpuSpec::l20();
+    let _metas: HashMap<u64, SampleMeta> = HashMap::new();
+}

@@ -254,9 +254,7 @@ fn replay_falls_back_on_diverged_fleet_and_recovers() {
     // schedules only what exists.
     assert!(matches!(
         outcome,
-        ReplayOutcome::Fallback(
-            megascale_data::core::replay::FallbackReason::StaleSamples { .. }
-        )
+        ReplayOutcome::Fallback(megascale_data::core::replay::FallbackReason::StaleSamples { .. })
     ));
     for (lid, ids) in &plan.directives {
         assert_eq!(loaders[*lid as usize].pop(ids).len(), ids.len());

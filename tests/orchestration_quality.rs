@@ -142,8 +142,14 @@ fn strategy_ordering_matches_fig13() {
     let b = iteration(backbone);
     let h = iteration(hybrid);
     assert!(h < v, "hybrid {h:.2} must beat vanilla {v:.2}");
-    assert!(b <= v * 1.02, "backbone {b:.2} must not lose to vanilla {v:.2}");
-    assert!(h <= b * 1.02, "hybrid {h:.2} must not lose to backbone {b:.2}");
+    assert!(
+        b <= v * 1.02,
+        "backbone {b:.2} must not lose to vanilla {v:.2}"
+    );
+    assert!(
+        h <= b * 1.02,
+        "hybrid {h:.2} must not lose to backbone {b:.2}"
+    );
 }
 
 /// Balancing bounds peak microbatch tokens, which is what prevents the
@@ -173,9 +179,7 @@ fn balancing_reduces_peak_hbm_pressure() {
     let b = max_mb_tokens(backbone);
     assert!(b <= v, "balanced peak {b} must not exceed vanilla {v}");
     // And peak HBM follows the peak microbatch monotonically.
-    assert!(
-        hbm::peak_hbm_bytes(&s.mesh, &s.model, b) <= hbm::peak_hbm_bytes(&s.mesh, &s.model, v)
-    );
+    assert!(hbm::peak_hbm_bytes(&s.mesh, &s.model, b) <= hbm::peak_hbm_bytes(&s.mesh, &s.model, v));
 }
 
 // Minimal local copy of the bench harness's load conversion, exercising
@@ -231,11 +235,8 @@ mod msd_bench_loads {
                         .clients
                         .iter()
                         .filter(|r| {
-                            megascale_data::mesh::delivery_kind(
-                                mesh,
-                                **r,
-                                &plan.broadcast_axes,
-                            ) == megascale_data::mesh::DeliveryKind::Payload
+                            megascale_data::mesh::delivery_kind(mesh, **r, &plan.broadcast_axes)
+                                == megascale_data::mesh::DeliveryKind::Payload
                         })
                         .map(|r| *r as usize)
                         .collect();

@@ -103,22 +103,20 @@ proptest! {
 }
 
 fn arb_setups() -> impl Strategy<Value = Vec<LoaderSetup>> {
-    proptest::collection::vec(
-        (1u32..5, 1u32..5, (1u64..64).prop_map(|g| g << 28)),
-        1..20,
+    proptest::collection::vec((1u32..5, 1u32..5, (1u64..64).prop_map(|g| g << 28)), 1..20).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (actors, workers, mem))| LoaderSetup {
+                    source: SourceId(i as u32),
+                    actors,
+                    workers_per_actor: workers,
+                    cost_estimate_ns: 1000.0,
+                    mem_per_actor: mem,
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (actors, workers, mem))| LoaderSetup {
-                source: SourceId(i as u32),
-                actors,
-                workers_per_actor: workers,
-                cost_estimate_ns: 1000.0,
-                mem_per_actor: mem,
-            })
-            .collect()
-    })
 }
 
 proptest! {

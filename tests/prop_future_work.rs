@@ -5,17 +5,15 @@
 
 use proptest::prelude::*;
 
+use megascale_data::balance::BalanceMethod;
+use megascale_data::core::aheadfetch::MetaIndex;
 use megascale_data::core::buffer::{BufferInfo, BufferSummary};
 use megascale_data::core::dgraph::{BalanceOpts, DGraph, MetaView};
-use megascale_data::core::optimizer::{
-    CostExpr, OptimizeOpts, StrategyOp, StrategyProgram,
-};
+use megascale_data::core::optimizer::{CostExpr, OptimizeOpts, StrategyOp, StrategyProgram};
 use megascale_data::core::plan::{BinPlan, BucketPlan, LoadingPlan};
 use megascale_data::core::planner::{Planner, PlannerConfig, Strategy as PlannerStrategy};
 use megascale_data::core::replay::{PlanStore, ReplayOutcome, ReplayPlanner};
 use megascale_data::core::schedule::MixSchedule;
-use megascale_data::balance::BalanceMethod;
-use megascale_data::core::aheadfetch::MetaIndex;
 use megascale_data::data::catalog::coyo700m_like;
 use megascale_data::data::gen::materialize_source_with_cost;
 use megascale_data::data::{Modality, SampleMeta, SourceId};
@@ -69,8 +67,8 @@ fn method() -> impl Strategy<Value = BalanceMethod> {
 fn tail_op() -> impl Strategy<Value = StrategyOp> {
     prop_oneof![
         cost_expr().prop_map(StrategyOp::Cost),
-        (method(), 1u32..5, any::<bool>(), any::<bool>()).prop_map(
-            |(m, mb, inter, intra)| StrategyOp::Balance {
+        (method(), 1u32..5, any::<bool>(), any::<bool>()).prop_map(|(m, mb, inter, intra)| {
+            StrategyOp::Balance {
                 method: m,
                 opts: BalanceOpts {
                     microbatches: mb,
@@ -78,7 +76,7 @@ fn tail_op() -> impl Strategy<Value = StrategyOp> {
                     intra_bucket: intra,
                 },
             }
-        ),
+        }),
         (1u32..5).prop_map(|m| StrategyOp::Chunk { microbatches: m }),
         prop_oneof![Just(Axis::TP), Just(Axis::CP), Just(Axis::PP)]
             .prop_map(StrategyOp::BroadcastAt),
