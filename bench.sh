@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Performance-trajectory gate: runs the runtime-throughput bench (plus the
+# fig19/fig20 cost-model and actor-scalability reproductions) and emits a
+# machine-readable BENCH_runtime.json (samples/sec per deployment and
+# client count) at the repo root. Run from the repo root.
+set -euo pipefail
+
+OUT="${BENCH_RUNTIME_JSON:-BENCH_runtime.json}"
+# Cargo runs bench binaries with the package directory as cwd; hand the
+# bench an absolute path so the report lands at the repo root.
+case "${OUT}" in
+  /*) ;;
+  *) OUT="$(pwd)/${OUT}" ;;
+esac
+
+echo "==> compile benches (release)"
+cargo build --release --benches
+
+echo "==> runtime_throughput (writes ${OUT})"
+BENCH_JSON_OUT="${OUT}" cargo bench -p msd_bench --bench runtime_throughput
+
+echo "==> fig19_cost_model"
+cargo bench -p msd_bench --bench fig19_cost_model
+
+echo "==> fig20_actor_scalability"
+cargo bench -p msd_bench --bench fig20_actor_scalability
+
+echo "Bench gate passed; report at ${OUT}."

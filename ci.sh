@@ -9,14 +9,12 @@ set -euo pipefail
 
 # Clippy allowlist — style lints the seed code deliberately trips, kept
 # as warnings rather than rewriting working code:
-#   needless_range_loop      index-style loops in optimizer/autoscale/aheadfetch
 #   single_range_in_vec_init mesh transform builds vec![range] on purpose
 #   should_implement_trait   SimRng::next is the generator's public name
 #   neg_cmp_op_on_partial_ord rng.rs uses `!(total > 0.0)` to reject NaN —
 #                            a partial_cmp rewrite would lose that
 #   cloned_ref_to_slice_refs mesh transform clones for a by-value slice
 ALLOW=(
-  -A clippy::needless_range_loop
   -A clippy::single_range_in_vec_init
   -A clippy::should_implement_trait
   -A clippy::neg_cmp_op_on_partial_ord
@@ -34,6 +32,11 @@ cargo build --release
 
 echo "==> cargo build --benches --examples"
 cargo build --benches --examples
+
+# Compile-only check for the perf gate: bench.sh must stay runnable (the
+# bench targets themselves were just built above).
+echo "==> bash -n bench.sh"
+bash -n bench.sh
 
 echo "==> cargo test -q"
 cargo test -q

@@ -1,6 +1,6 @@
 //! The actor trait and typed actor references.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -79,6 +79,7 @@ pub struct ActorRef<M> {
     pub(crate) tx: Sender<Envelope<M>>,
     pub(crate) alive: Arc<AtomicBool>,
     pub(crate) processed: Arc<AtomicU64>,
+    pub(crate) queued: Arc<AtomicUsize>,
 }
 
 impl<M> Clone for ActorRef<M> {
@@ -88,6 +89,7 @@ impl<M> Clone for ActorRef<M> {
             tx: self.tx.clone(),
             alive: self.alive.clone(),
             processed: self.processed.clone(),
+            queued: self.queued.clone(),
         }
     }
 }
@@ -108,9 +110,26 @@ impl<M: Send + 'static> ActorRef<M> {
         self.processed.load(Ordering::SeqCst)
     }
 
+    /// Envelopes currently sitting in the mailbox (sent but not yet
+    /// dequeued). The backpressure signal for bounded prefetch: producers
+    /// can stall when a consumer's mailbox grows past a budget.
+    pub fn mailbox_depth(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    fn send_envelope(&self, envelope: Envelope<M>) -> bool {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        if self.tx.send(envelope).is_ok() {
+            true
+        } else {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            false
+        }
+    }
+
     /// Fire-and-forget send. Returns `false` if the mailbox is closed.
     pub fn tell(&self, msg: M) -> bool {
-        self.tx.send(Envelope::Msg(msg)).is_ok()
+        self.send_envelope(Envelope::Msg(msg))
     }
 
     /// Request/response: builds a message embedding a reply channel and
@@ -127,13 +146,69 @@ impl<M: Send + 'static> ActorRef<M> {
         build: impl FnOnce(ReplyTo<R>) -> M,
         timeout: Duration,
     ) -> Result<R, AskError> {
+        self.ask_pipelined(build)?.wait(timeout)
+    }
+
+    /// Pipelined request/response: enqueues the request and returns a
+    /// [`PendingReply`] immediately, so a caller can issue asks to many
+    /// actors and only then collect the replies — one round-trip of latency
+    /// across the whole fleet instead of one per actor.
+    ///
+    /// # Examples
+    ///
+    /// ```ignore
+    /// let pending: Vec<_> = fleet
+    ///     .iter()
+    ///     .map(|a| a.ask_pipelined(Msg::Get))
+    ///     .collect::<Result<_, _>>()?;
+    /// for p in pending {
+    ///     let value = p.wait(Duration::from_secs(1))?;
+    /// }
+    /// ```
+    pub fn ask_pipelined<R: Send + 'static>(
+        &self,
+        build: impl FnOnce(ReplyTo<R>) -> M,
+    ) -> Result<PendingReply<R>, AskError> {
         let (tx, rx) = bounded(1);
         let msg = build(ReplyTo { tx });
-        if self.tx.send(Envelope::Msg(msg)).is_err() {
+        if !self.send_envelope(Envelope::Msg(msg)) {
             return Err(AskError::Dead);
         }
-        rx.recv_timeout(timeout).map_err(|_| {
-            if self.is_alive() {
+        Ok(PendingReply {
+            rx,
+            alive: self.alive.clone(),
+        })
+    }
+
+    /// Requests a clean stop (processed in mailbox order).
+    pub fn stop(&self) {
+        let _ = self.send_envelope(Envelope::Stop);
+    }
+
+    /// Fault injection: makes the actor panic when it dequeues this
+    /// envelope. A supervised actor will restart; a plain actor dies.
+    pub fn inject_crash(&self, reason: impl Into<String>) {
+        let _ = self.send_envelope(Envelope::Crash(reason.into()));
+    }
+
+    /// Fault injection: stalls the actor for `d` (models slow workers and
+    /// partial network partitions — `ask` timeouts then fire).
+    pub fn inject_delay(&self, d: Duration) {
+        let _ = self.send_envelope(Envelope::Delay(d));
+    }
+}
+
+/// An in-flight [`ActorRef::ask_pipelined`] reply.
+pub struct PendingReply<R> {
+    rx: Receiver<R>,
+    alive: Arc<AtomicBool>,
+}
+
+impl<R> PendingReply<R> {
+    /// Blocks up to `timeout` for the reply.
+    pub fn wait(self, timeout: Duration) -> Result<R, AskError> {
+        self.rx.recv_timeout(timeout).map_err(|_| {
+            if self.alive.load(Ordering::SeqCst) {
                 AskError::Timeout
             } else {
                 AskError::Dead
@@ -141,21 +216,13 @@ impl<M: Send + 'static> ActorRef<M> {
         })
     }
 
-    /// Requests a clean stop (processed in mailbox order).
-    pub fn stop(&self) {
-        let _ = self.tx.send(Envelope::Stop);
-    }
-
-    /// Fault injection: makes the actor panic when it dequeues this
-    /// envelope. A supervised actor will restart; a plain actor dies.
-    pub fn inject_crash(&self, reason: impl Into<String>) {
-        let _ = self.tx.send(Envelope::Crash(reason.into()));
-    }
-
-    /// Fault injection: stalls the actor for `d` (models slow workers and
-    /// partial network partitions — `ask` timeouts then fire).
-    pub fn inject_delay(&self, d: Duration) {
-        let _ = self.tx.send(Envelope::Delay(d));
+    /// Non-blocking poll; returns the pending handle back while the reply
+    /// has not arrived yet.
+    pub fn try_wait(self) -> Result<R, Self> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(r),
+            Err(_) => Err(self),
+        }
     }
 }
 
@@ -176,6 +243,7 @@ pub(crate) struct Mailbox<M> {
     pub rx: Receiver<Envelope<M>>,
     pub alive: Arc<AtomicBool>,
     pub processed: Arc<AtomicU64>,
+    pub queued: Arc<AtomicUsize>,
 }
 
 /// Creates a connected `(ActorRef, Mailbox)` pair.
@@ -183,17 +251,20 @@ pub(crate) fn mailbox<M: Send + 'static>(name: &str) -> (ActorRef<M>, Mailbox<M>
     let (tx, rx) = crossbeam::channel::unbounded();
     let alive = Arc::new(AtomicBool::new(false));
     let processed = Arc::new(AtomicU64::new(0));
+    let queued = Arc::new(AtomicUsize::new(0));
     (
         ActorRef {
             name: name.to_string(),
             tx,
             alive: alive.clone(),
             processed: processed.clone(),
+            queued: queued.clone(),
         },
         Mailbox {
             rx,
             alive,
             processed,
+            queued,
         },
     )
 }

@@ -21,10 +21,20 @@ pub struct Checkpoint {
     pub data: Vec<u8>,
 }
 
+/// One recorded component failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Name of the failing component (e.g. `loader/3`).
+    pub component: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
 #[derive(Default)]
 struct Inner {
     registry: HashMap<String, String>,
     state: HashMap<String, Checkpoint>,
+    faults: Vec<FaultRecord>,
 }
 
 /// Shared, thread-safe control store.
@@ -99,6 +109,33 @@ impl Gcs {
             .get(key)
             .map(|c| c.version)
             .unwrap_or(0)
+    }
+
+    /// Drops the checkpoint stored under `key` (log pruning). Returns
+    /// `true` if something was removed.
+    pub fn remove_state(&self, key: &str) -> bool {
+        self.inner.write().state.remove(key).is_some()
+    }
+
+    /// Appends a component failure to the shared fault log (restart paths
+    /// report recoverable corruption here instead of dying).
+    pub fn log_fault(&self, component: impl Into<String>, detail: impl Into<String>) {
+        self.inner.write().faults.push(FaultRecord {
+            component: component.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Fault records for components whose name starts with `prefix`
+    /// (empty prefix returns the whole log), in insertion order.
+    pub fn fault_log(&self, prefix: &str) -> Vec<FaultRecord> {
+        self.inner
+            .read()
+            .faults
+            .iter()
+            .filter(|r| r.component.starts_with(prefix))
+            .cloned()
+            .collect()
     }
 }
 

@@ -20,6 +20,6 @@ pub mod fault;
 pub mod gcs;
 pub mod system;
 
-pub use actor::{Actor, ActorRef, AskError, Ctx};
-pub use gcs::Gcs;
+pub use actor::{Actor, ActorRef, AskError, Ctx, PendingReply};
+pub use gcs::{FaultRecord, Gcs};
 pub use system::{ActorSystem, RestartPolicy};

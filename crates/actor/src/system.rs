@@ -161,10 +161,13 @@ fn run_actor_loop<A: Actor>(actor: &mut A, mbox: &Mailbox<A::Msg>, name: &str, r
         let Ok(envelope) = mbox.rx.recv() else {
             break; // All senders dropped.
         };
+        mbox.queued.fetch_sub(1, Ordering::SeqCst);
         match envelope {
             Envelope::Msg(m) => {
-                actor.handle(m, &mut ctx);
+                // Count at dequeue, before any reply can be observed, so
+                // `processed()` is never behind a reply the asker holds.
                 mbox.processed.fetch_add(1, Ordering::SeqCst);
+                actor.handle(m, &mut ctx);
             }
             Envelope::Stop => break,
             Envelope::Crash(reason) => {
@@ -304,6 +307,38 @@ mod tests {
         }
         let _ = a.ask(CounterMsg::Get, ask_timeout()).unwrap();
         assert!(a.processed() >= 11);
+        a.stop();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn pipelined_asks_collect_out_of_band() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("a", Counter { value: 1 });
+        let b = sys.spawn("b", Counter { value: 2 });
+        // Issue both asks before collecting either reply.
+        let pa = a.ask_pipelined(CounterMsg::Get).unwrap();
+        let pb = b.ask_pipelined(CounterMsg::Get).unwrap();
+        assert_eq!(pb.wait(ask_timeout()).unwrap(), 2);
+        assert_eq!(pa.wait(ask_timeout()).unwrap(), 1);
+        a.stop();
+        b.stop();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn mailbox_depth_tracks_backlog() {
+        let sys = ActorSystem::new("t");
+        let a = sys.spawn("counter", Counter { value: 0 });
+        // Stall the actor so sends pile up behind the delay envelope.
+        a.inject_delay(Duration::from_millis(150));
+        std::thread::sleep(Duration::from_millis(20)); // Let the stall start.
+        for _ in 0..10 {
+            a.tell(CounterMsg::Add(1));
+        }
+        assert!(a.mailbox_depth() >= 10);
+        let _ = a.ask(CounterMsg::Get, ask_timeout()).unwrap();
+        assert_eq!(a.mailbox_depth(), 0);
         a.stop();
         sys.shutdown();
     }

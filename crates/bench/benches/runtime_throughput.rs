@@ -1,0 +1,249 @@
+//! runtime_throughput — concurrent serving vs. the inline step loop.
+//!
+//! Compares three deployments of the same pipeline on the same workload:
+//!
+//! 1. `inline`: the single-threaded loop (refill → gather → plan → pop →
+//!    construct on one caller thread, no actors, no overlap);
+//! 2. `actorized`: [`ThreadedPipeline::step`] — actor-hosted components,
+//!    still driven synchronously by one caller;
+//! 3. `serve+prefetch`: [`ThreadedPipeline::serve`] with pipelined
+//!    refill-ahead and N trainer clients pulling concurrently, for
+//!    N ∈ {1, 2, 4, 8}.
+//!
+//! Prints a samples/sec table and, when `BENCH_JSON_OUT` is set, writes a
+//! machine-readable JSON report (consumed by `bench.sh` to produce
+//! `BENCH_runtime.json`).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use msd_bench::{banner, f, table_header, table_row};
+use msd_core::buffer::BufferInfo;
+use msd_core::constructor::DataConstructor;
+use msd_core::loader::{LoaderConfig, SourceLoader};
+use msd_core::planner::{Planner, PlannerConfig, Strategy};
+use msd_core::schedule::MixSchedule;
+use msd_core::system::core::PipelineCore;
+use msd_core::system::runtime::{ServeOptions, ThreadedPipeline};
+use msd_data::catalog::coyo700m_like;
+use msd_data::{Catalog, SourceSpec};
+use msd_mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
+use msd_sim::SimRng;
+
+const STEPS: u64 = 24;
+const SAMPLES_PER_STEP: usize = 128;
+const REFILL_TARGET: usize = 96;
+
+fn catalog() -> Catalog {
+    let mut rng = SimRng::seed(17);
+    coyo700m_like(&mut rng)
+}
+
+fn mesh() -> DeviceMesh {
+    DeviceMesh::pp_dp_cp_tp(1, 4, 1, 2).unwrap()
+}
+
+fn planner(catalog: &Catalog) -> Planner {
+    let tree = ClientPlaceTree::from_device_mesh(&mesh());
+    Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: SAMPLES_PER_STEP,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::BackboneBalance {
+            method: msd_balance::BalanceMethod::Greedy,
+            backbone: msd_balance::BackboneShape {
+                layers: 4,
+                hidden: 256,
+                mlp_ratio: 4.0,
+                heads: 4,
+                vocab: 8000,
+                experts_per_token: 1,
+            },
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        7,
+    )
+}
+
+/// Per-sample storage-fetch latency (real wall time, amortized over each
+/// loader's 2 workers): the stall the disaggregated runtime exists to
+/// hide. Identical in every deployment; only the overlap differs.
+const FETCH_LATENCY_NS: u64 = 400_000;
+
+fn sources(catalog: &Catalog) -> Vec<(SourceSpec, LoaderConfig)> {
+    catalog
+        .sources()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                s.clone(),
+                LoaderConfig::solo_with_fetch_latency(i as u32, FETCH_LATENCY_NS),
+            )
+        })
+        .collect()
+}
+
+fn constructors(count: usize) -> Vec<DataConstructor> {
+    (0..count)
+        .map(|_| DataConstructor::new(mesh(), 4096))
+        .collect()
+}
+
+/// Deployment 1: everything on the caller thread, no actors.
+fn run_inline() -> f64 {
+    let catalog = catalog();
+    let mut core = PipelineCore::new(planner(&catalog));
+    let mut loaders: Vec<SourceLoader> = sources(&catalog)
+        .into_iter()
+        .map(|(spec, cfg)| SourceLoader::synthetic(spec, cfg, 99))
+        .collect();
+    let ctors = constructors(4);
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        for l in &mut loaders {
+            l.refill(REFILL_TARGET).expect("synthetic refill");
+        }
+        let info = BufferInfo::new(loaders.iter().map(SourceLoader::summary).collect());
+        let out = core.synthesize(&info).expect("plan");
+        let mut popped = HashMap::new();
+        for l in &mut loaders {
+            if let Some(ids) = out.plan.directives.get(&l.id()) {
+                let ids = ids.clone();
+                for s in l.pop(&ids) {
+                    popped.insert(s.meta.sample_id, s);
+                }
+            }
+        }
+        let batches = PipelineCore::assemble(&ctors, &out.plan, &popped);
+        std::hint::black_box(batches);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Deployment 2: actor-hosted components, synchronous single caller.
+fn run_actorized() -> f64 {
+    let catalog = catalog();
+    let mut pipeline =
+        ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        let (_, _, batches) = pipeline.step(REFILL_TARGET).expect("threaded step");
+        std::hint::black_box(batches);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    pipeline.shutdown();
+    elapsed
+}
+
+/// Deployment 3: concurrent serving with pipelined refill-ahead.
+fn run_serve(clients: u32) -> f64 {
+    let catalog = catalog();
+    let mut pipeline =
+        ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
+    let t0 = Instant::now();
+    let mut session = pipeline.serve(ServeOptions {
+        clients,
+        steps: STEPS,
+        refill_target: REFILL_TARGET,
+        queue_depth: 4,
+        prefetch: true,
+        pull_timeout: Duration::from_millis(500),
+    });
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| {
+            std::thread::spawn(move || {
+                let mut pulled = 0u64;
+                while let Some((_, batch)) = c.next() {
+                    std::hint::black_box(&batch);
+                    pulled += 1;
+                }
+                pulled
+            })
+        })
+        .collect();
+    let mut pulled = 0u64;
+    for h in handles {
+        pulled += h.join().expect("client thread");
+    }
+    let served = session.join();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(served, STEPS, "driver fell short");
+    assert_eq!(pulled, STEPS * u64::from(clients), "clients missed steps");
+    pipeline.shutdown();
+    elapsed
+}
+
+fn main() {
+    banner(
+        "runtime_throughput",
+        "inline vs actorized vs actorized+prefetch concurrent serving",
+    );
+    let total_samples = (STEPS as usize * SAMPLES_PER_STEP) as f64;
+    let sps = |elapsed: f64| total_samples / elapsed;
+
+    let inline_s = run_inline();
+    let actorized_s = run_actorized();
+    let client_counts = [1u32, 2, 4, 8];
+    let serve_s: Vec<f64> = client_counts.iter().map(|c| run_serve(*c)).collect();
+
+    table_header(&[
+        "deployment",
+        "clients",
+        "elapsed_s",
+        "samples/s",
+        "vs_inline",
+    ]);
+    table_row(&[
+        "inline".into(),
+        "1".into(),
+        f(inline_s),
+        f(sps(inline_s)),
+        "1.00x".into(),
+    ]);
+    table_row(&[
+        "actorized".into(),
+        "1".into(),
+        f(actorized_s),
+        f(sps(actorized_s)),
+        format!("{:.2}x", inline_s / actorized_s),
+    ]);
+    for (c, s) in client_counts.iter().zip(&serve_s) {
+        table_row(&[
+            "serve+prefetch".into(),
+            c.to_string(),
+            f(*s),
+            f(sps(*s)),
+            format!("{:.2}x", inline_s / s),
+        ]);
+    }
+    println!("\n[steps={STEPS}, samples/step={SAMPLES_PER_STEP}; serve overlaps refill with");
+    println!(" planning/construction and parallelizes loaders + constructors across actors]");
+
+    if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
+        let serve_json: Vec<String> = client_counts
+            .iter()
+            .zip(&serve_s)
+            .map(|(c, s)| format!("    \"{}\": {:.2}", c, sps(*s)))
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"runtime_throughput\",\n  \"steps\": {STEPS},\n  \
+             \"samples_per_step\": {SAMPLES_PER_STEP},\n  \
+             \"samples_per_sec\": {{\n    \"inline\": {:.2},\n    \"actorized\": {:.2},\n    \
+             \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }}\n}}\n",
+            sps(inline_s),
+            sps(actorized_s),
+            serve_json.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write BENCH_JSON_OUT");
+        println!("[json report written to {path}]");
+    }
+}

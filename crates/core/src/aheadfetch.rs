@@ -97,9 +97,9 @@ impl MetaIndex {
 
         let rows = projected[0].len();
         let mut entries = Vec::with_capacity(rows);
-        for ordinal in 0..rows {
-            let text_tokens = projected[0][ordinal].as_i64().unwrap_or(0).max(0) as u32;
-            let image_patches = projected[1][ordinal].as_i64().unwrap_or(0).max(0) as u32;
+        for (ordinal, (tokens_v, patches_v)) in projected[0].iter().zip(&projected[1]).enumerate() {
+            let text_tokens = tokens_v.as_i64().unwrap_or(0).max(0) as u32;
+            let image_patches = patches_v.as_i64().unwrap_or(0).max(0) as u32;
             entries.push(SampleMeta {
                 sample_id: (u64::from(source.0) << 48) | ordinal as u64,
                 source,

@@ -186,6 +186,7 @@ pub fn expand_configs(
                     buffer_capacity,
                     shard,
                     shards: s.actors,
+                    fetch_latency_ns: 0,
                 },
             ));
             next_id += 1;
@@ -434,8 +435,8 @@ impl AutoScaler {
         let n = self.setups.len();
         let total_actors: u32 = self.setups.iter().map(|s| s.actors).sum();
         let mut actions = Vec::new();
-        for i in 0..n.min(weights.len()) {
-            self.ma[i] = self.alpha * weights[i] + (1.0 - self.alpha) * self.ma[i];
+        for (i, weight) in weights.iter().enumerate().take(n) {
+            self.ma[i] = self.alpha * weight + (1.0 - self.alpha) * self.ma[i];
             let share = f64::from(self.setups[i].actors) / f64::from(total_actors.max(1));
             if self.ma[i] > share * self.up_factor {
                 self.up_streak[i] += 1;

@@ -20,8 +20,11 @@
 //!   mixture-driven scaling.
 //! - [`fault`]: shadow loaders, differential checkpointing, replay.
 //! - [`reshard`]: elastic resharding on trainer-topology changes.
-//! - [`system`]: the assembled `MegaScaleData` pipeline (threaded actors)
-//!   and the analytic memory model used by the cluster-scale experiments.
+//! - [`system`]: the assembled `MegaScaleData` simulation pipeline and
+//!   the analytic memory model used by the cluster-scale experiments;
+//!   [`system::core`] holds the deployment-agnostic `PipelineCore` and
+//!   [`system::runtime`] the fully actorized concurrent runtime
+//!   (`ThreadedPipeline::serve`).
 //!
 //! The paper's §9 "Future Work" directions are implemented too:
 //!
@@ -60,4 +63,6 @@ pub use plan::{BinPlan, BucketPlan, LoadingPlan};
 pub use planner::{Planner, Strategy};
 pub use replay::{PlanStore, ReplayOutcome, ReplayPlanner};
 pub use schedule::MixSchedule;
+pub use system::core::{PipelineCore, PlanOutcome};
+pub use system::runtime::{ServeClient, ServeOptions, ServeSession, ThreadedPipeline};
 pub use system::MegaScaleData;

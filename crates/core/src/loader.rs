@@ -34,6 +34,13 @@ pub struct LoaderConfig {
     pub shard: u32,
     /// Total data-parallel loaders for this source.
     pub shards: u32,
+    /// Real storage-fetch latency modeled per produced sample, in
+    /// nanoseconds: [`SourceLoader::refill`] actually *waits* this long
+    /// per sample (amortized over workers), so threaded deployments can
+    /// overlap fetch latency the way the paper's loaders hide storage
+    /// stalls. `0` (the default) keeps refill pure-compute for
+    /// deterministic simulation.
+    pub fetch_latency_ns: u64,
 }
 
 impl LoaderConfig {
@@ -45,6 +52,15 @@ impl LoaderConfig {
             buffer_capacity: 1024,
             shard: 0,
             shards: 1,
+            fetch_latency_ns: 0,
+        }
+    }
+
+    /// Same, with a modeled real storage-fetch latency per sample.
+    pub fn solo_with_fetch_latency(loader_id: u32, fetch_latency_ns: u64) -> Self {
+        LoaderConfig {
+            fetch_latency_ns,
+            ..Self::solo(loader_id)
         }
     }
 }
@@ -169,10 +185,17 @@ impl SourceLoader {
         self.samples_produced
     }
 
+    /// Width of the ordinal field in sample ids (see [`Self::make_id`]).
+    const ORDINAL_BITS: u32 = 40;
+    /// Mask selecting the ordinal field of a sample id.
+    const ORDINAL_MASK: u64 = (1u64 << Self::ORDINAL_BITS) - 1;
+
     /// Globally unique id for this loader's `ordinal`-th sample:
     /// `source(16) | shard(8) | ordinal(40)` bit layout.
     fn make_id(&self, ordinal: u64) -> u64 {
-        (u64::from(self.spec.id.0) << 48) | (u64::from(self.config.shard) << 40) | ordinal
+        (u64::from(self.spec.id.0) << 48)
+            | (u64::from(self.config.shard) << Self::ORDINAL_BITS)
+            | ordinal
     }
 
     /// Refills the buffer to `target` samples; returns virtual time spent
@@ -183,45 +206,107 @@ impl SourceLoader {
     pub fn refill(&mut self, target: usize) -> Result<u64, StorageError> {
         let target = target.min(self.config.buffer_capacity);
         let mut spent_ns = 0u64;
+        let mut produced = 0u64;
         while self.buffer.len() < target {
-            let ordinal =
-                self.cursor * u64::from(self.config.shards) + u64::from(self.config.shard);
-            let mut sample = match &self.ingest {
-                Ingest::Synthetic => {
-                    let meta = self.spec.sample_meta(&mut self.rng, ordinal);
-                    Sample::synthesize(SampleMeta {
-                        sample_id: self.make_id(self.cursor),
-                        raw_bytes: meta.raw_bytes.min(8192),
-                        ..meta
-                    })
-                }
-                Ingest::Stored { store, path } => {
-                    let store = store.clone();
-                    let path = path.clone();
-                    match self.read_stored_row(&store, &path, ordinal)? {
-                        Some(s) => s,
-                        None => break, // Source exhausted.
-                    }
-                }
+            let Some((sample, cost_ns)) = self.produce_one()? else {
+                break; // Source exhausted.
             };
-            // Sample-level transformations happen inside the loader —
-            // all of them by default, or just the pre-split head when
-            // transformation reordering defers the rest (Sec 6.2).
-            let pipeline = match self.transform_split {
-                None => self.spec.pipeline(),
-                Some(idx) => self.spec.pipeline().split_at(idx).0,
-            };
-            let cost = pipeline.cost_ns(&sample.meta);
-            pipeline.apply(&mut sample);
-            // Worker parallelism amortizes transform latency (Sec 5.1's
-            // "Worker Parallel" scheme).
-            spent_ns += cost / u64::from(self.config.workers.max(1));
-            self.transform_ns_total += cost;
+            spent_ns += cost_ns;
+            produced += 1;
             self.buffer.push_back(sample);
-            self.cursor += 1;
-            self.samples_produced += 1;
+        }
+        // Modeled storage-fetch latency is real wall time (amortized over
+        // the loader's parallel workers): a caller driving refill inline
+        // waits here, a loader actor overlaps the wait with the rest of
+        // the pipeline.
+        if self.config.fetch_latency_ns > 0 && produced > 0 {
+            let wait =
+                self.config.fetch_latency_ns * produced / u64::from(self.config.workers.max(1));
+            std::thread::sleep(std::time::Duration::from_nanos(wait));
+            spent_ns += wait;
         }
         Ok(spent_ns)
+    }
+
+    /// Produces the next sample of this shard's deterministic stream,
+    /// advancing the cursor and accounting transform cost. Returns the
+    /// sample plus the amortized virtual time spent, or `None` when a
+    /// stored source is exhausted. The caller decides whether the sample
+    /// enters the buffer (refill) or is discarded (directive replay).
+    fn produce_one(&mut self) -> Result<Option<(Sample, u64)>, StorageError> {
+        let ordinal = self.cursor * u64::from(self.config.shards) + u64::from(self.config.shard);
+        let mut sample = match &self.ingest {
+            Ingest::Synthetic => {
+                let meta = self.spec.sample_meta(&mut self.rng, ordinal);
+                Sample::synthesize(SampleMeta {
+                    sample_id: self.make_id(self.cursor),
+                    raw_bytes: meta.raw_bytes.min(8192),
+                    ..meta
+                })
+            }
+            Ingest::Stored { store, path } => {
+                let store = store.clone();
+                let path = path.clone();
+                match self.read_stored_row(&store, &path, ordinal)? {
+                    Some(s) => s,
+                    None => return Ok(None), // Source exhausted.
+                }
+            }
+        };
+        // Sample-level transformations happen inside the loader —
+        // all of them by default, or just the pre-split head when
+        // transformation reordering defers the rest (Sec 6.2).
+        let pipeline = match self.transform_split {
+            None => self.spec.pipeline(),
+            Some(idx) => self.spec.pipeline().split_at(idx).0,
+        };
+        let cost = pipeline.cost_ns(&sample.meta);
+        pipeline.apply(&mut sample);
+        // Worker parallelism amortizes transform latency (Sec 5.1's
+        // "Worker Parallel" scheme).
+        let spent_ns = cost / u64::from(self.config.workers.max(1));
+        self.transform_ns_total += cost;
+        self.cursor += 1;
+        self.samples_produced += 1;
+        Ok(Some((sample, spent_ns)))
+    }
+
+    /// Differential-checkpoint replay: after a restore, re-produces the
+    /// deterministic stream up to the highest cursor any directive names
+    /// and *discards* the named samples — they were already popped and
+    /// delivered before the crash, so producing them again would duplicate
+    /// data in future plans. Undirected samples encountered on the way are
+    /// kept in the buffer while there is room. Returns how many directed
+    /// samples were dropped.
+    ///
+    /// `ids` may mix directives for several loaders; only ids carrying
+    /// this loader's source/shard prefix are considered.
+    pub fn replay_directives(&mut self, ids: &[u64]) -> usize {
+        let prefix = self.make_id(0);
+        let mine: std::collections::HashSet<u64> = ids
+            .iter()
+            .copied()
+            .filter(|id| id & !Self::ORDINAL_MASK == prefix)
+            .collect();
+        let Some(target_cursor) = mine.iter().map(|id| (id & Self::ORDINAL_MASK) + 1).max() else {
+            return 0;
+        };
+        let mut dropped = 0usize;
+        while self.cursor < target_cursor {
+            match self.produce_one() {
+                Ok(Some((sample, _))) => {
+                    if mine.contains(&sample.meta.sample_id) {
+                        dropped += 1; // Already consumed pre-crash.
+                    } else if self.buffer.len() < self.config.buffer_capacity {
+                        self.buffer.push_back(sample);
+                    }
+                    // Else: no room — the sample was part of the lost
+                    // buffer anyway; dropping matches restore semantics.
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        dropped
     }
 
     fn read_stored_row(
@@ -443,6 +528,37 @@ mod tests {
             .collect();
         let repl_meta: Vec<u32> = r.summary().samples.iter().map(|m| m.text_tokens).collect();
         assert_eq!(orig_meta, repl_meta);
+    }
+
+    #[test]
+    fn replay_directives_drops_consumed_samples() {
+        // Checkpoint at cursor 8, then a crash window: refill produces
+        // ordinals 8..16 and a plan pops three of the *new* ones before
+        // the loader dies.
+        let mut l = SourceLoader::synthetic(spec(), LoaderConfig::solo(0), 77);
+        l.refill(8).unwrap();
+        let ckpt = l.checkpoint(1);
+        l.refill(16).unwrap();
+        let summary = l.summary();
+        let consumed: Vec<u64> = summary.samples[summary.len() - 3..]
+            .iter()
+            .map(|m| m.sample_id)
+            .collect();
+        l.pop(&consumed);
+
+        // Restore from the checkpoint and replay the crash-window
+        // directives: the consumed ids must never reappear.
+        let mut r = SourceLoader::restore(spec(), LoaderConfig::solo(0), &ckpt);
+        let dropped = r.replay_directives(&consumed);
+        assert_eq!(dropped, consumed.len());
+        r.refill(64).unwrap();
+        let visible: Vec<u64> = r.summary().samples.iter().map(|m| m.sample_id).collect();
+        for id in &consumed {
+            assert!(!visible.contains(id), "consumed sample {id} resurfaced");
+        }
+        // Directives for other loaders are ignored.
+        let mut other = SourceLoader::synthetic(spec(), LoaderConfig::solo(0), 77);
+        assert_eq!(other.replay_directives(&[u64::MAX]), 0);
     }
 
     #[test]

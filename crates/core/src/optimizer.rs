@@ -304,10 +304,10 @@ impl StrategyProgram {
 
         // Broadcast dedup: broadcast_at is idempotent per axis.
         let mut seen_axes: Vec<Axis> = Vec::new();
-        for i in 0..n {
-            if let StrategyOp::BroadcastAt(axis) = &self.ops[i] {
+        for (op, keep_op) in self.ops.iter().zip(keep.iter_mut()) {
+            if let StrategyOp::BroadcastAt(axis) = op {
                 if seen_axes.contains(axis) {
-                    keep[i] = false;
+                    *keep_op = false;
                     report.duplicate_broadcasts += 1;
                 } else {
                     seen_axes.push(*axis);

@@ -95,7 +95,19 @@ impl PhaseBreakdown {
     }
 }
 
+/// Serializable snapshot of the Planner's restart-critical state. The
+/// plan history is deliberately excluded: it is a replay *log*, not
+/// state the planner needs to keep planning deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannerCheckpoint {
+    /// Step counter at snapshot time.
+    pub step: u64,
+    /// Sampling RNG state.
+    pub rng_state: [u64; 4],
+}
+
 /// The centralized Planner.
+#[derive(Clone)]
 pub struct Planner {
     /// Static configuration.
     pub config: PlannerConfig,
@@ -169,6 +181,22 @@ impl Planner {
     /// Feeds observed per-source losses into a loss-adaptive schedule.
     pub fn observe_loss(&mut self, losses: &[f64]) {
         self.config.schedule.observe_loss(losses);
+    }
+
+    /// Snapshot of the restart-critical planner state (step counter + RNG),
+    /// for GCS-backed supervised restarts of a planner actor.
+    pub fn checkpoint(&self) -> PlannerCheckpoint {
+        PlannerCheckpoint {
+            step: self.step,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Restores step counter and RNG from a checkpoint so subsequent plans
+    /// continue the exact pre-crash sequence. History is not restored.
+    pub fn restore_checkpoint(&mut self, cp: &PlannerCheckpoint) {
+        self.step = cp.step;
+        self.rng = SimRng::from_state(cp.rng_state);
     }
 
     /// Virtual-time cost of broadcasting `plan` to constructors, loaders,

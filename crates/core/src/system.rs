@@ -31,7 +31,9 @@ use crate::dgraph::DGraphError;
 use crate::fault::ShadowedLoader;
 use crate::plan::LoadingPlan;
 use crate::planner::{PhaseBreakdown, Planner, PlannerConfig, Strategy};
+use crate::system::core::PipelineCore;
 
+pub mod core;
 pub mod runtime;
 
 /// Feature toggles for the component ablation (Fig 16).
@@ -111,7 +113,7 @@ pub struct MegaScaleData {
     /// Static configuration.
     pub config: MsdConfig,
     loaders: Vec<ShadowedLoader>,
-    planner: Planner,
+    core: PipelineCore,
     constructors: Vec<DataConstructor>,
     /// Mixture-driven scaler (present when the feature is on).
     pub autoscaler: Option<AutoScaler>,
@@ -159,11 +161,22 @@ impl MegaScaleData {
         MegaScaleData {
             config,
             loaders,
-            planner,
+            core: PipelineCore::new(planner),
             constructors,
             autoscaler,
             transform_reorder: false,
         }
+    }
+
+    /// Installs a Replay Mode plan store: recorded steps that validate
+    /// against live buffers are adopted without running the strategy.
+    pub fn set_replay_store(&mut self, store: crate::replay::PlanStore) {
+        self.core.set_replay_store(store);
+    }
+
+    /// Steps served from the replay store (when one is installed).
+    pub fn replayed_steps(&self) -> u64 {
+        self.core.replayed_steps
     }
 
     /// Enables Sec 6.2's transformation reordering: each loader applies
@@ -199,7 +212,7 @@ impl MegaScaleData {
 
     /// Access to the planner (strategy inspection, resharding, history).
     pub fn planner(&mut self) -> &mut Planner {
-        &mut self.planner
+        self.core.planner()
     }
 
     /// Access to a loader (fault-injection hooks in tests).
@@ -221,14 +234,17 @@ impl MegaScaleData {
             loader_ns = loader_ns.max(spent);
         }
 
-        // Planner gathers summaries and generates the plan.
+        // Planner gathers summaries and synthesizes the plan (via the
+        // shared core, so replay adoption works identically to the
+        // threaded deployment).
         let info = BufferInfo::new(
             self.loaders
                 .iter_mut()
                 .map(|l| l.primary().summary())
                 .collect(),
         );
-        let (plan, phases) = self.planner.generate(&info)?;
+        let outcome = self.core.synthesize(&info)?;
+        let (plan, phases) = (outcome.plan, outcome.phases);
 
         // Loaders pop planned samples. Shipped bytes are measured here —
         // post-pop, pre-deferred-tail — because this is the payload that
@@ -274,7 +290,8 @@ impl MegaScaleData {
             .buckets
             .iter()
             .map(|bp| {
-                let c = &self.constructors[bp.bucket as usize % self.constructors.len().max(1)];
+                let c = &self.constructors
+                    [PipelineCore::constructor_index(bp.bucket, self.constructors.len())];
                 let batch = c.construct(bp, &popped, &plan.broadcast_axes);
                 // Assembly cost model: linear in padded tokens (memcpy-ish,
                 // ~1 ns per 16 tokens per core) plus delivery transfers.

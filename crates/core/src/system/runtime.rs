@@ -1,25 +1,68 @@
 //! Threaded actor deployment of the pipeline.
 //!
 //! The synchronous components in [`crate::system`] are deterministic and
-//! drive the simulations; this module deploys the *same* Source Loader
-//! component inside [`msd_actor`] actors, with the Planner on the caller
-//! thread — the shape the paper runs on Ray. Loader failures surface as
-//! `ask` timeouts/dead errors, and supervised restarts rebuild loaders
-//! from their latest GCS checkpoint.
+//! drive the simulations; this module deploys the *same* components as
+//! supervised [`msd_actor`] actors — the shape the paper runs on Ray
+//! (Fig 7). Every stage is actor-hosted:
+//!
+//! - one [`LoaderActor`] per source partition,
+//! - one [`PlannerActor`] hosting the shared
+//!   [`PipelineCore`] (plan synthesis
+//!   plus Replay Mode adoption),
+//! - one [`ConstructorActor`] per consumer bucket, receiving broadcast
+//!   plans and serving batches to pulling trainer clients.
+//!
+//! Failures surface as `ask` timeouts/dead errors; supervised restarts
+//! rebuild each actor from its latest GCS checkpoint. Restarted loaders
+//! additionally replay the GCS plan log (differential checkpointing) so a
+//! sample consumed before a crash is never delivered twice.
+//!
+//! [`ThreadedPipeline::step`] drives one synchronous step for a single
+//! caller; [`ThreadedPipeline::serve`] is the concurrent front door — a
+//! driver thread pumps plans/pops/broadcasts with pipelined refill-ahead
+//! while N trainer clients pull batches from their constructor actors,
+//! throttled by a bounded-queue backpressure knob.
 
-use std::collections::HashMap;
-use std::time::Duration;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use msd_actor::actor::ReplyTo;
-use msd_actor::{Actor, ActorRef, ActorSystem, Ctx, Gcs, RestartPolicy};
+use msd_actor::{Actor, ActorRef, ActorSystem, Ctx, Gcs, PendingReply, RestartPolicy};
 use msd_data::{Sample, SourceSpec};
+use msd_mesh::{Axis, ClientPlaceTree};
 
 use crate::buffer::{BufferInfo, BufferSummary};
 use crate::constructor::{ConstructedBatch, DataConstructor};
 use crate::dgraph::DGraphError;
 use crate::loader::{LoaderConfig, SourceLoader};
-use crate::plan::LoadingPlan;
+use crate::plan::{BucketPlan, LoadingPlan};
 use crate::planner::{PhaseBreakdown, Planner};
+use crate::system::core::{CoreCheckpoint, PipelineCore, PlanOutcome};
+
+/// GCS key holding the planner actor's restart checkpoint.
+const PLANNER_STATE_KEY: &str = "planner";
+/// GCS key holding the serialized Replay Mode plan store.
+const REPLAY_STORE_KEY: &str = "planner/replay";
+/// GCS key holding the planner's current trainer topology (elastic
+/// resharding must survive planner restarts).
+const PLANNER_TREE_KEY: &str = "planner/tree";
+/// Plan-log entries retained in the GCS for loader directive replay.
+const PLAN_LOG_WINDOW: u64 = 64;
+
+fn plan_log_key(step: u64) -> String {
+    format!("plan/{step}")
+}
+
+/// One bucket's broadcast payload: (constructor index, bucket plan,
+/// the samples the bucket consumes). Samples are `Arc`-shared between the
+/// in-flight message and the driver's re-broadcast window, so a broadcast
+/// is a refcount bump, not a payload copy.
+type BroadcastItem = (usize, BucketPlan, Arc<HashMap<u64, Sample>>);
+/// Serve-step window retained for post-restart re-broadcast.
+type BroadcastWindow = VecDeque<(u64, Vec<BroadcastItem>)>;
 
 /// Messages understood by a loader actor.
 pub enum LoaderMsg {
@@ -52,18 +95,93 @@ pub struct LoaderActor {
 
 impl LoaderActor {
     /// Creates the actor, restoring from the GCS checkpoint if one exists
-    /// (this is how supervised restarts recover durable state).
+    /// (this is how supervised restarts recover durable state). A corrupt
+    /// checkpoint is surfaced on the GCS fault log and the loader falls
+    /// back to a fresh synthetic stream instead of killing the restart
+    /// path. After a restore, post-checkpoint pop directives from the GCS
+    /// plan log are replayed so already-delivered samples never resurface.
     pub fn new(spec: SourceSpec, config: LoaderConfig, seed: u64, gcs: Gcs) -> Self {
         let key = format!("loader/{}", config.loader_id);
+        let loader_id = config.loader_id;
         let inner = match gcs.get_state(&key) {
-            Some(cp) => {
-                let parsed: crate::loader::LoaderCheckpoint =
-                    serde_json::from_slice(&cp.data).expect("GCS holds valid checkpoints");
-                SourceLoader::restore(spec, config, &parsed)
+            Some(cp) => match serde_json::from_slice::<crate::loader::LoaderCheckpoint>(&cp.data) {
+                Ok(parsed) => {
+                    let mut loader = SourceLoader::restore(spec, config, &parsed);
+                    replay_plan_log(&mut loader, &gcs, parsed.version, loader_id);
+                    loader
+                }
+                Err(e) => {
+                    gcs.log_fault(
+                        &key,
+                        format!(
+                            "corrupt GCS checkpoint (v{}): {e}; \
+                                 falling back to a fresh synthetic loader",
+                            cp.version
+                        ),
+                    );
+                    // The fresh loader restarts the same deterministic
+                    // stream from ordinal 0, so the plan log must be
+                    // replayed from the beginning to drop every sample
+                    // already delivered before the crash.
+                    let mut loader = SourceLoader::synthetic(spec, config, seed);
+                    replay_plan_log(&mut loader, &gcs, 0, loader_id);
+                    loader
+                }
+            },
+            None => {
+                // No checkpoint can also mean "crashed before the first
+                // checkpoint landed": the fresh loader restarts the same
+                // deterministic stream from ordinal 0, so any logged
+                // deliveries must still be replayed away.
+                let mut loader = SourceLoader::synthetic(spec, config, seed);
+                replay_plan_log(&mut loader, &gcs, 0, loader_id);
+                loader
             }
-            None => SourceLoader::synthetic(spec, config, seed),
         };
         LoaderActor { inner, gcs }
+    }
+}
+
+/// Replays pop directives of plans issued after `from_version` out of the
+/// GCS plan log into a restored loader (differential checkpointing: the
+/// checkpoint is small, the delta is replayed).
+fn replay_plan_log(loader: &mut SourceLoader, gcs: &Gcs, from_version: u64, loader_id: u32) {
+    let Some(cp) = gcs.get_state(PLANNER_STATE_KEY) else {
+        return;
+    };
+    let Ok(core_cp) = serde_json::from_slice::<CoreCheckpoint>(&cp.data) else {
+        return; // Planner checkpoint unreadable — its own restart logs it.
+    };
+    let latest = core_cp.planner.step; // Plans 0..latest have been issued.
+    let earliest_retained = latest.saturating_sub(PLAN_LOG_WINDOW);
+    if from_version < earliest_retained {
+        // The log was pruned past the replay range: deliveries from the
+        // uncovered steps cannot be replayed away and may resurface.
+        gcs.log_fault(
+            format!("loader/{loader_id}"),
+            format!(
+                "plan log replay needs steps {from_version}..{latest} but entries below \
+                 {earliest_retained} were pruned; duplicates from the gap are possible"
+            ),
+        );
+    }
+    for step in from_version..latest {
+        let Some(entry) = gcs.get_state(&plan_log_key(step)) else {
+            continue; // Pruned or never logged.
+        };
+        match serde_json::from_slice::<BTreeMap<u32, Vec<u64>>>(&entry.data) {
+            Ok(directives) => {
+                if let Some(ids) = directives.get(&loader_id) {
+                    loader.replay_directives(ids);
+                }
+            }
+            Err(e) => {
+                gcs.log_fault(
+                    format!("loader/{loader_id}"),
+                    format!("corrupt plan log entry for step {step}: {e}; skipped"),
+                );
+            }
+        }
     }
 }
 
@@ -91,19 +209,314 @@ impl Actor for LoaderActor {
     }
 }
 
-/// The threaded pipeline: loader actors + caller-side planner/constructors.
-pub struct ThreadedPipeline {
-    system: ActorSystem,
-    loaders: Vec<ActorRef<LoaderMsg>>,
-    planner: Planner,
-    constructors: Vec<DataConstructor>,
-    /// RPC timeout used as the failure detector.
-    pub rpc_timeout: Duration,
-    /// Shared control store (checkpoints, registry).
-    pub gcs: Gcs,
-    replay: Option<crate::replay::PlanStore>,
-    /// Steps served from the replay store (when one is installed).
-    pub replayed_steps: u64,
+/// Messages understood by the planner actor.
+pub enum PlannerMsg {
+    /// Synthesize the next plan from gathered buffer metadata.
+    Plan {
+        /// Gathered loader summaries.
+        info: BufferInfo,
+        /// Reply channel.
+        reply: ReplyTo<Result<PlanOutcome, DGraphError>>,
+    },
+    /// Install a Replay Mode plan store (persisted to the GCS so it
+    /// survives supervised restarts).
+    SetReplay(crate::replay::PlanStore),
+    /// Replace the trainer topology (elastic resharding).
+    SetTree(ClientPlaceTree),
+}
+
+/// The Planner (and its Replay Mode store) hosted in a supervised actor.
+///
+/// State management follows the paper's Sec 6.1: the restart-critical
+/// planner state (step counter, sampling RNG, replay progress) is
+/// checkpointed to the GCS *before* a plan is released, so a restarted
+/// planner continues the exact pre-crash plan sequence and can never
+/// re-issue a step that was already delivered.
+pub struct PlannerActor {
+    core: PipelineCore,
+    gcs: Gcs,
+}
+
+impl PlannerActor {
+    /// Creates the actor from a planner template, overlaying any GCS
+    /// checkpoint and persisted replay store.
+    pub fn new(template: Planner, gcs: Gcs) -> Self {
+        let mut core = PipelineCore::new(template);
+        if let Some(cp) = gcs.get_state(PLANNER_STATE_KEY) {
+            match serde_json::from_slice::<CoreCheckpoint>(&cp.data) {
+                Ok(parsed) => core.restore(&parsed),
+                Err(e) => gcs.log_fault(
+                    "planner",
+                    format!(
+                        "corrupt planner checkpoint (v{}): {e}; starting fresh",
+                        cp.version
+                    ),
+                ),
+            }
+        }
+        if let Some(cp) = gcs.get_state(REPLAY_STORE_KEY) {
+            let parsed = std::str::from_utf8(&cp.data)
+                .ok()
+                .and_then(|s| crate::replay::PlanStore::from_json(s).ok());
+            match parsed {
+                Some(store) => core.set_replay_store(store),
+                None => gcs.log_fault("planner", "corrupt replay store in GCS; ignored"),
+            }
+        }
+        if let Some(cp) = gcs.get_state(PLANNER_TREE_KEY) {
+            match serde_json::from_slice::<ClientPlaceTree>(&cp.data) {
+                Ok(tree) => core.planner().set_tree(tree),
+                Err(e) => gcs.log_fault(
+                    "planner",
+                    format!("corrupt persisted topology: {e}; keeping template tree"),
+                ),
+            }
+        }
+        PlannerActor { core, gcs }
+    }
+}
+
+impl Actor for PlannerActor {
+    type Msg = PlannerMsg;
+
+    fn handle(&mut self, msg: PlannerMsg, _ctx: &mut Ctx) {
+        match msg {
+            PlannerMsg::Plan { info, reply } => {
+                let result = self.core.synthesize(&info);
+                if let Ok(outcome) = &result {
+                    let step = outcome.plan.step;
+                    // Log this plan's pop directives for loader directive
+                    // replay, then checkpoint the planner itself — both
+                    // *before* the plan is released, so anything a client
+                    // may have observed is covered by durable state.
+                    let directives =
+                        serde_json::to_vec(&outcome.plan.directives).expect("directives serialize");
+                    self.gcs
+                        .put_state(&plan_log_key(step), step + 1, directives);
+                    if step >= PLAN_LOG_WINDOW {
+                        self.gcs.remove_state(&plan_log_key(step - PLAN_LOG_WINDOW));
+                    }
+                    let cp = serde_json::to_vec(&self.core.checkpoint())
+                        .expect("planner checkpoint serializes");
+                    self.gcs
+                        .put_state(PLANNER_STATE_KEY, self.core.planner_ref().step(), cp);
+                }
+                reply.send(result);
+            }
+            PlannerMsg::SetReplay(store) => {
+                let json = store.to_json();
+                let version = self.gcs.state_version(REPLAY_STORE_KEY) + 1;
+                self.gcs
+                    .put_state(REPLAY_STORE_KEY, version, json.into_bytes());
+                self.core.set_replay_store(store);
+            }
+            PlannerMsg::SetTree(tree) => {
+                // Persist first: a restarted planner must keep planning
+                // for the resharded topology, not the spawn-time template.
+                let json = serde_json::to_vec(&tree).expect("topology serializes");
+                let version = self.gcs.state_version(PLANNER_TREE_KEY) + 1;
+                self.gcs.put_state(PLANNER_TREE_KEY, version, json);
+                self.core.planner().set_tree(tree);
+            }
+        }
+    }
+}
+
+/// Watermark report from a constructor actor (the ack/backpressure
+/// signal the serve driver polls).
+#[derive(Debug, Clone, Default)]
+pub struct ConstructorWatermark {
+    /// Serve steps currently queued for pulling clients (bounded by the
+    /// backpressure depth). The driver diffs this against its retained
+    /// window to re-broadcast exactly the steps a restarted incarnation
+    /// lost — a max-step watermark would miss mid-window losses.
+    pub ready: Vec<u64>,
+    /// Lowest serve step a rostered client still needs (`None` until a
+    /// roster is installed).
+    pub needed: Option<u64>,
+    /// Per-client cursors (the driver caches these so a re-sent roster
+    /// after a restart restores real positions instead of resetting
+    /// everyone to step 0).
+    pub cursors: Vec<(u32, u64)>,
+}
+
+/// Messages understood by a constructor actor.
+pub enum ConstructorMsg {
+    /// A broadcast plan slice: construct this bucket's batch.
+    Construct {
+        /// Serve-step ordinal (contiguous; not necessarily `plan.step`).
+        step: u64,
+        /// This bucket's slice of the loading plan.
+        bucket_plan: BucketPlan,
+        /// Popped samples the bucket consumes (shared, not copied).
+        samples: Arc<HashMap<u64, Sample>>,
+        /// Trainer-side broadcast axes (fetch elision).
+        broadcast_axes: Vec<Axis>,
+        /// When present, reply with the batch directly instead of queueing
+        /// it for pulling clients (the synchronous [`ThreadedPipeline::step`]
+        /// path).
+        reply: Option<ReplyTo<ConstructedBatch>>,
+    },
+    /// A trainer client requests the batch for exactly `step`. The reply
+    /// is parked until that step is constructed. The client carries its
+    /// own cursor, so a restarted constructor cannot double-serve it.
+    Pull {
+        /// Pulling client id.
+        client: u32,
+        /// The serve step the client needs next.
+        step: u64,
+        /// Reply channel.
+        reply: ReplyTo<(u64, ConstructedBatch)>,
+    },
+    /// Install the clients this constructor serves, each with the lowest
+    /// serve step it could still need (0 at session start; the driver's
+    /// cached cursor when re-rostering a restarted constructor).
+    Roster(Vec<(u32, u64)>),
+    /// A client finished its stream (advances the prune floor).
+    Complete {
+        /// The finished client.
+        client: u32,
+        /// One past the last step it consumed.
+        next_step: u64,
+    },
+    /// Report ack/backpressure watermarks.
+    Watermark(ReplyTo<ConstructorWatermark>),
+    /// Start a fresh serve session: drop queued batches, cursors, parked
+    /// pulls, and the roster left over from a previous session (serve
+    /// step numbering restarts at 0 each session).
+    Reset,
+}
+
+/// A Data Constructor hosted in a supervised actor, serving one bucket's
+/// batches to its rostered trainer clients.
+///
+/// Recovery story: the actor keeps no durable state. Clients carry their
+/// own cursors in `Pull`, and the serve driver re-broadcasts any window
+/// step a restarted constructor is missing (detected via `Watermark`), so
+/// a crash mid-serve costs latency, never correctness.
+pub struct ConstructorActor {
+    inner: DataConstructor,
+    ready: BTreeMap<u64, ConstructedBatch>,
+    cursors: HashMap<u32, u64>,
+    waiting: HashMap<u32, (u64, ReplyTo<(u64, ConstructedBatch)>)>,
+    roster_known: bool,
+}
+
+impl ConstructorActor {
+    /// Wraps a constructor component.
+    pub fn new(inner: DataConstructor) -> Self {
+        ConstructorActor {
+            inner,
+            ready: BTreeMap::new(),
+            cursors: HashMap::new(),
+            waiting: HashMap::new(),
+            roster_known: false,
+        }
+    }
+
+    fn needed(&self) -> Option<u64> {
+        self.cursors.values().min().copied()
+    }
+
+    fn prune(&mut self) {
+        if let Some(floor) = self.needed() {
+            self.ready.retain(|step, _| *step >= floor);
+        }
+    }
+}
+
+impl Actor for ConstructorActor {
+    type Msg = ConstructorMsg;
+
+    fn handle(&mut self, msg: ConstructorMsg, _ctx: &mut Ctx) {
+        match msg {
+            ConstructorMsg::Construct {
+                step,
+                bucket_plan,
+                samples,
+                broadcast_axes,
+                reply,
+            } => {
+                if let Some(reply) = reply {
+                    // Synchronous step path: construct and return, no queue.
+                    reply.send(
+                        self.inner
+                            .construct(&bucket_plan, &samples, &broadcast_axes),
+                    );
+                    return;
+                }
+                if self.roster_known && self.cursors.is_empty() {
+                    return; // Nobody will ever pull from this bucket.
+                }
+                let duplicate = self.ready.contains_key(&step)
+                    || self.needed().is_some_and(|floor| step < floor);
+                if duplicate {
+                    return; // Idempotent re-broadcast.
+                }
+                let batch = self
+                    .inner
+                    .construct(&bucket_plan, &samples, &broadcast_axes);
+                self.ready.insert(step, batch);
+                // Wake clients parked on this step.
+                let served: Vec<u32> = self
+                    .waiting
+                    .iter()
+                    .filter(|(_, (want, _))| self.ready.contains_key(want))
+                    .map(|(c, _)| *c)
+                    .collect();
+                for client in served {
+                    let (want, reply) = self.waiting.remove(&client).expect("just selected");
+                    let batch = self.ready[&want].clone();
+                    reply.send((want, batch));
+                }
+                self.prune();
+            }
+            ConstructorMsg::Pull {
+                client,
+                step,
+                reply,
+            } => {
+                self.cursors.insert(client, step);
+                match self.ready.get(&step) {
+                    Some(batch) => {
+                        reply.send((step, batch.clone()));
+                    }
+                    None => {
+                        // Park; a retry from the same client replaces the
+                        // stale parked reply.
+                        self.waiting.insert(client, (step, reply));
+                    }
+                }
+                self.prune();
+            }
+            ConstructorMsg::Roster(clients) => {
+                for (c, cursor) in clients {
+                    // Client cursors are monotone, so max() never rewinds a
+                    // position a concurrent Pull already reported.
+                    let entry = self.cursors.entry(c).or_insert(cursor);
+                    *entry = (*entry).max(cursor);
+                }
+                self.roster_known = true;
+            }
+            ConstructorMsg::Complete { client, next_step } => {
+                self.cursors.insert(client, next_step);
+                self.prune();
+            }
+            ConstructorMsg::Watermark(reply) => {
+                reply.send(ConstructorWatermark {
+                    ready: self.ready.keys().copied().collect(),
+                    needed: self.needed(),
+                    cursors: self.cursors.iter().map(|(c, s)| (*c, *s)).collect(),
+                });
+            }
+            ConstructorMsg::Reset => {
+                self.ready.clear();
+                self.cursors.clear();
+                self.waiting.clear();
+                self.roster_known = false;
+            }
+        }
+    }
 }
 
 /// Errors from a threaded step.
@@ -111,8 +524,19 @@ pub struct ThreadedPipeline {
 pub enum RuntimeError {
     /// A loader failed its RPC (timeout or death) — the failure signal.
     LoaderFailure {
-        /// Index of the failing loader.
+        /// Index of the failing loader in spawn order.
         loader: usize,
+        /// The loader's deployment-wide id.
+        loader_id: u32,
+        /// Name of the source the loader serves.
+        source: String,
+    },
+    /// The planner actor failed its RPC (it is restarting).
+    PlannerFailure,
+    /// A constructor actor failed its RPC (it is restarting).
+    ConstructorFailure {
+        /// The bucket whose constructor failed.
+        bucket: u32,
     },
     /// Plan generation failed.
     Plan(DGraphError),
@@ -121,7 +545,18 @@ pub enum RuntimeError {
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RuntimeError::LoaderFailure { loader } => write!(f, "loader {loader} failed RPC"),
+            RuntimeError::LoaderFailure {
+                loader,
+                loader_id,
+                source,
+            } => write!(
+                f,
+                "loader {loader} (id {loader_id}, source {source:?}) failed RPC"
+            ),
+            RuntimeError::PlannerFailure => write!(f, "planner actor failed RPC"),
+            RuntimeError::ConstructorFailure { bucket } => {
+                write!(f, "constructor for bucket {bucket} failed RPC")
+            }
             RuntimeError::Plan(e) => write!(f, "plan generation failed: {e}"),
         }
     }
@@ -129,21 +564,184 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Identity of one loader actor, for failure attribution.
+#[derive(Debug, Clone)]
+pub struct LoaderIdentity {
+    /// Deployment-wide loader id.
+    pub loader_id: u32,
+    /// Name of the source the loader serves.
+    pub source: String,
+}
+
+/// The clonable actor handles a serve driver needs (shared between the
+/// synchronous step path and the background driver thread).
+#[derive(Clone)]
+struct Fleet {
+    loaders: Vec<ActorRef<LoaderMsg>>,
+    identities: Vec<LoaderIdentity>,
+    planner: ActorRef<PlannerMsg>,
+    constructors: Vec<ActorRef<ConstructorMsg>>,
+    broadcast_axes: Vec<Axis>,
+    rpc_timeout: Duration,
+    /// Steps served from the replay store, shared with the pipeline
+    /// handle so both `step` and `serve` paths account them.
+    replayed: Arc<AtomicU64>,
+    /// Shared control store (fault reporting from the serve driver).
+    gcs: Gcs,
+}
+
+impl Fleet {
+    fn loader_failure(&self, idx: usize) -> RuntimeError {
+        let id = &self.identities[idx];
+        RuntimeError::LoaderFailure {
+            loader: idx,
+            loader_id: id.loader_id,
+            source: id.source.clone(),
+        }
+    }
+
+    fn refill(&self, target: usize) {
+        for l in &self.loaders {
+            l.tell(LoaderMsg::Refill { target });
+        }
+    }
+
+    /// Gathers buffer summaries with pipelined asks (one fleet-wide
+    /// round-trip instead of one per loader).
+    fn gather(&self) -> Result<BufferInfo, RuntimeError> {
+        let pending: Vec<(usize, PendingReply<BufferSummary>)> = self
+            .loaders
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                l.ask_pipelined(LoaderMsg::Summary)
+                    .map(|p| (i, p))
+                    .map_err(|_| self.loader_failure(i))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut summaries = Vec::with_capacity(pending.len());
+        for (i, p) in pending {
+            summaries.push(
+                p.wait(self.rpc_timeout)
+                    .map_err(|_| self.loader_failure(i))?,
+            );
+        }
+        Ok(BufferInfo::new(summaries))
+    }
+
+    fn plan(&self, info: BufferInfo) -> Result<PlanOutcome, RuntimeError> {
+        let outcome = self
+            .planner
+            .ask(|reply| PlannerMsg::Plan { info, reply }, self.rpc_timeout)
+            .map_err(|_| RuntimeError::PlannerFailure)?
+            .map_err(RuntimeError::Plan)?;
+        if outcome.replayed {
+            self.replayed.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(outcome)
+    }
+
+    /// Pops every plan directive with pipelined asks; returns the popped
+    /// samples plus the loaders (by index) whose pop RPC failed.
+    fn pop(&self, plan: &LoadingPlan) -> (HashMap<u64, Sample>, Vec<usize>) {
+        let mut pending = Vec::new();
+        let mut failed = Vec::new();
+        for (i, l) in self.loaders.iter().enumerate() {
+            let summary_id = self.identities[i].loader_id;
+            if let Some(ids) = plan.directives.get(&summary_id) {
+                let ids = ids.clone();
+                match l.ask_pipelined(move |reply| LoaderMsg::Pop { ids, reply }) {
+                    Ok(p) => pending.push((i, p)),
+                    Err(_) => failed.push(i),
+                }
+            }
+        }
+        let mut popped = HashMap::new();
+        for (i, p) in pending {
+            match p.wait(self.rpc_timeout) {
+                Ok(samples) => {
+                    for s in samples {
+                        popped.insert(s.meta.sample_id, s);
+                    }
+                }
+                Err(_) => failed.push(i),
+            }
+        }
+        (popped, failed)
+    }
+
+    fn checkpoint(&self, version: u64) {
+        for l in &self.loaders {
+            l.tell(LoaderMsg::Checkpoint { version });
+        }
+    }
+
+    /// Splits the popped samples into per-bucket broadcast payloads, in
+    /// plan bucket order: `(constructor index, bucket plan, samples)`.
+    fn partition(
+        &self,
+        plan: &LoadingPlan,
+        mut popped: HashMap<u64, Sample>,
+    ) -> Vec<BroadcastItem> {
+        plan.buckets
+            .iter()
+            .map(|bp| {
+                let idx = PipelineCore::constructor_index(bp.bucket, self.constructors.len());
+                let samples: HashMap<u64, Sample> = bp
+                    .bins
+                    .iter()
+                    .flat_map(|bin| bin.samples.iter())
+                    .filter_map(|id| popped.remove(id).map(|s| (*id, s)))
+                    .collect();
+                (idx, bp.clone(), Arc::new(samples))
+            })
+            .collect()
+    }
+}
+
+/// The fully actorized threaded pipeline.
+pub struct ThreadedPipeline {
+    system: ActorSystem,
+    fleet: Fleet,
+    /// Shared control store (checkpoints, registry, fault log).
+    pub gcs: Gcs,
+}
+
 impl ThreadedPipeline {
-    /// Spawns supervised loader actors for the given `(spec, config)` pairs.
+    /// Spawns the supervised actor topology: one loader per `(spec,
+    /// config)` pair, the planner, and one constructor actor per entry of
+    /// `constructors`.
     pub fn new(
         sources: Vec<(SourceSpec, LoaderConfig)>,
         planner: Planner,
-        constructors: Vec<DataConstructor>,
+        mut constructors: Vec<DataConstructor>,
         seed: u64,
     ) -> Self {
         let system = ActorSystem::new("msd");
         let gcs = Gcs::new();
+        // The serve path delivers per-bucket batches through per-bucket
+        // constructor actors; with fewer actors than plan buckets a
+        // bucket's broadcast would collide with its step-mate. Pad to the
+        // planner's bucket count so the mapping is one-to-one.
+        let buckets = planner
+            .tree()
+            .bucket_count(planner.config.axis, planner.config.group_size)
+            as usize;
+        if let Some(template) = constructors.first().cloned() {
+            while constructors.len() < buckets {
+                constructors.push(template.clone());
+            }
+        }
+        let mut identities = Vec::with_capacity(sources.len());
         let loaders = sources
             .into_iter()
             .map(|(spec, config)| {
                 let name = format!("loader/{}", config.loader_id);
                 gcs.register(&name, &spec.name);
+                identities.push(LoaderIdentity {
+                    loader_id: config.loader_id,
+                    source: spec.name.clone(),
+                });
                 let gcs = gcs.clone();
                 system.spawn_supervised(
                     &name,
@@ -152,119 +750,576 @@ impl ThreadedPipeline {
                 )
             })
             .collect();
+
+        let broadcast_axes = planner.config.broadcast_axes.clone();
+        gcs.register("planner", "central");
+        let planner_gcs = gcs.clone();
+        let planner_ref = system.spawn_supervised(
+            "planner",
+            RestartPolicy::Restart { max_restarts: 8 },
+            move || PlannerActor::new(planner.clone(), planner_gcs.clone()),
+        );
+
+        let constructor_refs = constructors
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let name = format!("constructor/{i}");
+                gcs.register(&name, "bucket constructor");
+                system.spawn_supervised(
+                    &name,
+                    RestartPolicy::Restart { max_restarts: 8 },
+                    move || ConstructorActor::new(c.clone()),
+                )
+            })
+            .collect();
+
         ThreadedPipeline {
             system,
-            loaders,
-            planner,
-            constructors,
-            rpc_timeout: Duration::from_secs(10),
+            fleet: Fleet {
+                loaders,
+                identities,
+                planner: planner_ref,
+                constructors: constructor_refs,
+                broadcast_axes,
+                rpc_timeout: Duration::from_secs(10),
+                replayed: Arc::new(AtomicU64::new(0)),
+                gcs: gcs.clone(),
+            },
             gcs,
-            replay: None,
-            replayed_steps: 0,
         }
     }
 
-    /// Installs a Replay Mode plan store (paper §9): steps whose stored
-    /// plan validates against the live fleet's buffers are adopted without
-    /// running the strategy; the rest plan live.
+    /// Steps served from the replay store (when one is installed),
+    /// across both the synchronous `step` path and `serve` sessions.
+    pub fn replayed_steps(&self) -> u64 {
+        self.fleet.replayed.load(Ordering::SeqCst)
+    }
+
+    /// Installs a Replay Mode plan store (paper §9) on the planner actor.
     pub fn set_replay_store(&mut self, store: crate::replay::PlanStore) {
-        self.replay = Some(store);
+        self.fleet.planner.tell(PlannerMsg::SetReplay(store));
+    }
+
+    /// RPC timeout used as the failure detector.
+    pub fn rpc_timeout(&self) -> Duration {
+        self.fleet.rpc_timeout
+    }
+
+    /// Adjusts the RPC-timeout failure detector.
+    pub fn set_rpc_timeout(&mut self, timeout: Duration) {
+        self.fleet.rpc_timeout = timeout;
     }
 
     /// Loader handles (fault injection in tests).
     pub fn loaders(&self) -> &[ActorRef<LoaderMsg>] {
-        &self.loaders
+        &self.fleet.loaders
     }
 
-    /// Access to the planner.
-    pub fn planner(&mut self) -> &mut Planner {
-        &mut self.planner
+    /// Loader identities, parallel to [`ThreadedPipeline::loaders`].
+    pub fn loader_identities(&self) -> &[LoaderIdentity] {
+        &self.fleet.identities
     }
 
-    /// Runs one pull-model step across the actor fleet.
+    /// The planner actor handle (fault injection in tests).
+    pub fn planner_actor(&self) -> &ActorRef<PlannerMsg> {
+        &self.fleet.planner
+    }
+
+    /// Constructor actor handles (fault injection in tests).
+    pub fn constructor_actors(&self) -> &[ActorRef<ConstructorMsg>] {
+        &self.fleet.constructors
+    }
+
+    /// Replaces the trainer topology on the planner actor (elastic
+    /// resharding): subsequent plans use the new mesh.
+    pub fn set_tree(&mut self, tree: ClientPlaceTree) {
+        self.fleet.planner.tell(PlannerMsg::SetTree(tree));
+    }
+
+    /// Runs one pull-model step across the actor fleet for a single
+    /// synchronous caller.
     pub fn step(
         &mut self,
         refill_target: usize,
     ) -> Result<(LoadingPlan, PhaseBreakdown, Vec<ConstructedBatch>), RuntimeError> {
-        // 1–2. Refill (tell) then gather summaries (ask with timeout: the
-        // failure detector).
-        for l in &self.loaders {
-            l.tell(LoaderMsg::Refill {
-                target: refill_target,
-            });
-        }
-        let mut summaries = Vec::with_capacity(self.loaders.len());
-        for (i, l) in self.loaders.iter().enumerate() {
-            let s = l
-                .ask(LoaderMsg::Summary, self.rpc_timeout)
-                .map_err(|_| RuntimeError::LoaderFailure { loader: i })?;
-            summaries.push(s);
-        }
-        let info = BufferInfo::new(summaries);
+        // 1–2. Refill (tell) then gather summaries (pipelined ask with
+        // timeout: the failure detector).
+        self.fleet.refill(refill_target);
+        let info = self.fleet.gather()?;
 
-        // 3–4. Plan — from the replay store when one is installed and the
-        // stored plan validates, otherwise live.
-        let replayed: Option<LoadingPlan> = self.replay.as_ref().and_then(|store| {
-            let step = self.planner.step();
-            let stored = store.get(step)?;
-            let buckets = self
-                .planner
-                .tree()
-                .bucket_count(self.planner.config.axis, self.planner.config.group_size);
-            crate::replay::validate_stored(stored, &info, buckets)
-                .ok()
-                .map(|()| stored.clone())
-        });
-        let (plan, phases) = match replayed {
-            Some(stored) => {
-                let plan = self.planner.adopt_plan(stored);
-                let phases = PhaseBreakdown {
-                    broadcast_ns: self.planner.broadcast_cost_ns(&plan),
-                    ..PhaseBreakdown::default()
-                };
-                self.replayed_steps += 1;
-                (plan, phases)
-            }
-            None => self.planner.generate(&info).map_err(RuntimeError::Plan)?,
-        };
+        // 3–4. Plan on the planner actor (replay-store adoption or live
+        // strategy execution, via the shared PipelineCore).
+        let outcome = self.fleet.plan(info)?;
+        let (plan, phases) = (outcome.plan, outcome.phases);
 
-        // 5. Pop and construct.
-        let mut popped: HashMap<u64, Sample> = HashMap::new();
-        for (i, l) in self.loaders.iter().enumerate() {
-            let summary_id = i as u32; // loader_id == spawn order by construction
-            if let Some(ids) = plan.directives.get(&summary_id) {
-                let samples = l
-                    .ask(
-                        |reply| LoaderMsg::Pop {
-                            ids: ids.clone(),
-                            reply,
-                        },
-                        self.rpc_timeout,
-                    )
-                    .map_err(|_| RuntimeError::LoaderFailure { loader: i })?;
-                for s in samples {
-                    popped.insert(s.meta.sample_id, s);
+        // 5. Pop and checkpoint.
+        let (popped, failed) = self.fleet.pop(&plan);
+        if let Some(&i) = failed.first() {
+            return Err(self.fleet.loader_failure(i));
+        }
+        self.fleet.checkpoint(plan.step);
+
+        // 6. Broadcast each bucket's slice to its constructor actor and
+        // collect the constructed batches (pipelined).
+        let mut pending = Vec::new();
+        for (idx, bucket_plan, samples) in self.fleet.partition(&plan, popped) {
+            let bucket = bucket_plan.bucket;
+            let axes = self.fleet.broadcast_axes.clone();
+            let ask = self.fleet.constructors[idx].ask_pipelined(move |reply| {
+                ConstructorMsg::Construct {
+                    step: plan.step,
+                    bucket_plan,
+                    samples,
+                    broadcast_axes: axes,
+                    reply: Some(reply),
                 }
+            });
+            match ask {
+                Ok(p) => pending.push((bucket, p)),
+                Err(_) => return Err(RuntimeError::ConstructorFailure { bucket }),
             }
-            l.tell(LoaderMsg::Checkpoint { version: plan.step });
         }
-        let batches = plan
-            .buckets
-            .iter()
-            .map(|bp| {
-                let c = &self.constructors[bp.bucket as usize % self.constructors.len().max(1)];
-                c.construct(bp, &popped, &plan.broadcast_axes)
+        let mut batches = Vec::with_capacity(pending.len());
+        for (bucket, p) in pending {
+            batches.push(
+                p.wait(self.fleet.rpc_timeout)
+                    .map_err(|_| RuntimeError::ConstructorFailure { bucket })?,
+            );
+        }
+        Ok((plan, phases, batches))
+    }
+
+    /// Starts concurrent serving: a driver thread pumps the pipeline for
+    /// `opts.steps` steps while the returned session's clients pull
+    /// batches from their constructor actors. See [`ServeOptions`].
+    pub fn serve(&mut self, opts: ServeOptions) -> ServeSession {
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients: Vec<ServeClient> = (0..opts.clients)
+            .map(|id| {
+                let ctor_idx = id as usize % self.fleet.constructors.len().max(1);
+                ServeClient {
+                    id,
+                    constructor: self.fleet.constructors[ctor_idx].clone(),
+                    next_step: 0,
+                    steps: opts.steps,
+                    pull_timeout: opts.pull_timeout,
+                }
             })
             .collect();
-        Ok((plan, phases, batches))
+        let fleet = self.fleet.clone();
+        let driver_stop = stop.clone();
+        let driver_opts = opts;
+        let driver = std::thread::Builder::new()
+            .name("msd/serve-driver".to_string())
+            .spawn(move || run_serve_driver(fleet, driver_opts, driver_stop))
+            .expect("failed to spawn serve driver");
+        ServeSession {
+            driver: Some(driver),
+            clients,
+            stop,
+        }
     }
 
     /// Stops all actors and joins their threads.
     pub fn shutdown(self) {
-        for l in &self.loaders {
+        for l in &self.fleet.loaders {
             l.stop();
         }
+        self.fleet.planner.stop();
+        for c in &self.fleet.constructors {
+            c.stop();
+        }
         self.system.shutdown();
+    }
+}
+
+/// Configuration of one [`ThreadedPipeline::serve`] session.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Number of concurrent trainer clients (client `i` pulls from
+    /// constructor `i % constructors`).
+    pub clients: u32,
+    /// Serve steps to pump.
+    pub steps: u64,
+    /// Per-loader refill target per step.
+    pub refill_target: usize,
+    /// Bounded-queue backpressure knob: the driver stalls once it is this
+    /// many steps ahead of the slowest client, so prefetch cannot blow the
+    /// memory budget.
+    pub queue_depth: u64,
+    /// Pipelined refill-ahead: loaders prefetch toward the next plan
+    /// while the current step is constructed and delivered.
+    pub prefetch: bool,
+    /// Per-pull ask timeout on the client side (pulls retry until their
+    /// step arrives).
+    pub pull_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            clients: 1,
+            steps: 16,
+            refill_target: 64,
+            queue_depth: 4,
+            prefetch: true,
+            pull_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A live serving session: the driver thread plus client handles.
+pub struct ServeSession {
+    driver: Option<JoinHandle<u64>>,
+    clients: Vec<ServeClient>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServeSession {
+    /// Takes the client handles (each is `Send`; move them into client
+    /// threads).
+    pub fn take_clients(&mut self) -> Vec<ServeClient> {
+        std::mem::take(&mut self.clients)
+    }
+
+    /// Requests the driver to stop after the current step.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the driver to finish; returns how many steps it
+    /// broadcast.
+    pub fn join(mut self) -> u64 {
+        self.driver
+            .take()
+            .expect("driver joined once")
+            .join()
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ServeSession {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(driver) = self.driver.take() {
+            let _ = driver.join();
+        }
+    }
+}
+
+/// One trainer client of a serve session. Pulls are strictly ordered:
+/// the client asks for serve step 0, 1, 2, … and carries its own cursor,
+/// so constructor restarts can neither skip nor double-serve it.
+pub struct ServeClient {
+    /// Client id (also its roster entry).
+    pub id: u32,
+    constructor: ActorRef<ConstructorMsg>,
+    next_step: u64,
+    steps: u64,
+    pull_timeout: Duration,
+}
+
+impl ServeClient {
+    /// Pulls the next batch, blocking (with retries while the pipeline
+    /// recovers from faults) until it is available. Returns `None` once
+    /// the session's steps are exhausted or the pipeline stays
+    /// unreachable past the retry budget.
+    pub fn next(&mut self) -> Option<(u64, ConstructedBatch)> {
+        if self.next_step >= self.steps {
+            return None;
+        }
+        let want = self.next_step;
+        // Generous budget: supervised restarts take tens of milliseconds;
+        // backpressure stalls take as long as the slowest client.
+        for _ in 0..600 {
+            let id = self.id;
+            match self.constructor.ask(
+                |reply| ConstructorMsg::Pull {
+                    client: id,
+                    step: want,
+                    reply,
+                },
+                self.pull_timeout,
+            ) {
+                Ok((step, batch)) => {
+                    debug_assert_eq!(step, want);
+                    self.next_step = want + 1;
+                    if self.next_step == self.steps {
+                        // Declare completion so the prune floor advances.
+                        self.constructor.tell(ConstructorMsg::Complete {
+                            client: self.id,
+                            next_step: self.steps,
+                        });
+                    }
+                    return Some((step, batch));
+                }
+                Err(_) => continue, // Not constructed yet, or restarting.
+            }
+        }
+        None
+    }
+
+    /// Serve steps already consumed.
+    pub fn consumed(&self) -> u64 {
+        self.next_step
+    }
+}
+
+/// How long the driver keeps retrying one serve step through failures
+/// before concluding the fleet is unrecoverable (e.g. a loader exhausted
+/// its restart budget) and ending the session early. Keeps
+/// [`ServeSession::join`] from blocking forever on a dead fleet.
+const STEP_RETRY_BUDGET: Duration = Duration::from_secs(60);
+
+/// The serve driver loop: pump `opts.steps` steps through the actor
+/// fleet, riding out supervised restarts, then drain until every
+/// rostered client has consumed its stream.
+fn run_serve_driver(fleet: Fleet, opts: ServeOptions, stop: Arc<AtomicBool>) -> u64 {
+    let ctor_count = fleet.constructors.len().max(1);
+    // Roster: client i pulls from constructor i % C. The driver caches
+    // every client's cursor (refreshed from watermark polls) so a roster
+    // re-sent to a restarted constructor restores real positions.
+    let mut cursors: Vec<HashMap<u32, u64>> = (0..fleet.constructors.len())
+        .map(|idx| {
+            (0..opts.clients)
+                .filter(|c| *c as usize % ctor_count == idx)
+                .map(|c| (c, 0u64))
+                .collect()
+        })
+        .collect();
+    for (idx, ctor) in fleet.constructors.iter().enumerate() {
+        // A previous serve session may have left queued batches and
+        // cursors behind; serve-step numbering restarts at 0.
+        ctor.tell(ConstructorMsg::Reset);
+        ctor.tell(ConstructorMsg::Roster(roster_of(&cursors[idx])));
+    }
+    let rostered: Vec<usize> = (0..fleet.constructors.len())
+        .filter(|idx| !cursors[*idx].is_empty())
+        .collect();
+
+    // Retained broadcast window for re-broadcast after constructor
+    // restarts; bounded by the backpressure depth.
+    let mut window: BroadcastWindow = VecDeque::new();
+
+    let mut served = 0u64;
+    let mut bucket_overflow_reported = false;
+    'steps: for s in 0..opts.steps {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let step_deadline = Instant::now() + STEP_RETRY_BUDGET;
+        // (1) Refill. With prefetch the refill for this step was issued
+        // right after the previous pop, overlapping with construction.
+        if !opts.prefetch || s == 0 {
+            fleet.refill(opts.refill_target);
+        }
+
+        // (2) Gather + (3) plan, riding out restarts.
+        let outcome = loop {
+            if stop.load(Ordering::SeqCst) || Instant::now() > step_deadline {
+                break 'steps;
+            }
+            let info = match fleet.gather() {
+                Ok(info) => info,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            match fleet.plan(info) {
+                Ok(outcome) => break outcome,
+                Err(RuntimeError::Plan(_)) => {
+                    // A genuine planning error (not a crash): nudge the
+                    // loaders and retry — buffers may simply be lean.
+                    fleet.refill(opts.refill_target);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        let plan = outcome.plan;
+        if plan.buckets.len() > fleet.constructors.len() && !bucket_overflow_reported {
+            bucket_overflow_reported = true;
+            // Reshard grew the bucket count past the spawned constructor
+            // fleet: buckets sharing a constructor collide per serve step
+            // and the extras are dropped. Surface the degradation.
+            fleet.gcs.log_fault(
+                "serve-driver",
+                format!(
+                    "plan has {} buckets but only {} constructor actors; \
+                     colliding buckets are dropped in serve mode",
+                    plan.buckets.len(),
+                    fleet.constructors.len()
+                ),
+            );
+        }
+
+        // (4) Pop, retrying loaders that were mid-restart once; a
+        // restarted loader's lost samples are skipped by construction.
+        let (mut popped, failed) = fleet.pop(&plan);
+        if !failed.is_empty() {
+            std::thread::sleep(Duration::from_millis(20));
+            let (retried, _) = fleet.pop(&plan);
+            popped.extend(retried);
+        }
+
+        // (5) Checkpoint; (6) prefetch the next step's refill so loaders
+        // work while constructors assemble and clients drain.
+        fleet.checkpoint(plan.step);
+        if opts.prefetch {
+            fleet.refill(opts.refill_target);
+        }
+
+        // (7) Broadcast this serve step to the constructors.
+        let items = fleet.partition(&plan, popped);
+        broadcast(&fleet, s, &items);
+        window.push_back((s, items));
+        served = s + 1;
+
+        // (8) Ack + backpressure: wait until every rostered constructor
+        // has enqueued step `s` (re-broadcasting on restarts) and the
+        // slowest client is within `queue_depth` steps. Deadline-bounded
+        // so a dead constructor or vanished client cannot wedge the
+        // driver forever.
+        let mut stalls = 0u32;
+        loop {
+            if stop.load(Ordering::SeqCst) || Instant::now() > step_deadline {
+                break 'steps;
+            }
+            let (all_acked, min_needed) =
+                poll_watermarks(&fleet, &rostered, &mut cursors, s, &window);
+            if let Some(floor) = min_needed {
+                while window.front().is_some_and(|(step, _)| *step < floor) {
+                    window.pop_front();
+                }
+            }
+            let backlogged = min_needed.is_some_and(|floor| s + 1 > floor + opts.queue_depth);
+            if all_acked && !backlogged {
+                break;
+            }
+            stalls += 1;
+            std::thread::sleep(Duration::from_millis(if stalls > 50 { 10 } else { 2 }));
+        }
+    }
+
+    // Drain: keep the re-broadcast duty alive until every rostered client
+    // consumed its stream (or a generous deadline passes).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !stop.load(Ordering::SeqCst) && Instant::now() < deadline {
+        if rostered.is_empty() || served == 0 {
+            break;
+        }
+        let (_, min_needed) = poll_watermarks(&fleet, &rostered, &mut cursors, served - 1, &window);
+        if min_needed.is_some_and(|floor| floor >= served) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    served
+}
+
+/// A roster message payload from the driver's cached cursor map.
+fn roster_of(cursors: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    cursors.iter().map(|(c, s)| (*c, *s)).collect()
+}
+
+fn broadcast(fleet: &Fleet, step: u64, items: &[BroadcastItem]) {
+    for (idx, bucket_plan, samples) in items {
+        fleet.constructors[*idx].tell(ConstructorMsg::Construct {
+            step,
+            bucket_plan: bucket_plan.clone(),
+            samples: samples.clone(),
+            broadcast_axes: fleet.broadcast_axes.clone(),
+            reply: None,
+        });
+    }
+}
+
+/// Polls every rostered constructor's watermark. Returns whether all of
+/// them hold every window step their clients still need (through `step`),
+/// plus the fleet-wide minimum needed step. A constructor missing steps
+/// with an empty mailbox has restarted and lost its queue: its roster (at
+/// cached cursor positions) and the missing window slices are re-sent —
+/// both idempotent on the receiving side.
+fn poll_watermarks(
+    fleet: &Fleet,
+    rostered: &[usize],
+    cursors: &mut [HashMap<u32, u64>],
+    step: u64,
+    window: &BroadcastWindow,
+) -> (bool, Option<u64>) {
+    let mut all_acked = true;
+    let mut min_needed: Option<u64> = None;
+    for &idx in rostered {
+        let ctor = &fleet.constructors[idx];
+        match ctor.ask(ConstructorMsg::Watermark, Duration::from_millis(200)) {
+            Ok(w) => {
+                // Refresh the driver's cursor cache (cursors are monotone,
+                // and a freshly restarted constructor may report fewer
+                // clients than the cache knows — keep the cached floor).
+                for (c, cur) in &w.cursors {
+                    if let Some(known) = cursors[idx].get_mut(c) {
+                        *known = (*known).max(*cur);
+                    }
+                }
+                if let Some(n) = w.needed {
+                    min_needed = Some(min_needed.map_or(n, |m| m.min(n)));
+                }
+                // A step is outstanding if some client may still pull it
+                // (>= the slowest cached cursor) and the constructor does
+                // not hold it. Diffing the full window catches mid-window
+                // losses a high-watermark check would miss.
+                let floor = cursors[idx].values().min().copied().unwrap_or(0);
+                let held: std::collections::HashSet<u64> = w.ready.iter().copied().collect();
+                let missing: Vec<u64> = window
+                    .iter()
+                    .filter(|(ws, items)| {
+                        *ws >= floor
+                            && *ws <= step
+                            && !held.contains(ws)
+                            && items.iter().any(|(i, _, _)| *i == idx)
+                    })
+                    .map(|(ws, _)| *ws)
+                    .collect();
+                if !missing.is_empty() {
+                    all_acked = false;
+                    // An empty mailbox with steps still missing means the
+                    // broadcasts were consumed by a pre-restart incarnation
+                    // and lost with its queue (or already handed to every
+                    // client — covered by the floor bound above).
+                    if ctor.mailbox_depth() == 0 {
+                        ctor.tell(ConstructorMsg::Roster(roster_of(&cursors[idx])));
+                        resend(fleet, idx, &missing, window);
+                    }
+                }
+            }
+            Err(_) => {
+                all_acked = false; // Restart in progress; poll again.
+            }
+        }
+    }
+    (all_acked, min_needed)
+}
+
+/// Re-sends the named retained window steps to one constructor.
+fn resend(fleet: &Fleet, ctor_idx: usize, steps: &[u64], window: &BroadcastWindow) {
+    for (step, items) in window {
+        if !steps.contains(step) {
+            continue;
+        }
+        for (idx, bucket_plan, samples) in items {
+            if *idx != ctor_idx {
+                continue;
+            }
+            fleet.constructors[*idx].tell(ConstructorMsg::Construct {
+                step: *step,
+                bucket_plan: bucket_plan.clone(),
+                samples: samples.clone(),
+                broadcast_axes: fleet.broadcast_axes.clone(),
+                reply: None,
+            });
+        }
     }
 }
 
@@ -320,6 +1375,21 @@ mod tests {
         ThreadedPipeline::new(sources, planner, constructors, 99)
     }
 
+    fn step_until_ok(
+        p: &mut ThreadedPipeline,
+        refill: usize,
+        attempts: u32,
+    ) -> (LoadingPlan, PhaseBreakdown, Vec<ConstructedBatch>) {
+        for _ in 0..attempts {
+            match p.step(refill) {
+                Ok(out) => return out,
+                Err(RuntimeError::Plan(e)) => panic!("unexpected plan error: {e}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        panic!("pipeline never recovered");
+    }
+
     #[test]
     fn threaded_step_delivers_batches() {
         let mut p = pipeline();
@@ -353,13 +1423,36 @@ mod tests {
             assert_eq!(phases.compute_ns, 0);
             assert!(!batches.is_empty());
         }
-        assert_eq!(replayer.replayed_steps, 3);
+        assert_eq!(replayer.replayed_steps(), 3);
         // Past the store: live planning resumes seamlessly.
         let (plan, phases, _) = replayer.step(32).unwrap();
         assert_eq!(plan.step, 3);
         assert!(phases.compute_ns > 0);
-        assert_eq!(replayer.replayed_steps, 3);
+        assert_eq!(replayer.replayed_steps(), 3);
         replayer.shutdown();
+    }
+
+    #[test]
+    fn reshard_survives_planner_restart() {
+        let mut p = pipeline();
+        let (plan, _, _) = p.step(32).unwrap();
+        assert_eq!(plan.buckets.len(), 2); // DP=2.
+                                           // Elastic reshard to DP=1, then kill the planner: the restarted
+                                           // planner must keep the resharded topology (persisted in the
+                                           // GCS), not the spawn-time template.
+        let new_mesh = DeviceMesh::pp_dp_cp_tp(1, 1, 1, 2).unwrap();
+        p.set_tree(ClientPlaceTree::from_device_mesh(&new_mesh));
+        let (plan, _, _) = p.step(32).unwrap();
+        assert_eq!(plan.buckets.len(), 1);
+        p.planner_actor().inject_crash("injected");
+        std::thread::sleep(Duration::from_millis(50));
+        let (plan, _, _) = step_until_ok(&mut p, 32, 50);
+        assert_eq!(
+            plan.buckets.len(),
+            1,
+            "planner restart reverted the reshard"
+        );
+        p.shutdown();
     }
 
     #[test]
@@ -371,21 +1464,8 @@ mod tests {
         p.loaders()[0].inject_crash("injected");
         // Give the supervisor a moment to restart.
         std::thread::sleep(Duration::from_millis(50));
-        let mut ok = false;
-        for _ in 0..50 {
-            match p.step(32) {
-                Ok((plan, _, _)) => {
-                    assert_eq!(plan.all_samples().len(), 16);
-                    ok = true;
-                    break;
-                }
-                Err(RuntimeError::LoaderFailure { .. }) => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(e) => panic!("unexpected error: {e}"),
-            }
-        }
-        assert!(ok, "pipeline never recovered");
+        let (plan, _, _) = step_until_ok(&mut p, 32, 50);
+        assert_eq!(plan.all_samples().len(), 16);
         p.shutdown();
     }
 
@@ -397,13 +1477,151 @@ mod tests {
         // enough that *healthy* loaders never trip it under parallel test
         // load — only the injected stall may exceed it.
         p.step(32).unwrap();
-        p.rpc_timeout = Duration::from_secs(2);
+        p.set_rpc_timeout(Duration::from_secs(2));
         p.loaders()[1].inject_delay(Duration::from_secs(6));
         let r = p.step(32);
+        match r {
+            Err(RuntimeError::LoaderFailure {
+                loader,
+                loader_id,
+                ref source,
+            }) => {
+                assert_eq!(loader, 1);
+                assert_eq!(loader_id, p.loader_identities()[1].loader_id);
+                assert_eq!(source, &p.loader_identities()[1].source);
+            }
+            other => panic!("expected attributable loader failure, got {other:?}"),
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn crashed_planner_resumes_the_plan_sequence() {
+        // Reference: an unfailed pipeline's plan stream.
+        let mut reference = pipeline();
+        let expected: Vec<Vec<u64>> = (0..4)
+            .map(|_| reference.step(32).unwrap().0.all_samples())
+            .collect();
+        reference.shutdown();
+
+        // Faulty: kill the planner actor after step 1; the supervised
+        // restart restores step counter + RNG from the GCS checkpoint.
+        let mut faulty = pipeline();
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        got.push(faulty.step(32).unwrap().0.all_samples());
+        faulty.planner_actor().inject_crash("injected");
+        std::thread::sleep(Duration::from_millis(50));
+        while got.len() < 4 {
+            match faulty.step(32) {
+                Ok((plan, _, _)) => got.push(plan.all_samples()),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        assert_eq!(expected, got, "planner restart perturbed the plan stream");
+        faulty.shutdown();
+    }
+
+    #[test]
+    fn crashed_constructor_restarts_and_serves_again() {
+        let mut p = pipeline();
+        p.step(32).unwrap();
+        p.constructor_actors()[0].inject_crash("injected");
+        std::thread::sleep(Duration::from_millis(50));
+        let (_, _, batches) = step_until_ok(&mut p, 32, 50);
+        assert_eq!(batches.len(), 2);
+        p.shutdown();
+    }
+
+    #[test]
+    fn corrupt_loader_checkpoint_falls_back_and_logs() {
+        let mut p = pipeline();
+        p.step(32).unwrap();
+        // Sabotage loader 0's checkpoint, then crash it: the restart must
+        // fall back to a fresh loader and log the corruption instead of
+        // dying permanently.
+        let key = "loader/0";
+        let v = p.gcs.state_version(key);
+        p.gcs.put_state(key, v + 1, b"{not json".to_vec());
+        p.loaders()[0].inject_crash("injected");
+        std::thread::sleep(Duration::from_millis(50));
+        let (plan, _, _) = step_until_ok(&mut p, 32, 50);
+        assert_eq!(plan.all_samples().len(), 16);
+        assert!(p.loaders()[0].is_alive());
+        let faults = p.gcs.fault_log("loader/0");
         assert!(
-            matches!(r, Err(RuntimeError::LoaderFailure { loader: 1 })),
-            "{r:?}"
+            faults.iter().any(|f| f.detail.contains("corrupt")),
+            "corruption not surfaced: {faults:?}"
         );
+        p.shutdown();
+    }
+
+    #[test]
+    fn second_serve_session_starts_fresh() {
+        let mut p = pipeline();
+        for round in 0..2u32 {
+            let mut session = p.serve(ServeOptions {
+                clients: 2,
+                steps: 3,
+                refill_target: 32,
+                queue_depth: 2,
+                prefetch: true,
+                pull_timeout: Duration::from_millis(500),
+            });
+            let handles: Vec<_> = session
+                .take_clients()
+                .into_iter()
+                .map(|mut c| {
+                    std::thread::spawn(move || {
+                        let mut steps = Vec::new();
+                        while let Some((step, _)) = c.next() {
+                            steps.push(step);
+                        }
+                        steps
+                    })
+                })
+                .collect();
+            for h in handles {
+                let steps = h.join().unwrap();
+                assert_eq!(steps, vec![0, 1, 2], "round {round} stream broken");
+            }
+            assert_eq!(session.join(), 3, "round {round} driver fell short");
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn serve_delivers_ordered_streams_to_concurrent_clients() {
+        let mut p = pipeline();
+        let mut session = p.serve(ServeOptions {
+            clients: 4,
+            steps: 6,
+            refill_target: 32,
+            queue_depth: 3,
+            prefetch: true,
+            pull_timeout: Duration::from_millis(500),
+        });
+        let clients = session.take_clients();
+        let handles: Vec<_> = clients
+            .into_iter()
+            .map(|mut c| {
+                std::thread::spawn(move || {
+                    let mut steps = Vec::new();
+                    while let Some((step, batch)) = c.next() {
+                        steps.push((step, batch.bucket, batch.microbatches.len()));
+                    }
+                    (c.id, steps)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (id, steps) = h.join().unwrap();
+            assert_eq!(steps.len(), 6, "client {id} missed steps: {steps:?}");
+            for (i, (step, _, microbatches)) in steps.iter().enumerate() {
+                assert_eq!(*step, i as u64, "client {id} saw out-of-order step");
+                assert_eq!(*microbatches, 2);
+            }
+        }
+        assert_eq!(session.join(), 6);
         p.shutdown();
     }
 }

@@ -170,12 +170,24 @@ fn threaded_pipeline_survives_faults() {
     // A long stall trips the RPC-timeout failure detector. The timeout
     // stays generous so healthy loaders never trip it under parallel test
     // load — only the injected stall exceeds it.
-    pipeline.rpc_timeout = Duration::from_secs(2);
+    pipeline.set_rpc_timeout(Duration::from_secs(2));
     pipeline.loaders()[1].inject_delay(Duration::from_secs(6));
     let r = pipeline.step(32);
-    assert!(matches!(r, Err(RuntimeError::LoaderFailure { loader: 1 })));
+    // The failure is attributable: index, loader id, and source name.
+    match r {
+        Err(RuntimeError::LoaderFailure {
+            loader,
+            loader_id,
+            ref source,
+        }) => {
+            assert_eq!(loader, 1);
+            assert_eq!(loader_id, pipeline.loader_identities()[1].loader_id);
+            assert!(!source.is_empty());
+        }
+        other => panic!("expected attributable loader failure, got {other:?}"),
+    }
     // After the stall clears, service resumes.
-    pipeline.rpc_timeout = Duration::from_secs(10);
+    pipeline.set_rpc_timeout(Duration::from_secs(10));
     let mut resumed = false;
     for _ in 0..100 {
         if pipeline.step(32).is_ok() {
