@@ -13,11 +13,41 @@ case "${OUT}" in
   *) OUT="$(pwd)/${OUT}" ;;
 esac
 
+# Extracts a serve@N samples/sec figure (first match) or a top-level
+# scalar field from a BENCH_runtime.json file; prints "n/a" when absent.
+json_metric() { # file key
+  awk -v key="\"$2\":" '
+    $1 == key { gsub(/[,"]/, "", $2); print $2; found = 1; exit }
+    END { if (!found) print "n/a" }' "$1" 2>/dev/null || echo "n/a"
+}
+
+# Stash the committed report for the post-run regression summary.
+OLD_JSON=""
+if [[ -f "${OUT}" ]]; then
+  OLD_JSON="$(mktemp)"
+  cp "${OUT}" "${OLD_JSON}"
+fi
+
 echo "==> compile benches (release)"
 cargo build --release --benches
 
 echo "==> runtime_throughput (writes ${OUT})"
 BENCH_JSON_OUT="${OUT}" cargo bench -p msd_bench --bench runtime_throughput
+
+# One-line regression summary against the previously committed report.
+if [[ -n "${OLD_JSON}" ]]; then
+  old_s8="$(json_metric "${OLD_JSON}" 8)"
+  new_s8="$(json_metric "${OUT}" 8)"
+  old_eff="$(json_metric "${OLD_JSON}" scaling_efficiency)"
+  new_eff="$(json_metric "${OUT}" scaling_efficiency)"
+  delta="n/a"
+  if [[ "${old_s8}" != "n/a" && "${new_s8}" != "n/a" ]]; then
+    delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
+      'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
+  fi
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}"
+  rm -f "${OLD_JSON}"
+fi
 
 echo "==> fig19_cost_model"
 cargo bench -p msd_bench --bench fig19_cost_model

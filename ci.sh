@@ -14,6 +14,10 @@ set -euo pipefail
 #   neg_cmp_op_on_partial_ord rng.rs uses `!(total > 0.0)` to reject NaN —
 #                            a partial_cmp rewrite would lose that
 #   cloned_ref_to_slice_refs mesh transform clones for a by-value slice
+#
+# Note: msd_core and msd_actor additionally opt IN to
+# clippy::redundant_clone via crate-level attributes (the zero-copy data
+# plane must not regrow payload copies); -D warnings makes those errors.
 ALLOW=(
   -A clippy::single_range_in_vec_init
   -A clippy::should_implement_trait

@@ -10,7 +10,16 @@
 //!    refill-ahead and N trainer clients pulling concurrently, for
 //!    N ∈ {1, 2, 4, 8}.
 //!
-//! Prints a samples/sec table and, when `BENCH_JSON_OUT` is set, writes a
+//! Throughput is *delivered* throughput: samples (and payload MB) that
+//! actually reached a consumer per second, summed over consumers. For
+//! the single-consumer deployments that equals step throughput; for
+//! serve it is the aggregate fan-out rate the zero-copy data plane is
+//! built for — N clients of one constructor read the same `Arc`-shared
+//! batch, so serving more clients multiplies egress without re-copying
+//! payloads. `scaling_efficiency` = delivered-samples/sec at 8 clients ÷
+//! at 1 client.
+//!
+//! Prints a table and, when `BENCH_JSON_OUT` is set, writes a
 //! machine-readable JSON report (consumed by `bench.sh` to produce
 //! `BENCH_runtime.json`).
 
@@ -96,8 +105,37 @@ fn constructors(count: usize) -> Vec<DataConstructor> {
         .collect()
 }
 
+/// One deployment's measured delivery: wall time plus what consumers
+/// actually received.
+struct Delivered {
+    elapsed_s: f64,
+    samples: u64,
+    payload_bytes: u64,
+}
+
+impl Delivered {
+    fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.elapsed_s
+    }
+
+    fn payload_mb_per_sec(&self) -> f64 {
+        self.payload_bytes as f64 / (1u64 << 20) as f64 / self.elapsed_s
+    }
+}
+
+/// Samples and payload bytes one constructed batch delivers.
+fn batch_delivery(batch: &msd_core::constructor::ConstructedBatch) -> (u64, u64) {
+    let samples: u64 = batch
+        .microbatches
+        .iter()
+        .map(|m| m.payloads.len() as u64)
+        .sum();
+    let bytes: u64 = batch.microbatches.iter().map(|m| m.payload_bytes).sum();
+    (samples, bytes)
+}
+
 /// Deployment 1: everything on the caller thread, no actors.
-fn run_inline() -> f64 {
+fn run_inline() -> Delivered {
     let catalog = catalog();
     let mut core = PipelineCore::new(planner(&catalog));
     let mut loaders: Vec<SourceLoader> = sources(&catalog)
@@ -105,6 +143,8 @@ fn run_inline() -> f64 {
         .map(|(spec, cfg)| SourceLoader::synthetic(spec, cfg, 99))
         .collect();
     let ctors = constructors(4);
+    let mut samples = 0u64;
+    let mut payload_bytes = 0u64;
     let t0 = Instant::now();
     for _ in 0..STEPS {
         for l in &mut loaders {
@@ -122,28 +162,51 @@ fn run_inline() -> f64 {
             }
         }
         let batches = PipelineCore::assemble(&ctors, &out.plan, &popped);
+        for b in &batches {
+            let (s, p) = batch_delivery(b);
+            samples += s;
+            payload_bytes += p;
+        }
         std::hint::black_box(batches);
     }
-    t0.elapsed().as_secs_f64()
+    Delivered {
+        elapsed_s: t0.elapsed().as_secs_f64(),
+        samples,
+        payload_bytes,
+    }
 }
 
 /// Deployment 2: actor-hosted components, synchronous single caller.
-fn run_actorized() -> f64 {
+fn run_actorized() -> Delivered {
     let catalog = catalog();
     let mut pipeline =
         ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
+    let mut samples = 0u64;
+    let mut payload_bytes = 0u64;
     let t0 = Instant::now();
     for _ in 0..STEPS {
         let (_, _, batches) = pipeline.step(REFILL_TARGET).expect("threaded step");
+        for b in &batches {
+            let (s, p) = batch_delivery(b);
+            samples += s;
+            payload_bytes += p;
+        }
         std::hint::black_box(batches);
     }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let elapsed_s = t0.elapsed().as_secs_f64();
     pipeline.shutdown();
-    elapsed
+    Delivered {
+        elapsed_s,
+        samples,
+        payload_bytes,
+    }
 }
 
 /// Deployment 3: concurrent serving with pipelined refill-ahead.
-fn run_serve(clients: u32) -> f64 {
+/// Delivery is summed across clients — each pull hands the client an
+/// `Arc`-shared view of the one constructed batch, so this measures the
+/// fan-out rate of the zero-copy data plane.
+fn run_serve(clients: u32) -> Delivered {
     let catalog = catalog();
     let mut pipeline =
         ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
@@ -161,25 +224,35 @@ fn run_serve(clients: u32) -> f64 {
         .into_iter()
         .map(|mut c| {
             std::thread::spawn(move || {
-                let mut pulled = 0u64;
+                let (mut pulled, mut samples, mut bytes) = (0u64, 0u64, 0u64);
                 while let Some((_, batch)) = c.next() {
+                    let (s, p) = batch_delivery(&batch);
+                    samples += s;
+                    bytes += p;
                     std::hint::black_box(&batch);
                     pulled += 1;
                 }
-                pulled
+                (pulled, samples, bytes)
             })
         })
         .collect();
-    let mut pulled = 0u64;
+    let (mut pulled, mut samples, mut payload_bytes) = (0u64, 0u64, 0u64);
     for h in handles {
-        pulled += h.join().expect("client thread");
+        let (c_pulled, c_samples, c_bytes) = h.join().expect("client thread");
+        pulled += c_pulled;
+        samples += c_samples;
+        payload_bytes += c_bytes;
     }
     let served = session.join();
-    let elapsed = t0.elapsed().as_secs_f64();
+    let elapsed_s = t0.elapsed().as_secs_f64();
     assert_eq!(served, STEPS, "driver fell short");
     assert_eq!(pulled, STEPS * u64::from(clients), "clients missed steps");
     pipeline.shutdown();
-    elapsed
+    Delivered {
+        elapsed_s,
+        samples,
+        payload_bytes,
+    }
 }
 
 fn main() {
@@ -187,61 +260,66 @@ fn main() {
         "runtime_throughput",
         "inline vs actorized vs actorized+prefetch concurrent serving",
     );
-    let total_samples = (STEPS as usize * SAMPLES_PER_STEP) as f64;
-    let sps = |elapsed: f64| total_samples / elapsed;
 
-    let inline_s = run_inline();
-    let actorized_s = run_actorized();
+    let inline = run_inline();
+    let actorized = run_actorized();
     let client_counts = [1u32, 2, 4, 8];
-    let serve_s: Vec<f64> = client_counts.iter().map(|c| run_serve(*c)).collect();
+    let serve: Vec<Delivered> = client_counts.iter().map(|c| run_serve(*c)).collect();
+    let scaling_efficiency = serve[3].samples_per_sec() / serve[0].samples_per_sec();
 
     table_header(&[
         "deployment",
         "clients",
         "elapsed_s",
-        "samples/s",
+        "delivered_samples/s",
+        "payload_MB/s",
         "vs_inline",
     ]);
-    table_row(&[
-        "inline".into(),
-        "1".into(),
-        f(inline_s),
-        f(sps(inline_s)),
-        "1.00x".into(),
-    ]);
-    table_row(&[
-        "actorized".into(),
-        "1".into(),
-        f(actorized_s),
-        f(sps(actorized_s)),
-        format!("{:.2}x", inline_s / actorized_s),
-    ]);
-    for (c, s) in client_counts.iter().zip(&serve_s) {
+    let row = |name: &str, clients: u32, d: &Delivered| {
         table_row(&[
-            "serve+prefetch".into(),
-            c.to_string(),
-            f(*s),
-            f(sps(*s)),
-            format!("{:.2}x", inline_s / s),
+            name.into(),
+            clients.to_string(),
+            f(d.elapsed_s),
+            f(d.samples_per_sec()),
+            f(d.payload_mb_per_sec()),
+            format!("{:.2}x", d.samples_per_sec() / inline.samples_per_sec()),
         ]);
+    };
+    row("inline", 1, &inline);
+    row("actorized", 1, &actorized);
+    for (c, d) in client_counts.iter().zip(&serve) {
+        row("serve+prefetch", *c, d);
     }
-    println!("\n[steps={STEPS}, samples/step={SAMPLES_PER_STEP}; serve overlaps refill with");
-    println!(" planning/construction and parallelizes loaders + constructors across actors]");
+    println!("\n[steps={STEPS}, samples/step={SAMPLES_PER_STEP}; delivered throughput sums over");
+    println!(" consumers: serve clients share each constructed batch zero-copy, so fan-out");
+    println!(
+        " multiplies egress. scaling_efficiency (serve@8 / serve@1) = {scaling_efficiency:.2}]"
+    );
 
     if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
-        let serve_json: Vec<String> = client_counts
-            .iter()
-            .zip(&serve_s)
-            .map(|(c, s)| format!("    \"{}\": {:.2}", c, sps(*s)))
-            .collect();
+        let by_clients = |metric: &dyn Fn(&Delivered) -> f64| -> String {
+            client_counts
+                .iter()
+                .zip(&serve)
+                .map(|(c, d)| format!("    \"{}\": {:.2}", c, metric(d)))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
         let json = format!(
             "{{\n  \"bench\": \"runtime_throughput\",\n  \"steps\": {STEPS},\n  \
              \"samples_per_step\": {SAMPLES_PER_STEP},\n  \
              \"samples_per_sec\": {{\n    \"inline\": {:.2},\n    \"actorized\": {:.2},\n    \
-             \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }}\n}}\n",
-            sps(inline_s),
-            sps(actorized_s),
-            serve_json.join(",\n")
+             \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }},\n  \
+             \"payload_mb_per_sec\": {{\n    \"inline\": {:.2},\n    \"actorized\": {:.2},\n    \
+             \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }},\n  \
+             \"scaling_efficiency\": {:.2}\n}}\n",
+            inline.samples_per_sec(),
+            actorized.samples_per_sec(),
+            by_clients(&Delivered::samples_per_sec),
+            inline.payload_mb_per_sec(),
+            actorized.payload_mb_per_sec(),
+            by_clients(&Delivered::payload_mb_per_sec),
+            scaling_efficiency,
         );
         std::fs::write(&path, json).expect("write BENCH_JSON_OUT");
         println!("[json report written to {path}]");

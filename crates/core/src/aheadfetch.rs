@@ -297,7 +297,9 @@ impl PositionalFetcher {
             for (pos, ordinal) in &by_group[&g] {
                 let local = (ordinal - group_base[g]) as usize;
                 let row = &rows[local];
-                let payload = row[img_col].as_bytes().unwrap_or_default().to_vec();
+                // Zero-copy: the payload is a shared slice of the
+                // resident row-group buffer.
+                let payload = row[img_col].as_shared_bytes().unwrap_or_default();
                 let meta = index.entries[*ordinal as usize];
                 out[*pos] = Some(Sample {
                     meta: SampleMeta {
@@ -511,7 +513,7 @@ mod tests {
             .iter()
             .map(|o| ix.entries()[*o].sample_id)
             .collect();
-        let mut fetcher = PositionalFetcher::new(store.clone(), manifest.path.clone());
+        let mut fetcher = PositionalFetcher::new(store.clone(), manifest.path);
         let samples = fetcher.fetch(&ix, &ids).unwrap();
         assert_eq!(samples.len(), 4);
         for (s, id) in samples.iter().zip(&ids) {
@@ -535,7 +537,7 @@ mod tests {
         assert!(reader.group_count() > 2, "need multiple groups");
         // Fetch two ids from the first group only.
         let ids = vec![ix.entries()[0].sample_id, ix.entries()[1].sample_id];
-        let mut fetcher = PositionalFetcher::new(store.clone(), manifest.path.clone());
+        let mut fetcher = PositionalFetcher::new(store.clone(), manifest.path);
         fetcher.fetch(&ix, &ids).unwrap();
         assert_eq!(fetcher.groups_read, 1);
     }

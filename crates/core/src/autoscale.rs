@@ -575,7 +575,7 @@ mod tests {
         let cat = navit_sized(&mut rng, 60);
         let setups = partition_sources(&cat, resources(), &PartitionOpts::default(), &mut rng);
         // Correlate cost estimates with worker counts.
-        let mut by_cost = setups.clone();
+        let mut by_cost = setups;
         by_cost.sort_by(|a, b| a.cost_estimate_ns.partial_cmp(&b.cost_estimate_ns).unwrap());
         let cheap_avg: f64 = by_cost[..10]
             .iter()

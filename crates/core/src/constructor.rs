@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use msd_data::Sample;
 use msd_mesh::{cp_partition, delivery_kind, Axis, DeliveryKind, DeviceMesh, Rank};
 use serde::{Deserialize, Serialize};
@@ -53,12 +54,20 @@ impl PackedSequence {
 }
 
 /// One assembled microbatch.
+///
+/// The microbatch carries its samples' actual payload bytes as shared
+/// [`Bytes`] views: assembling a batch bumps refcounts on the loaders'
+/// buffers, and cloning a batch (or handing it to N serving clients)
+/// never duplicates payload data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Microbatch {
     /// Bin index within the bucket.
     pub bin: u32,
     /// Packed sequences.
     pub sequences: Vec<PackedSequence>,
+    /// Transformed payloads, `(sample id, bytes)` in bin order — shared
+    /// slices of the samples popped from loader buffers, not copies.
+    pub payloads: Vec<(u64, Bytes)>,
     /// Payload bytes carried (sum of transformed sample payloads).
     pub payload_bytes: u64,
 }
@@ -184,15 +193,19 @@ impl DataConstructor {
                     .filter_map(|id| samples.get(id))
                     .map(|s| (s.meta.sample_id, s.meta.total_tokens().max(1)))
                     .collect();
-                let payload_bytes: u64 = bin
+                // Refcount bumps, not copies: the batch shares the popped
+                // samples' allocations.
+                let payloads: Vec<(u64, Bytes)> = bin
                     .samples
                     .iter()
                     .filter_map(|id| samples.get(id))
-                    .map(|s| s.payload.len() as u64)
-                    .sum();
+                    .map(|s| (s.meta.sample_id, s.payload.clone()))
+                    .collect();
+                let payload_bytes: u64 = payloads.iter().map(|(_, p)| p.len() as u64).sum();
                 Microbatch {
                     bin: bin.bin,
                     sequences: self.pack(&toks),
+                    payloads,
                     payload_bytes,
                 }
             })
@@ -277,7 +290,8 @@ mod tests {
                 image_patches: 0,
                 raw_bytes: u64::from(tokens) * 2,
             },
-            payload: vec![0u8; tokens as usize * 2],
+            // Shared zeroed template: one allocation for all test samples.
+            payload: msd_data::zeroed_payload(tokens as usize * 2),
         }
     }
 
@@ -397,6 +411,32 @@ mod tests {
         let samples: HashMap<u64, Sample> = [(1u64, mk_sample(1, 10))].into_iter().collect();
         let batch = c.construct(&plan, &samples, &[]);
         assert_eq!(batch.microbatches[0].tokens(), 10);
+    }
+
+    #[test]
+    fn constructed_batch_shares_sample_payloads() {
+        // The constructor → client hop is zero-copy: batch payloads are
+        // views of the popped samples' allocations, and cloning the batch
+        // (per-client fan-out) keeps sharing them.
+        let c = constructor(1, 1, 1, 128);
+        let plan = bucket_plan(vec![0], vec![vec![1, 2]]);
+        let samples: HashMap<u64, Sample> = [(1u64, mk_sample(1, 10)), (2u64, mk_sample(2, 20))]
+            .into_iter()
+            .collect();
+        let batch = c.construct(&plan, &samples, &[]);
+        let mb = &batch.microbatches[0];
+        assert_eq!(mb.payloads.len(), 2);
+        assert_eq!(mb.payload_bytes, 60);
+        for (id, payload) in &mb.payloads {
+            assert!(
+                Bytes::ptr_eq(payload, &samples[id].payload),
+                "sample {id} payload was copied into the batch"
+            );
+        }
+        let cloned = batch.clone();
+        for (orig, copy) in mb.payloads.iter().zip(&cloned.microbatches[0].payloads) {
+            assert!(Bytes::ptr_eq(&orig.1, &copy.1));
+        }
     }
 
     #[test]

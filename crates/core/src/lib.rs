@@ -13,6 +13,9 @@
 //!   tells each Source Loader what to pop and each Data Constructor what to
 //!   assemble for which clients.
 //! - [`loader`]: the Source Loader component and its actor wrapper.
+//! - [`codec`]: the compact binary codec for per-step GCS state (planner
+//!   checkpoint, plan-log entries, loader checkpoints), with a legacy
+//!   JSON fallback reader.
 //! - [`constructor`]: the Data Constructor — microbatch assembly (packing,
 //!   padding, position ids) and parallelism transformation.
 //! - [`planner`]: the Planner — plan synthesis with phase instrumentation.
@@ -37,9 +40,14 @@
 //!   orchestration programs (dead-primitive elimination, fusion, lineage
 //!   elision) while preserving plan semantics.
 
+// The zero-copy data plane makes many historical clones dead; keep new
+// ones from creeping in (ci.sh runs clippy with -D warnings).
+#![warn(clippy::redundant_clone)]
+
 pub mod aheadfetch;
 pub mod autoscale;
 pub mod buffer;
+pub mod codec;
 pub mod constructor;
 pub mod dgraph;
 pub mod fault;

@@ -245,10 +245,11 @@ impl SourceLoader {
                 })
             }
             Ingest::Stored { store, path } => {
-                let store = store.clone();
-                let path = path.clone();
-                match self.read_stored_row(&store, &path, ordinal)? {
-                    Some(s) => s,
+                match self.read_stored_row(store, path, ordinal)? {
+                    Some((s, io_ns)) => {
+                        self.io_ns_total += io_ns;
+                        s
+                    }
                     None => return Ok(None), // Source exhausted.
                 }
             }
@@ -309,12 +310,15 @@ impl SourceLoader {
         dropped
     }
 
+    /// Reads one stored row; returns the sample plus the I/O time spent.
+    /// The payload is a zero-copy [`bytes::Bytes`] slice of the decoded
+    /// row-group buffer — the storage → loader hop moves no bytes.
     fn read_stored_row(
-        &mut self,
+        &self,
         store: &MemStore,
         path: &str,
         ordinal: u64,
-    ) -> Result<Option<Sample>, StorageError> {
+    ) -> Result<Option<(Sample, u64)>, StorageError> {
         let mut reader = ColumnarReader::open(store, path)?;
         if ordinal >= reader.total_rows() {
             return Ok(None);
@@ -339,11 +343,9 @@ impl SourceLoader {
             .as_i64()
             .unwrap_or(0) as u32;
         let payload = row[schema.index_of("image").expect("sample schema")]
-            .as_bytes()
-            .unwrap_or_default()
-            .to_vec();
-        self.io_ns_total += reader.io_ns();
-        Ok(Some(Sample {
+            .as_shared_bytes()
+            .unwrap_or_default();
+        let sample = Sample {
             meta: SampleMeta {
                 sample_id: self.make_id(self.cursor),
                 source: self.spec.id,
@@ -353,7 +355,8 @@ impl SourceLoader {
                 raw_bytes: payload.len() as u64,
             },
             payload,
-        }))
+        };
+        Ok(Some((sample, reader.io_ns())))
     }
 
     /// Buffer-metadata summary for the Planner.
@@ -580,8 +583,7 @@ mod tests {
         let mut rng = SimRng::seed(5);
         let spec = spec();
         let manifest = materialize_source(store.as_ref(), "data", &spec, 50, &mut rng).unwrap();
-        let mut l =
-            SourceLoader::stored(spec, LoaderConfig::solo(0), store, manifest.path.clone(), 1);
+        let mut l = SourceLoader::stored(spec, LoaderConfig::solo(0), store, manifest.path, 1);
         l.refill(20).unwrap();
         assert_eq!(l.buffered(), 20);
         assert!(l.io_ns_total > 0);

@@ -168,6 +168,39 @@ impl MegaScaleData {
         }
     }
 
+    /// Builds a deployment from explicit loader sources and a pre-built
+    /// planner, bypassing auto-partitioning (no autoscaler). Loader RNG
+    /// seeding matches [`crate::system::runtime::ThreadedPipeline::new`]
+    /// — every `SourceLoader` mixes its own id into the shared
+    /// `config.seed` — so a threaded pipeline spawned from the same parts
+    /// produces the *identical* plan and batch stream. That
+    /// deployment-equivalence contract is what
+    /// `tests/zero_copy_dataplane.rs` pins down.
+    pub fn from_parts(
+        config: MsdConfig,
+        planner: Planner,
+        sources: Vec<(msd_data::SourceSpec, crate::loader::LoaderConfig)>,
+    ) -> Self {
+        let loaders = sources
+            .into_iter()
+            .map(|(spec, cfg)| ShadowedLoader::new(spec, cfg, config.seed, 4))
+            .collect();
+        let buckets = planner
+            .tree()
+            .bucket_count(planner.config.axis, planner.config.group_size);
+        let constructors = (0..buckets)
+            .map(|_| DataConstructor::new(config.mesh.clone(), config.max_seq_len))
+            .collect();
+        MegaScaleData {
+            config,
+            loaders,
+            core: PipelineCore::new(planner),
+            constructors,
+            autoscaler: None,
+            transform_reorder: false,
+        }
+    }
+
     /// Installs a Replay Mode plan store: recorded steps that validate
     /// against live buffers are adopted without running the strategy.
     pub fn set_replay_store(&mut self, store: crate::replay::PlanStore) {

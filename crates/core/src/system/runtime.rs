@@ -40,7 +40,7 @@ use crate::dgraph::DGraphError;
 use crate::loader::{LoaderConfig, SourceLoader};
 use crate::plan::{BucketPlan, LoadingPlan};
 use crate::planner::{PhaseBreakdown, Planner};
-use crate::system::core::{CoreCheckpoint, PipelineCore, PlanOutcome};
+use crate::system::core::{PipelineCore, PlanOutcome};
 
 /// GCS key holding the planner actor's restart checkpoint.
 const PLANNER_STATE_KEY: &str = "planner";
@@ -104,7 +104,7 @@ impl LoaderActor {
         let key = format!("loader/{}", config.loader_id);
         let loader_id = config.loader_id;
         let inner = match gcs.get_state(&key) {
-            Some(cp) => match serde_json::from_slice::<crate::loader::LoaderCheckpoint>(&cp.data) {
+            Some(cp) => match crate::codec::decode_loader_checkpoint(&cp.data) {
                 Ok(parsed) => {
                     let mut loader = SourceLoader::restore(spec, config, &parsed);
                     replay_plan_log(&mut loader, &gcs, parsed.version, loader_id);
@@ -149,7 +149,7 @@ fn replay_plan_log(loader: &mut SourceLoader, gcs: &Gcs, from_version: u64, load
     let Some(cp) = gcs.get_state(PLANNER_STATE_KEY) else {
         return;
     };
-    let Ok(core_cp) = serde_json::from_slice::<CoreCheckpoint>(&cp.data) else {
+    let Ok(core_cp) = crate::codec::decode_planner_checkpoint(&cp.data) else {
         return; // Planner checkpoint unreadable — its own restart logs it.
     };
     let latest = core_cp.planner.step; // Plans 0..latest have been issued.
@@ -169,7 +169,7 @@ fn replay_plan_log(loader: &mut SourceLoader, gcs: &Gcs, from_version: u64, load
         let Some(entry) = gcs.get_state(&plan_log_key(step)) else {
             continue; // Pruned or never logged.
         };
-        match serde_json::from_slice::<BTreeMap<u32, Vec<u64>>>(&entry.data) {
+        match crate::codec::decode_plan_log(&entry.data) {
             Ok(directives) => {
                 if let Some(ids) = directives.get(&loader_id) {
                     loader.replay_directives(ids);
@@ -202,8 +202,8 @@ impl Actor for LoaderActor {
             LoaderMsg::Checkpoint { version } => {
                 let cp = self.inner.checkpoint(version);
                 let key = format!("loader/{}", cp.loader_id);
-                let data = serde_json::to_vec(&cp).expect("checkpoint serializes");
-                self.gcs.put_state(&key, version, data);
+                self.gcs
+                    .put_state(&key, version, crate::codec::encode_loader_checkpoint(&cp));
             }
         }
     }
@@ -243,7 +243,7 @@ impl PlannerActor {
     pub fn new(template: Planner, gcs: Gcs) -> Self {
         let mut core = PipelineCore::new(template);
         if let Some(cp) = gcs.get_state(PLANNER_STATE_KEY) {
-            match serde_json::from_slice::<CoreCheckpoint>(&cp.data) {
+            match crate::codec::decode_planner_checkpoint(&cp.data) {
                 Ok(parsed) => core.restore(&parsed),
                 Err(e) => gcs.log_fault(
                     "planner",
@@ -288,16 +288,16 @@ impl Actor for PlannerActor {
                     // Log this plan's pop directives for loader directive
                     // replay, then checkpoint the planner itself — both
                     // *before* the plan is released, so anything a client
-                    // may have observed is covered by durable state.
-                    let directives =
-                        serde_json::to_vec(&outcome.plan.directives).expect("directives serialize");
+                    // may have observed is covered by durable state. Both
+                    // blobs use the compact binary codec (this runs once
+                    // per plan step; JSON remains readable on restore).
+                    let directives = crate::codec::encode_plan_log(&outcome.plan.directives);
                     self.gcs
                         .put_state(&plan_log_key(step), step + 1, directives);
                     if step >= PLAN_LOG_WINDOW {
                         self.gcs.remove_state(&plan_log_key(step - PLAN_LOG_WINDOW));
                     }
-                    let cp = serde_json::to_vec(&self.core.checkpoint())
-                        .expect("planner checkpoint serializes");
+                    let cp = crate::codec::encode_planner_checkpoint(&self.core.checkpoint());
                     self.gcs
                         .put_state(PLANNER_STATE_KEY, self.core.planner_ref().step(), cp);
                 }
@@ -360,13 +360,16 @@ pub enum ConstructorMsg {
     /// A trainer client requests the batch for exactly `step`. The reply
     /// is parked until that step is constructed. The client carries its
     /// own cursor, so a restarted constructor cannot double-serve it.
+    /// The reply shares the queued batch (`Arc`): N pulling clients and
+    /// every re-broadcast replay read the *same* constructed buffers — a
+    /// pull is a refcount bump, never a payload copy.
     Pull {
         /// Pulling client id.
         client: u32,
         /// The serve step the client needs next.
         step: u64,
         /// Reply channel.
-        reply: ReplyTo<(u64, ConstructedBatch)>,
+        reply: ReplyTo<(u64, Arc<ConstructedBatch>)>,
     },
     /// Install the clients this constructor serves, each with the lowest
     /// serve step it could still need (0 at session start; the driver's
@@ -387,6 +390,9 @@ pub enum ConstructorMsg {
     Reset,
 }
 
+/// The shared-batch reply a [`ConstructorMsg::Pull`] resolves to.
+type PullReply = ReplyTo<(u64, Arc<ConstructedBatch>)>;
+
 /// A Data Constructor hosted in a supervised actor, serving one bucket's
 /// batches to its rostered trainer clients.
 ///
@@ -396,9 +402,11 @@ pub enum ConstructorMsg {
 /// a crash mid-serve costs latency, never correctness.
 pub struct ConstructorActor {
     inner: DataConstructor,
-    ready: BTreeMap<u64, ConstructedBatch>,
+    /// Constructed batches queued for pulling clients. `Arc`-held so every
+    /// client of a step is handed the same batch — fan-out is refcounting.
+    ready: BTreeMap<u64, Arc<ConstructedBatch>>,
     cursors: HashMap<u32, u64>,
-    waiting: HashMap<u32, (u64, ReplyTo<(u64, ConstructedBatch)>)>,
+    waiting: HashMap<u32, (u64, PullReply)>,
     roster_known: bool,
 }
 
@@ -453,11 +461,13 @@ impl Actor for ConstructorActor {
                 if duplicate {
                     return; // Idempotent re-broadcast.
                 }
-                let batch = self
-                    .inner
-                    .construct(&bucket_plan, &samples, &broadcast_axes);
+                let batch = Arc::new(
+                    self.inner
+                        .construct(&bucket_plan, &samples, &broadcast_axes),
+                );
                 self.ready.insert(step, batch);
-                // Wake clients parked on this step.
+                // Wake clients parked on this step (each gets a shared
+                // handle to the one constructed batch).
                 let served: Vec<u32> = self
                     .waiting
                     .iter()
@@ -466,7 +476,7 @@ impl Actor for ConstructorActor {
                     .collect();
                 for client in served {
                     let (want, reply) = self.waiting.remove(&client).expect("just selected");
-                    let batch = self.ready[&want].clone();
+                    let batch = Arc::clone(&self.ready[&want]);
                     reply.send((want, batch));
                 }
                 self.prune();
@@ -479,7 +489,7 @@ impl Actor for ConstructorActor {
                 self.cursors.insert(client, step);
                 match self.ready.get(&step) {
                     Some(batch) => {
-                        reply.send((step, batch.clone()));
+                        reply.send((step, Arc::clone(batch)));
                     }
                     None => {
                         // Park; a retry from the same client replaces the
@@ -1024,8 +1034,9 @@ impl ServeClient {
     /// Pulls the next batch, blocking (with retries while the pipeline
     /// recovers from faults) until it is available. Returns `None` once
     /// the session's steps are exhausted or the pipeline stays
-    /// unreachable past the retry budget.
-    pub fn next(&mut self) -> Option<(u64, ConstructedBatch)> {
+    /// unreachable past the retry budget. The batch is a shared handle:
+    /// every client of a serve step reads the same constructed buffers.
+    pub fn next(&mut self) -> Option<(u64, Arc<ConstructedBatch>)> {
         if self.next_step >= self.steps {
             return None;
         }
@@ -1359,7 +1370,7 @@ mod tests {
                     experts_per_token: 1,
                 },
             },
-            tree.clone(),
+            tree,
             catalog.sources().iter().map(|s| s.id).collect(),
             7,
         );

@@ -6,6 +6,7 @@
 //! gathered from Source Loader buffers — while payload bytes stay inside
 //! the loaders. That split is what makes centralized planning cheap.
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a data source (one logical dataset file/collection).
@@ -84,12 +85,17 @@ impl SampleMeta {
 }
 
 /// A materialized sample: metadata plus payload bytes.
+///
+/// The payload is a [`Bytes`] view, so a sample read from storage is an
+/// O(1) slice of the decoded block buffer, and every later hop (loader
+/// buffer → pop → constructor → serving client) moves the same allocation
+/// by refcount. Cloning a `Sample` never copies payload bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// The descriptor.
     pub meta: SampleMeta,
-    /// Raw (or transformed) payload bytes.
-    pub payload: Vec<u8>,
+    /// Raw (or transformed) payload bytes (shared, immutable).
+    pub payload: Bytes,
 }
 
 impl Sample {
@@ -105,8 +111,27 @@ impl Sample {
             x ^= x << 17;
             payload.push(x as u8);
         }
-        Sample { meta, payload }
+        Sample {
+            meta,
+            payload: payload.into(),
+        }
     }
+}
+
+/// A zero-filled payload of `len` bytes, sliced from one process-wide
+/// shared template (lengths beyond the template fall back to a fresh
+/// allocation). Synthetic and test paths that used to build
+/// `vec![0u8; len]` per sample use this instead, so N dummy samples cost
+/// one allocation plus N refcount bumps.
+pub fn zeroed_payload(len: usize) -> Bytes {
+    const TEMPLATE_LEN: usize = 1 << 16;
+    static TEMPLATE: std::sync::OnceLock<Bytes> = std::sync::OnceLock::new();
+    if len > TEMPLATE_LEN {
+        return Bytes::from(vec![0u8; len]);
+    }
+    TEMPLATE
+        .get_or_init(|| Bytes::from(vec![0u8; TEMPLATE_LEN]))
+        .slice(..len)
 }
 
 #[cfg(test)]

@@ -69,8 +69,17 @@ impl Transform {
         }
     }
 
-    /// Applies the transform: performs real byte work on the payload and
-    /// updates the metadata (patch budget, byte size).
+    /// Applies the transform copy-on-write: resize-only transforms
+    /// (`Crop`) narrow the shared [`bytes::Bytes`] view in place
+    /// (zero-copy); byte-mutating transforms materialize a fresh buffer.
+    /// Metadata (patch budget, byte size) is updated either way.
+    ///
+    /// Note the zero-copy tradeoff: a narrowed view pins its whole
+    /// backing allocation until every sharing view drops, while byte
+    /// accounting (`raw_bytes`, `payload_bytes`) reports view lengths.
+    /// Crop's shrink factor is bounded by `max_patches / image_patches`,
+    /// and buffers leave the retained serve window within `queue_depth`
+    /// steps, so the overhang is transient and bounded.
     pub fn apply(&self, sample: &mut Sample) {
         match self {
             Transform::TextTokenize => {
@@ -80,7 +89,7 @@ impl Transform {
                     .chunks(2)
                     .map(|c| c.iter().fold(0u8, |a, b| a.wrapping_add(*b)))
                     .collect();
-                sample.payload = folded;
+                sample.payload = folded.into();
             }
             Transform::ImageDecode => {
                 // "Decode": expand each byte into an RGB-ish triple block,
@@ -97,19 +106,25 @@ impl Transform {
                     out.push(b.wrapping_add(7));
                     i += 1;
                 }
-                sample.payload = out;
+                sample.payload = out.into();
             }
             Transform::Crop { max_patches } => {
                 if sample.meta.image_patches > *max_patches {
                     let keep =
                         f64::from(*max_patches) / f64::from(sample.meta.image_patches.max(1));
                     let new_len = (sample.payload.len() as f64 * keep) as usize;
-                    sample.payload.truncate(new_len.max(1));
+                    // Resize-only: narrow the view, keep the allocation.
+                    // Clamp to the current length — an empty payload stays
+                    // empty (the Vec::truncate this replaced was a no-op).
+                    let new_len = new_len.max(1).min(sample.payload.len());
+                    sample.payload = sample.payload.slice(..new_len);
                     sample.meta.image_patches = *max_patches;
                 }
             }
             Transform::Flip => {
-                sample.payload.reverse();
+                let mut reversed = sample.payload.to_vec();
+                reversed.reverse();
+                sample.payload = reversed.into();
             }
             Transform::VideoKeyframe => {
                 // Keep every 20th byte-block ("keyframe").
@@ -118,7 +133,7 @@ impl Transform {
                     .chunks(20)
                     .filter_map(|c| c.first().copied())
                     .collect();
-                sample.payload = kept;
+                sample.payload = kept.into();
             }
             Transform::AudioResample => {
                 // "Resample": duplicate with interpolation-ish mixing.
@@ -128,7 +143,7 @@ impl Transform {
                     out.push(w[0]);
                     out.push(w[0].wrapping_add(w[1]) / 2);
                 }
-                sample.payload = out;
+                sample.payload = out.into();
             }
         }
         sample.meta.raw_bytes = sample.payload.len() as u64;
@@ -317,6 +332,32 @@ mod tests {
         Transform::Crop { max_patches: 1000 }.apply(&mut s2);
         assert_eq!(s2.meta.image_patches, 100);
         assert_eq!(s2.payload.len(), len);
+    }
+
+    #[test]
+    fn crop_is_a_zero_copy_slice() {
+        // Resize-only transforms must narrow the shared view, not copy.
+        let mut s = Sample::synthesize(meta(Modality::Image, 10, 5000));
+        let before = s.payload.clone();
+        Transform::Crop { max_patches: 1000 }.apply(&mut s);
+        assert!(s.payload.len() < before.len());
+        assert!(
+            bytes::Bytes::ptr_eq(&before, &s.payload),
+            "crop copied the payload instead of slicing it"
+        );
+    }
+
+    #[test]
+    fn crop_of_empty_payload_is_a_noop() {
+        // Regression: an empty payload with an over-budget patch count
+        // must not panic — the pre-Bytes `truncate` path was a no-op.
+        let mut m = meta(Modality::Image, 0, 100);
+        m.raw_bytes = 0;
+        let mut s = Sample::synthesize(m);
+        assert!(s.payload.is_empty());
+        Transform::Crop { max_patches: 10 }.apply(&mut s);
+        assert!(s.payload.is_empty());
+        assert_eq!(s.meta.image_patches, 10);
     }
 
     #[test]

@@ -198,7 +198,10 @@ pub fn decode_column_chunk(
                         .map_err(|_| StorageError::Corrupt("invalid UTF-8".into()))?;
                     Value::Utf8(s.to_string())
                 } else {
-                    Value::Bytes(payload.to_vec())
+                    // Zero-copy: the value is an O(1) sub-view of the
+                    // fetched chunk — payload bytes stay in the block
+                    // buffer all the way to the consumer.
+                    Value::Bytes(payload)
                 }
             }
         };
@@ -366,7 +369,7 @@ mod tests {
                 vec![
                     Value::Int64(i as i64),
                     Value::Utf8(format!("caption-{i}")),
-                    Value::Bytes(vec![i as u8; i % 7 + 1]),
+                    Value::Bytes(vec![i as u8; i % 7 + 1].into()),
                     Value::Int64((i * 13 % 97) as i64),
                     Value::Int64((i * 31 % 1024) as i64),
                 ]
@@ -387,6 +390,30 @@ mod tests {
         };
         let decoded = decode_row_group(&schema, &meta, bytes).unwrap();
         assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn decoded_blobs_share_the_group_buffer() {
+        // The zero-copy contract of the data plane's first hop: a decoded
+        // `Bytes` value is a sub-view of the row-group bytes handed to the
+        // decoder, not a fresh allocation.
+        let schema = Schema::sample_schema();
+        let rows = sample_rows(16);
+        let (bytes, metas) = encode_row_group(&schema, &rows).unwrap();
+        let meta = RowGroupMeta {
+            offset: 0,
+            byte_len: bytes.len() as u64,
+            rows: rows.len() as u64,
+            columns: metas,
+        };
+        let decoded = decode_row_group(&schema, &meta, bytes.clone()).unwrap();
+        for row in &decoded {
+            let blob = row[2].as_shared_bytes().expect("image column is Bytes");
+            assert!(
+                Bytes::ptr_eq(&blob, &bytes),
+                "decoded payload was copied out of the block buffer"
+            );
+        }
     }
 
     #[test]

@@ -188,7 +188,7 @@ mod tests {
             w.push(vec![
                 Value::Int64(i as i64),
                 Value::Int64((i % 128) as i64),
-                Value::Bytes(vec![i as u8; 64]),
+                Value::Bytes(vec![i as u8; 64].into()),
             ])
             .unwrap();
         }
@@ -290,7 +290,7 @@ mod tests {
             w.push(vec![
                 Value::Int64(i),
                 Value::Int64(i % 128),
-                Value::Bytes(vec![0xAB; 64 << 10]), // 64 KiB payload per row.
+                Value::Bytes(vec![0xAB; 64 << 10].into()), // 64 KiB payload per row.
             ])
             .unwrap();
         }

@@ -1,5 +1,7 @@
 //! Column schemas and typed values.
 
+use bytes::Bytes;
+
 use crate::error::StorageError;
 
 /// Data type of a column.
@@ -57,8 +59,10 @@ pub enum Value {
     Float64(f64),
     /// UTF-8 string.
     Utf8(String),
-    /// Opaque byte blob.
-    Bytes(Vec<u8>),
+    /// Opaque byte blob. Held as [`Bytes`] so decoded values are O(1)
+    /// slices of the fetched block buffer — payloads cross the
+    /// storage → loader hop without a copy.
+    Bytes(Bytes),
 }
 
 impl Value {
@@ -100,6 +104,16 @@ impl Value {
     pub fn as_bytes(&self) -> Option<&[u8]> {
         match self {
             Value::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a shared, zero-copy handle to the blob, if this is a
+    /// [`Value::Bytes`] — the clone is a refcount bump on the decoded
+    /// block buffer, never a payload copy.
+    pub fn as_shared_bytes(&self) -> Option<Bytes> {
+        match self {
+            Value::Bytes(v) => Some(v.clone()),
             _ => None,
         }
     }
@@ -223,9 +237,18 @@ mod tests {
         assert_eq!(Value::Int64(5).as_i64(), Some(5));
         assert_eq!(Value::Int64(5).as_f64(), None);
         assert_eq!(Value::Utf8("hi".into()).as_str(), Some("hi"));
-        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
-        assert_eq!(Value::Bytes(vec![1, 2, 3]).payload_bytes(), 3);
+        assert_eq!(
+            Value::Bytes(vec![1, 2].into()).as_bytes(),
+            Some(&[1u8, 2][..])
+        );
+        assert_eq!(Value::Bytes(vec![1, 2, 3].into()).payload_bytes(), 3);
         assert_eq!(Value::Float64(0.5).payload_bytes(), 8);
+        // Shared extraction is a refcount bump, not a copy.
+        let blob = Value::Bytes(vec![9u8; 16].into());
+        let a = blob.as_shared_bytes().unwrap();
+        let b = blob.as_shared_bytes().unwrap();
+        assert!(Bytes::ptr_eq(&a, &b));
+        assert_eq!(Value::Int64(1).as_shared_bytes(), None);
     }
 
     #[test]
@@ -238,7 +261,7 @@ mod tests {
         let good: Row = vec![
             Value::Int64(1),
             Value::Utf8("caption".into()),
-            Value::Bytes(vec![0xFF; 16]),
+            Value::Bytes(vec![0xFF; 16].into()),
             Value::Int64(12),
             Value::Int64(256),
         ];

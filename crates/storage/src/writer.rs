@@ -118,7 +118,7 @@ mod tests {
     fn writer_produces_parsable_file() {
         let mut w = ColumnarWriter::with_group_size(schema(), 256);
         for i in 0..100i64 {
-            w.push(vec![Value::Int64(i), Value::Bytes(vec![0xAB; 32])])
+            w.push(vec![Value::Int64(i), Value::Bytes(vec![0xAB; 32].into())])
                 .unwrap();
         }
         let bytes = w.finish().unwrap();
@@ -142,7 +142,7 @@ mod tests {
         let mut w = ColumnarWriter::new(schema());
         assert!(w.push(vec![Value::Int64(1)]).is_err());
         assert!(w
-            .push(vec![Value::Utf8("x".into()), Value::Bytes(vec![])])
+            .push(vec![Value::Utf8("x".into()), Value::Bytes(Bytes::new())])
             .is_err());
     }
 
@@ -151,7 +151,7 @@ mod tests {
         let small = {
             let mut w = ColumnarWriter::with_group_size(schema(), 1 << 10);
             for i in 0..50i64 {
-                w.push(vec![Value::Int64(i), Value::Bytes(vec![1; 100])])
+                w.push(vec![Value::Int64(i), Value::Bytes(vec![1; 100].into())])
                     .unwrap();
             }
             w.finish().unwrap()
@@ -162,7 +162,7 @@ mod tests {
         let large = {
             let mut w = ColumnarWriter::with_group_size(schema(), 1 << 20);
             for i in 0..50i64 {
-                w.push(vec![Value::Int64(i), Value::Bytes(vec![1; 100])])
+                w.push(vec![Value::Int64(i), Value::Bytes(vec![1; 100].into())])
                     .unwrap();
             }
             w.finish().unwrap()

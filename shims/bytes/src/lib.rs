@@ -87,6 +87,16 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Whether two views share the same backing allocation (regardless of
+    /// their ranges). This is the zero-copy observability hook: tests use
+    /// it to assert that slicing, cloning, and cross-component handoff
+    /// never copied payload bytes. (The real crate offers the same check
+    /// via `Bytes::as_ptr` range comparisons; a named method keeps the
+    /// assertion sites readable.)
+    pub fn ptr_eq(a: &Bytes, b: &Bytes) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -152,6 +162,27 @@ impl std::hash::Hash for Bytes {
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+// Serde support (the real crate gates this behind the `serde` feature;
+// the shim provides it unconditionally — both crates are local). Encoded
+// as a plain byte sequence, matching how `Vec<u8>` serializes, so types
+// that migrate a field from `Vec<u8>` to `Bytes` keep their wire shape.
+impl serde::Serialize for Bytes {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Seq(
+            self.as_slice()
+                .iter()
+                .map(|b| serde::Content::I64(i64::from(*b)))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        Vec::<u8>::from_content(content).map(Bytes::from)
     }
 }
 
@@ -385,5 +416,43 @@ mod tests {
     fn split_to_checks_bounds() {
         let mut b = Bytes::from(vec![1]);
         b.split_to(2);
+    }
+
+    #[test]
+    fn clone_slice_and_split_share_one_allocation() {
+        let b = Bytes::from(vec![7u8; 64]);
+        let c = b.clone();
+        let s = b.slice(8..32);
+        let mut rest = b.clone();
+        let head = rest.split_to(16);
+        assert!(Bytes::ptr_eq(&b, &c));
+        assert!(Bytes::ptr_eq(&b, &s));
+        assert!(Bytes::ptr_eq(&b, &head));
+        assert!(Bytes::ptr_eq(&b, &rest));
+        // A fresh copy does not share.
+        assert!(!Bytes::ptr_eq(&b, &Bytes::copy_from_slice(&b)));
+        // Nested slices of slices still share.
+        assert!(Bytes::ptr_eq(&b, &s.slice(1..3)));
+    }
+
+    #[test]
+    fn freeze_then_slice_is_no_copy() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"0123456789abcdef");
+        let frozen = m.freeze();
+        let tail = frozen.slice(10..);
+        assert!(Bytes::ptr_eq(&frozen, &tail));
+        assert_eq!(&tail[..], b"abcdef");
+    }
+
+    #[test]
+    fn serde_roundtrip_matches_vec_encoding() {
+        use serde::{Deserialize, Serialize};
+        let b = Bytes::from(vec![1u8, 2, 250]);
+        let v = vec![1u8, 2, 250];
+        assert_eq!(b.to_content(), v.to_content());
+        let back = Bytes::from_content(&b.to_content()).unwrap();
+        assert_eq!(back, b);
+        assert!(Bytes::from_content(&serde::Content::Bool(true)).is_err());
     }
 }

@@ -209,3 +209,124 @@ fn pipeline_checkpoints_exist() -> bool {
     // runtime unit tests.
     true
 }
+
+/// Polls the pipeline's GCS until `key` appears (loader checkpoints are
+/// written with a fire-and-forget `tell`, so a step can return before
+/// the blob lands).
+fn wait_for_state(p: &ThreadedPipeline, key: &str) -> megascale_data::actor::gcs::Checkpoint {
+    for _ in 0..200 {
+        if let Some(cp) = p.gcs.get_state(key) {
+            return cp;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("GCS state {key} never appeared");
+}
+
+fn small_threaded_pipeline(seed: u64) -> ThreadedPipeline {
+    let mut rng = SimRng::seed(2);
+    let catalog = coyo700m_like(&mut rng);
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 1).unwrap();
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![],
+            samples_per_step: 16,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::Vanilla,
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        3,
+    );
+    let sources: Vec<(SourceSpec, LoaderConfig)> = catalog
+        .sources()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), LoaderConfig::solo(i as u32)))
+        .collect();
+    let constructors = vec![
+        DataConstructor::new(mesh.clone(), 4096),
+        DataConstructor::new(mesh, 4096),
+    ];
+    ThreadedPipeline::new(sources, planner, constructors, seed)
+}
+
+/// The per-step GCS hot path (planner checkpoint, plan-log entries,
+/// loader checkpoints) writes the compact binary codec, and each blob
+/// round-trips through the typed decoder.
+#[test]
+fn gcs_hot_path_state_is_binary_and_roundtrips() {
+    use megascale_data::core::codec;
+
+    let mut p = small_threaded_pipeline(21);
+    let (plan, _, _) = p.step(32).unwrap();
+
+    let planner_cp = p.gcs.get_state("planner").expect("planner checkpoint");
+    assert!(
+        codec::is_binary(&planner_cp.data),
+        "planner checkpoint still serializes as JSON"
+    );
+    let decoded = codec::decode_planner_checkpoint(&planner_cp.data).unwrap();
+    assert_eq!(decoded.planner.step, plan.step + 1);
+
+    let log = p
+        .gcs
+        .get_state(&format!("plan/{}", plan.step))
+        .expect("plan log entry");
+    assert!(codec::is_binary(&log.data), "plan log entry is not binary");
+    assert_eq!(codec::decode_plan_log(&log.data).unwrap(), plan.directives);
+
+    // Loader checkpoints land asynchronously (tell, not ask).
+    let loader_cp = wait_for_state(&p, "loader/0");
+    assert!(
+        codec::is_binary(&loader_cp.data),
+        "loader checkpoint is not binary"
+    );
+    let decoded = codec::decode_loader_checkpoint(&loader_cp.data).unwrap();
+    assert_eq!(decoded.loader_id, 0);
+    assert_eq!(decoded.version, plan.step);
+    p.shutdown();
+}
+
+/// A JSON-era (pre-codec) loader checkpoint still restores through the
+/// fallback reader: the restarted loader resumes it without logging a
+/// corruption fault.
+#[test]
+fn legacy_json_checkpoint_restores_through_the_fallback_reader() {
+    use megascale_data::core::codec;
+
+    let mut p = small_threaded_pipeline(22);
+    p.step(32).unwrap();
+
+    // Rewrite loader 0's binary checkpoint as the legacy JSON encoding —
+    // exactly what a pre-codec deployment would have left in the GCS.
+    let cp = wait_for_state(&p, "loader/0");
+    let parsed = codec::decode_loader_checkpoint(&cp.data).unwrap();
+    let legacy = serde_json::to_vec(&parsed).expect("legacy JSON encodes");
+    assert!(p.gcs.put_state("loader/0", cp.version + 1, legacy));
+
+    p.loaders()[0].inject_crash("legacy restore test");
+    std::thread::sleep(Duration::from_millis(50));
+    let mut recovered = false;
+    for _ in 0..100 {
+        match p.step(32) {
+            Ok((plan, _, _)) => {
+                assert_eq!(plan.all_samples().len(), 16);
+                recovered = true;
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(recovered, "loader never recovered from the JSON checkpoint");
+    let faults = p.gcs.fault_log("loader/0");
+    assert!(
+        !faults.iter().any(|f| f.detail.contains("corrupt")),
+        "fallback reader flagged valid legacy JSON as corrupt: {faults:?}"
+    );
+    p.shutdown();
+}

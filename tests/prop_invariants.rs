@@ -138,7 +138,7 @@ proptest! {
                 vec![
                     Value::Int64(*id),
                     Value::Utf8(text.clone()),
-                    Value::Bytes(blob.clone()),
+                    Value::Bytes(blob.clone().into()),
                 ]
             })
             .collect();

@@ -8,6 +8,7 @@
 //! consistent* batch stream.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 use megascale_data::balance::BalanceMethod;
@@ -72,7 +73,9 @@ fn pipeline(seed: u64) -> ThreadedPipeline {
 }
 
 /// One client's observed stream: `(serve step, batch)` in pull order.
-type Stream = Vec<(u64, ConstructedBatch)>;
+/// Batches are shared handles — a pull is a refcount bump on the one
+/// constructed batch, never a payload copy.
+type Stream = Vec<(u64, Arc<ConstructedBatch>)>;
 
 fn sample_ids(batch: &ConstructedBatch) -> Vec<u64> {
     batch
