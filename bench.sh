@@ -2,8 +2,29 @@
 # Performance-trajectory gate: runs the runtime-throughput bench (plus the
 # fig19/fig20 cost-model and actor-scalability reproductions) and emits a
 # machine-readable BENCH_runtime.json (samples/sec per deployment and
-# client count) at the repo root. Run from the repo root.
+# client count, plus the elastic-scaling scenario) at the repo root. Run
+# from the repo root.
+#
+#   bench.sh           run benches, print a regression summary (informative)
+#   bench.sh --check   same, but *fail* (exit 1) when the fresh run
+#                      regresses past the documented tolerances below
+#
+# Regression tolerances (--check). Benches run on shared, 1-core CI boxes
+# where back-to-back runs of the same binary vary by tens of percent, so
+# the gate allows generous wall-clock noise while still catching real
+# collapses (e.g. an accidental payload copy or a serialized serve path):
+#   serve@8 delivered samples/s   may drop at most 50% vs the committed report
+#   scaling_efficiency            may drop at most 50% vs the committed report
+#   elastic recovery_ratio        must stay >= 0.70 absolute (committed
+#                                 reports carry >= 0.90; the slack is noise
+#                                 headroom, not a quality target)
 set -euo pipefail
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
 
 OUT="${BENCH_RUNTIME_JSON:-BENCH_runtime.json}"
 # Cargo runs bench binaries with the package directory as cwd; hand the
@@ -34,19 +55,51 @@ cargo build --release --benches
 echo "==> runtime_throughput (writes ${OUT})"
 BENCH_JSON_OUT="${OUT}" cargo bench -p msd_bench --bench runtime_throughput
 
-# One-line regression summary against the previously committed report.
+# Regression summary against the previously committed report; with
+# --check, violations of the documented tolerances fail the gate.
+FAILED=0
+# check_ratio label old new min_ratio — trips the gate when new < old*min.
+check_ratio() {
+  local label="$1" old="$2" new="$3" min_ratio="$4"
+  [[ "${old}" == "n/a" || "${new}" == "n/a" ]] && return 0
+  if awk -v o="${old}" -v n="${new}" -v r="${min_ratio}" \
+      'BEGIN { exit !(o > 0 && n < o * r) }'; then
+    echo "CHECK FAIL: ${label} regressed past tolerance: ${old} -> ${new} (floor ${min_ratio}x committed)"
+    FAILED=1
+  fi
+}
+
 if [[ -n "${OLD_JSON}" ]]; then
   old_s8="$(json_metric "${OLD_JSON}" 8)"
   new_s8="$(json_metric "${OUT}" 8)"
   old_eff="$(json_metric "${OLD_JSON}" scaling_efficiency)"
   new_eff="$(json_metric "${OUT}" scaling_efficiency)"
+  old_rec="$(json_metric "${OLD_JSON}" recovery_ratio)"
+  new_rec="$(json_metric "${OUT}" recovery_ratio)"
   delta="n/a"
   if [[ "${old_s8}" != "n/a" && "${new_s8}" != "n/a" ]]; then
     delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
       'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
   fi
-  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}"
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}"
+  if [[ "${CHECK}" == 1 ]]; then
+    check_ratio "serve@8 delivered samples/s" "${old_s8}" "${new_s8}" 0.50
+    check_ratio "scaling_efficiency" "${old_eff}" "${new_eff}" 0.50
+    if [[ "${new_rec}" != "n/a" ]] && \
+       awk -v r="${new_rec}" 'BEGIN { exit !(r < 0.70) }'; then
+      echo "CHECK FAIL: elastic recovery_ratio ${new_rec} < 0.70 — post-rebalance throughput did not recover"
+      FAILED=1
+    fi
+  fi
   rm -f "${OLD_JSON}"
+elif [[ "${CHECK}" == 1 ]]; then
+  echo "CHECK FAIL: no committed ${OUT} to compare against"
+  FAILED=1
+fi
+
+if [[ "${FAILED}" == 1 ]]; then
+  echo "Bench gate FAILED (see CHECK FAIL lines above)."
+  exit 1
 fi
 
 echo "==> fig19_cost_model"

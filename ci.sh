@@ -15,9 +15,10 @@ set -euo pipefail
 #                            a partial_cmp rewrite would lose that
 #   cloned_ref_to_slice_refs mesh transform clones for a by-value slice
 #
-# Note: msd_core and msd_actor additionally opt IN to
-# clippy::redundant_clone via crate-level attributes (the zero-copy data
-# plane must not regrow payload copies); -D warnings makes those errors.
+# Note: msd_core, msd_actor, msd_data, and msd_storage additionally opt
+# IN to clippy::redundant_clone via crate-level attributes (the zero-copy
+# contract covers the whole payload path, storage block through serving
+# client); -D warnings makes those errors.
 ALLOW=(
   -A clippy::single_range_in_vec_init
   -A clippy::should_implement_trait
@@ -38,12 +39,26 @@ echo "==> cargo build --benches --examples"
 cargo build --benches --examples
 
 # Compile-only check for the perf gate: bench.sh must stay runnable (the
-# bench targets themselves were just built above).
+# bench targets themselves were just built above). A full perf run is
+# `./bench.sh --check` — a real gate that fails on throughput or elastic
+# recovery regressions past its documented tolerances.
 echo "==> bash -n bench.sh"
 bash -n bench.sh
 
 echo "==> cargo test -q"
 cargo test -q
+
+# The elasticity suite is part of `cargo test`, but gate it by name too so
+# a test-filter or default-members slip can't silently drop it.
+echo "==> cargo test --test elastic_runtime -q"
+cargo test --test elastic_runtime -q
+
+# Smoke-run the elastic control plane end to end (scales up, retires,
+# asserts gap-free clients internally). Debug profile on purpose: it
+# reuses the artifacts `cargo build --benches --examples` made above,
+# and the demo's wall-clock is dominated by modeled fetch sleeps.
+echo "==> cargo run --example elastic_serve"
+cargo run --example elastic_serve
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

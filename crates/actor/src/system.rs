@@ -49,6 +49,11 @@ pub enum RestartPolicy {
 /// counter.stop(); // Actors run until stopped (or every sender drops)...
 /// system.shutdown(); // ...and shutdown joins their threads.
 /// ```
+/// Handles are shared behind an `Arc`, so the system is cheaply clonable:
+/// a clone spawns into (and is joined with) the same thread pool. This is
+/// what lets a control-plane actor provision *new* supervised actors at
+/// runtime — it carries a clone of the system it lives in.
+#[derive(Clone)]
 pub struct ActorSystem {
     name: String,
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -282,6 +287,20 @@ mod tests {
         assert_eq!(a.ask(CounterMsg::Get, ask_timeout()).unwrap(), 5);
         a.stop();
         sys.shutdown();
+    }
+
+    #[test]
+    fn cloned_system_spawns_into_the_same_pool() {
+        let sys = ActorSystem::new("t");
+        let cloned = sys.clone();
+        assert_eq!(cloned.name(), "t");
+        let a = cloned.spawn("counter", Counter { value: 0 });
+        a.tell(CounterMsg::Add(9));
+        assert_eq!(a.ask(CounterMsg::Get, ask_timeout()).unwrap(), 9);
+        a.stop();
+        // Joining the *original* system reaps the clone-spawned thread.
+        sys.shutdown();
+        assert!(!a.is_alive());
     }
 
     #[test]

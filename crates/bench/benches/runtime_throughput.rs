@@ -26,12 +26,14 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use msd_actor::Gcs;
 use msd_bench::{banner, f, table_header, table_row};
 use msd_core::buffer::BufferInfo;
 use msd_core::constructor::DataConstructor;
 use msd_core::loader::{LoaderConfig, SourceLoader};
 use msd_core::planner::{Planner, PlannerConfig, Strategy};
 use msd_core::schedule::MixSchedule;
+use msd_core::system::controller::ControllerConfig;
 use msd_core::system::core::PipelineCore;
 use msd_core::system::runtime::{ServeOptions, ThreadedPipeline};
 use msd_data::catalog::coyo700m_like;
@@ -53,6 +55,10 @@ fn mesh() -> DeviceMesh {
 }
 
 fn planner(catalog: &Catalog) -> Planner {
+    planner_with(catalog, MixSchedule::uniform(catalog.len()))
+}
+
+fn planner_with(catalog: &Catalog, schedule: MixSchedule) -> Planner {
     let tree = ClientPlaceTree::from_device_mesh(&mesh());
     Planner::new(
         PlannerConfig {
@@ -61,7 +67,7 @@ fn planner(catalog: &Catalog) -> Planner {
             microbatches: 2,
             broadcast_axes: vec![Axis::TP],
             samples_per_step: SAMPLES_PER_STEP,
-            schedule: MixSchedule::uniform(catalog.len()),
+            schedule,
         },
         Strategy::BackboneBalance {
             method: msd_balance::BalanceMethod::Greedy,
@@ -218,6 +224,7 @@ fn run_serve(clients: u32) -> Delivered {
         queue_depth: 4,
         prefetch: true,
         pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
     });
     let handles: Vec<_> = session
         .take_clients()
@@ -255,6 +262,126 @@ fn run_serve(clients: u32) -> Delivered {
     }
 }
 
+/// The elastic scenario's phase boundaries (plan steps): a steady uniform
+/// mixture, a hot-source phase that forces live loader scale-ups, then a
+/// return to uniform that forces retirements. Throughput is measured per
+/// window from client pull timestamps.
+const ELASTIC_STEPS: u64 = 30;
+const ELASTIC_HOT_AT: u64 = 10;
+const ELASTIC_COOL_AT: u64 = 20;
+
+/// Measured delivery of the elastic serve session, windowed around the
+/// scaling events.
+struct ElasticReport {
+    /// Steady-state delivered samples/s before any scaling (warmup
+    /// steps excluded).
+    before: f64,
+    /// Delivered samples/s across the mixture shift + scale-up window.
+    during: f64,
+    /// Delivered samples/s after the retirement settles.
+    after: f64,
+    /// Live loader spawns executed by the controller.
+    scale_ups: u64,
+    /// Live retirements executed by the controller.
+    scale_downs: u64,
+}
+
+impl ElasticReport {
+    /// `after ÷ before`: how much of steady-state throughput the fleet
+    /// recovers once scaling and rebalancing settle.
+    fn recovery_ratio(&self) -> f64 {
+        self.after / self.before
+    }
+}
+
+/// Deployment 4: concurrent serving under a drifting source mixture with
+/// the elastic control plane live (controller ticked every serve step).
+fn run_elastic() -> ElasticReport {
+    let catalog = catalog();
+    let uniform = vec![0.2; 5];
+    let schedule = MixSchedule::Staged(vec![
+        (0, uniform.clone()),
+        (ELASTIC_HOT_AT, vec![0.8, 0.05, 0.05, 0.05, 0.05]),
+        (ELASTIC_COOL_AT, uniform),
+    ]);
+    let ctrl = ControllerConfig {
+        alpha: 0.6,
+        patience: 2,
+        max_loaders_per_source: 3,
+        ..ControllerConfig::default()
+    };
+    let mut pipeline = ThreadedPipeline::new_with(
+        sources(&catalog),
+        planner_with(&catalog, schedule),
+        constructors(4),
+        99,
+        Gcs::new(),
+        ctrl,
+    );
+    let mut session = pipeline.serve(ServeOptions {
+        clients: 2,
+        steps: ELASTIC_STEPS,
+        refill_target: REFILL_TARGET,
+        queue_depth: 4,
+        prefetch: true,
+        pull_timeout: Duration::from_millis(500),
+        control_interval: 1,
+    });
+    // Each client records (step, delivered samples, pull completion time).
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| {
+            std::thread::spawn(move || {
+                let mut timeline: Vec<(u64, u64, Instant)> = Vec::new();
+                while let Some((step, batch)) = c.next() {
+                    let (s, _) = batch_delivery(&batch);
+                    timeline.push((step, s, Instant::now()));
+                }
+                timeline
+            })
+        })
+        .collect();
+    let timelines: Vec<Vec<(u64, u64, Instant)>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let served = session.join();
+    assert_eq!(served, ELASTIC_STEPS, "elastic driver fell short");
+    let status = pipeline
+        .controller_status()
+        .expect("controller unreachable");
+    pipeline.shutdown();
+
+    // Windowed delivered rate: samples pulled in [a, b) over the span of
+    // their pull timestamps, summed across clients.
+    let rate = |a: u64, b: u64| -> f64 {
+        let mut samples = 0u64;
+        let mut t0: Option<Instant> = None;
+        let mut t1: Option<Instant> = None;
+        for timeline in &timelines {
+            for (step, s, t) in timeline {
+                if *step >= a && *step < b {
+                    samples += s;
+                    t0 = Some(t0.map_or(*t, |x: Instant| x.min(*t)));
+                    t1 = Some(t1.map_or(*t, |x: Instant| x.max(*t)));
+                }
+            }
+        }
+        match (t0, t1) {
+            (Some(t0), Some(t1)) if t1 > t0 => samples as f64 / (t1 - t0).as_secs_f64(),
+            _ => 0.0,
+        }
+    };
+    ElasticReport {
+        before: rate(2, ELASTIC_HOT_AT),
+        during: rate(ELASTIC_HOT_AT, ELASTIC_COOL_AT + 2),
+        after: rate(ELASTIC_COOL_AT + 2, ELASTIC_STEPS),
+        scale_ups: status.scale_ups,
+        scale_downs: status.scale_downs,
+    }
+}
+
 fn main() {
     banner(
         "runtime_throughput",
@@ -266,6 +393,7 @@ fn main() {
     let client_counts = [1u32, 2, 4, 8];
     let serve: Vec<Delivered> = client_counts.iter().map(|c| run_serve(*c)).collect();
     let scaling_efficiency = serve[3].samples_per_sec() / serve[0].samples_per_sec();
+    let elastic = run_elastic();
 
     table_header(&[
         "deployment",
@@ -296,6 +424,40 @@ fn main() {
         " multiplies egress. scaling_efficiency (serve@8 / serve@1) = {scaling_efficiency:.2}]"
     );
 
+    println!("\nelastic scenario (drifting mixture, controller live, 2 clients):");
+    table_header(&[
+        "window",
+        "steps",
+        "delivered_samples/s",
+        "scale_ups",
+        "scale_downs",
+    ]);
+    table_row(&[
+        "steady".into(),
+        format!("2..{ELASTIC_HOT_AT}"),
+        f(elastic.before),
+        "-".into(),
+        "-".into(),
+    ]);
+    table_row(&[
+        "scaling".into(),
+        format!("{ELASTIC_HOT_AT}..{}", ELASTIC_COOL_AT + 2),
+        f(elastic.during),
+        elastic.scale_ups.to_string(),
+        elastic.scale_downs.to_string(),
+    ]);
+    table_row(&[
+        "recovered".into(),
+        format!("{}..{ELASTIC_STEPS}", ELASTIC_COOL_AT + 2),
+        f(elastic.after),
+        "-".into(),
+        "-".into(),
+    ]);
+    println!(
+        "[recovery_ratio (post-rebalance / steady) = {:.2}]",
+        elastic.recovery_ratio()
+    );
+
     if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
         let by_clients = |metric: &dyn Fn(&Delivered) -> f64| -> String {
             client_counts
@@ -312,7 +474,12 @@ fn main() {
              \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }},\n  \
              \"payload_mb_per_sec\": {{\n    \"inline\": {:.2},\n    \"actorized\": {:.2},\n    \
              \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }},\n  \
-             \"scaling_efficiency\": {:.2}\n}}\n",
+             \"scaling_efficiency\": {:.2},\n  \
+             \"elastic\": {{\n    \"steady_samples_per_sec\": {:.2},\n    \
+             \"scaling_samples_per_sec\": {:.2},\n    \
+             \"recovered_samples_per_sec\": {:.2},\n    \
+             \"recovery_ratio\": {:.2},\n    \
+             \"scale_ups\": {},\n    \"scale_downs\": {}\n  }}\n}}\n",
             inline.samples_per_sec(),
             actorized.samples_per_sec(),
             by_clients(&Delivered::samples_per_sec),
@@ -320,6 +487,12 @@ fn main() {
             actorized.payload_mb_per_sec(),
             by_clients(&Delivered::payload_mb_per_sec),
             scaling_efficiency,
+            elastic.before,
+            elastic.during,
+            elastic.after,
+            elastic.recovery_ratio(),
+            elastic.scale_ups,
+            elastic.scale_downs,
         );
         std::fs::write(&path, json).expect("write BENCH_JSON_OUT");
         println!("[json report written to {path}]");

@@ -387,6 +387,10 @@ pub struct AutoScaler {
     down_factor: f64,
     /// Consecutive intervals required before acting.
     patience: u32,
+    /// Per-source actor ceiling (scale-ups are suppressed at the cap, so
+    /// the scaler's view can never drift ahead of what a resource-bounded
+    /// control plane is willing to provision).
+    max_actors: u32,
     ma: Vec<f64>,
     up_streak: Vec<u32>,
     down_streak: Vec<u32>,
@@ -404,6 +408,7 @@ impl AutoScaler {
             up_factor: 1.5,
             down_factor: 0.5,
             patience: 3,
+            max_actors: u32::MAX,
             ma: vec![0.0; n],
             up_streak: vec![0; n],
             down_streak: vec![0; n],
@@ -411,9 +416,43 @@ impl AutoScaler {
         }
     }
 
+    /// Overrides the reaction knobs: EWMA factor, up/down thresholds, and
+    /// the consecutive-interval patience before acting.
+    pub fn with_knobs(
+        mut self,
+        alpha: f64,
+        up_factor: f64,
+        down_factor: f64,
+        patience: u32,
+    ) -> Self {
+        self.alpha = alpha;
+        self.up_factor = up_factor;
+        self.down_factor = down_factor;
+        self.patience = patience.max(1);
+        self
+    }
+
+    /// Caps the per-source actor count (scale-up decisions stop at the
+    /// cap; scale-downs are unaffected).
+    pub fn with_actor_cap(mut self, max_actors: u32) -> Self {
+        self.max_actors = max_actors.max(1);
+        self
+    }
+
     /// Current setups (post-scaling).
     pub fn setups(&self) -> &[LoaderSetup] {
         &self.setups
+    }
+
+    /// Forcibly aligns one source's provisioned actor count with reality.
+    /// `observe` mutates its counts *before* the caller executes the
+    /// returned actions; an executor that refuses one (resource floor or
+    /// ceiling, spawn failure) must resync here or every later share
+    /// computation for the source drifts from the live fleet.
+    pub fn set_actors(&mut self, source: SourceId, actors: u32) {
+        if let Some(s) = self.setups.iter_mut().find(|s| s.source == source) {
+            s.actors = actors.max(1);
+        }
     }
 
     /// Total worker count = CPU cores in use by loaders.
@@ -448,7 +487,7 @@ impl AutoScaler {
                 self.up_streak[i] = 0;
                 self.down_streak[i] = 0;
             }
-            if self.up_streak[i] >= self.patience {
+            if self.up_streak[i] >= self.patience && self.setups[i].actors < self.max_actors {
                 self.setups[i].actors += 1;
                 self.up_streak[i] = 0;
                 self.rescale_events += 1;
@@ -699,6 +738,26 @@ mod tests {
         assert!(down_seen);
         // Never reclaimed below one actor.
         assert!(scaler.setups()[4].actors >= 1);
+    }
+
+    #[test]
+    fn actor_cap_bounds_scale_up() {
+        let mut rng = SimRng::seed(12);
+        let cat = coyo700m_like(&mut rng);
+        let setups = partition_sources(&cat, resources(), &PartitionOpts::default(), &mut rng);
+        let base = setups[0].actors;
+        let mut scaler = AutoScaler::new(setups)
+            .with_knobs(0.5, 1.2, 0.5, 2)
+            .with_actor_cap(base + 1);
+        let hot = vec![0.9, 0.025, 0.025, 0.025, 0.025];
+        for _ in 0..40 {
+            scaler.observe(&hot);
+        }
+        assert_eq!(
+            scaler.setups()[0].actors,
+            base + 1,
+            "cap exceeded under sustained heat"
+        );
     }
 
     #[test]

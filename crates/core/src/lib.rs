@@ -25,9 +25,10 @@
 //! - [`reshard`]: elastic resharding on trainer-topology changes.
 //! - [`system`]: the assembled `MegaScaleData` simulation pipeline and
 //!   the analytic memory model used by the cluster-scale experiments;
-//!   [`system::core`] holds the deployment-agnostic `PipelineCore` and
+//!   [`system::core`] holds the deployment-agnostic `PipelineCore`,
 //!   [`system::runtime`] the fully actorized concurrent runtime
-//!   (`ThreadedPipeline::serve`).
+//!   (`ThreadedPipeline::serve`), and [`system::controller`] the elastic
+//!   control plane that scales and rebalances the loader fleet live.
 //!
 //! The paper's §9 "Future Work" directions are implemented too:
 //!

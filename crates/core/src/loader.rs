@@ -78,6 +78,25 @@ pub struct LoaderCheckpoint {
     pub version: u64,
 }
 
+/// Point-in-time health snapshot of one Source Loader — the control
+/// plane's per-loader input (buffer occupancy, fetch stall time) for
+/// autoscaling and rebalancing decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoaderHealth {
+    /// The loader's id.
+    pub loader_id: u32,
+    /// The source this loader serves.
+    pub source: SourceId,
+    /// Samples currently buffered.
+    pub buffered: usize,
+    /// Samples produced over the loader's lifetime.
+    pub samples_produced: u64,
+    /// Cumulative wall time spent stalled on modeled storage fetches, ns.
+    pub fetch_stall_ns: u64,
+    /// Cumulative virtual transform time, ns.
+    pub transform_ns: u64,
+}
+
 /// Where the loader reads raw rows from.
 enum Ingest {
     /// Synthesize samples directly from the source spec.
@@ -102,6 +121,9 @@ pub struct SourceLoader {
     pub transform_ns_total: u64,
     /// Cumulative virtual I/O time, in ns.
     pub io_ns_total: u64,
+    /// Cumulative *wall* time spent stalled on modeled storage fetches
+    /// (the real sleeps `fetch_latency_ns` induces), in ns.
+    pub fetch_stall_ns_total: u64,
     samples_produced: u64,
     /// Transformation-reordering split (Sec 6.2): when set, only the first
     /// `idx` pipeline transforms run loader-side; the rest are deferred to
@@ -122,6 +144,7 @@ impl SourceLoader {
             rng,
             transform_ns_total: 0,
             io_ns_total: 0,
+            fetch_stall_ns_total: 0,
             samples_produced: 0,
             transform_split: None,
         }
@@ -223,6 +246,7 @@ impl SourceLoader {
             let wait =
                 self.config.fetch_latency_ns * produced / u64::from(self.config.workers.max(1));
             std::thread::sleep(std::time::Duration::from_nanos(wait));
+            self.fetch_stall_ns_total += wait;
             spent_ns += wait;
         }
         Ok(spent_ns)
@@ -372,6 +396,38 @@ impl SourceLoader {
             samples: self.buffer.iter().map(|s| s.meta).collect(),
             mean_transform_ns: mean,
         }
+    }
+
+    /// Point-in-time health snapshot for the control plane.
+    pub fn health(&self) -> LoaderHealth {
+        LoaderHealth {
+            loader_id: self.config.loader_id,
+            source: self.spec.id,
+            buffered: self.buffer.len(),
+            samples_produced: self.samples_produced,
+            fetch_stall_ns: self.fetch_stall_ns_total,
+            transform_ns: self.transform_ns_total,
+        }
+    }
+
+    /// Drains the whole read buffer for a retirement hand-off: returns
+    /// every buffered sample (in buffer order) and leaves the buffer
+    /// empty. Because the actor wrapper processes messages sequentially,
+    /// a drain can never race a pop — a sample is either popped (and
+    /// delivered) *or* drained (and handed off), never both.
+    pub fn drain(&mut self) -> Vec<Sample> {
+        self.buffer.drain(..).collect()
+    }
+
+    /// Adopts samples handed off by a draining peer of the same source.
+    /// Adopted samples surface in future [`SourceLoader::summary`] calls
+    /// under *this* loader's id, so the Planner can still schedule them —
+    /// the hand-off keeps already-produced data plannable with no gap and
+    /// no duplicate. The buffer may temporarily exceed `buffer_capacity`:
+    /// dropping hand-off samples would silently lose data, which is worse
+    /// than briefly overshooting the budget.
+    pub fn adopt(&mut self, samples: Vec<Sample>) {
+        self.buffer.extend(samples);
     }
 
     /// Pops the samples a plan directive names, in directive order.
@@ -575,6 +631,63 @@ mod tests {
         assert!(empty >= spec().access_state.total() + 3 * WORKER_CTX_BYTES);
         l.refill(32).unwrap();
         assert!(l.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn drain_then_adopt_hands_off_every_sample_once() {
+        let mk = |shard, loader_id| LoaderConfig {
+            shard,
+            shards: 2,
+            loader_id,
+            ..LoaderConfig::solo(loader_id)
+        };
+        let mut retiring = SourceLoader::synthetic(spec(), mk(1, 1), 7);
+        let mut survivor = SourceLoader::synthetic(spec(), mk(0, 0), 7);
+        retiring.refill(12).unwrap();
+        survivor.refill(4).unwrap();
+        let handed: Vec<u64> = retiring
+            .summary()
+            .samples
+            .iter()
+            .map(|m| m.sample_id)
+            .collect();
+        let drained = retiring.drain();
+        assert_eq!(drained.len(), 12);
+        assert_eq!(retiring.buffered(), 0);
+        assert!(retiring.drain().is_empty(), "drain is idempotent");
+        survivor.adopt(drained);
+        assert_eq!(survivor.buffered(), 16);
+        // Adopted samples are now plannable under the survivor's id.
+        let visible: Vec<u64> = survivor
+            .summary()
+            .samples
+            .iter()
+            .map(|m| m.sample_id)
+            .collect();
+        for id in &handed {
+            assert!(visible.contains(id), "handed-off sample {id} vanished");
+        }
+        // And poppable exactly like native samples.
+        let popped = survivor.pop(&handed);
+        assert_eq!(popped.len(), handed.len());
+        assert!(survivor.pop(&handed).is_empty());
+    }
+
+    #[test]
+    fn health_reports_occupancy_and_stalls() {
+        let cfg = LoaderConfig::solo_with_fetch_latency(3, 10_000);
+        let mut l = SourceLoader::synthetic(spec(), cfg, 1);
+        let h0 = l.health();
+        assert_eq!(h0.buffered, 0);
+        assert_eq!(h0.fetch_stall_ns, 0);
+        l.refill(8).unwrap();
+        let h = l.health();
+        assert_eq!(h.loader_id, 3);
+        assert_eq!(h.source, spec().id);
+        assert_eq!(h.buffered, 8);
+        assert_eq!(h.samples_produced, 8);
+        assert!(h.fetch_stall_ns > 0, "modeled fetch stalls unaccounted");
+        assert!(h.transform_ns > 0);
     }
 
     #[test]

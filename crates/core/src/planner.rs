@@ -154,6 +154,12 @@ impl Planner {
         &self.tree
     }
 
+    /// The schedule's source order (catalog order): position `i` of a
+    /// weight vector refers to `sources()[i]`.
+    pub fn sources(&self) -> &[SourceId] {
+        &self.sources
+    }
+
     /// Replaces the topology (elastic resharding, Sec 6.1). Rebuilding is
     /// cheap; subsequent plans use the new mesh.
     pub fn set_tree(&mut self, tree: ClientPlaceTree) {

@@ -90,6 +90,39 @@ pub fn reshard(
     }
 }
 
+/// The naive baseline [`reshard`] must beat: reassign every resident
+/// sample round-robin from scratch, ignoring current placement. Every
+/// orphan (old bucket removed) moves here too, plus any sample whose
+/// round-robin slot happens to differ from its current bucket — so its
+/// [`ReshardPlan::move_fraction`] upper-bounds the minimal-disruption
+/// plan's (pinned by a property test).
+pub fn naive_full_reshuffle(
+    resident: &[(u64, u32)],
+    new_tree: &ClientPlaceTree,
+    axis: DistributeAxis,
+) -> ReshardPlan {
+    let new_n = new_tree.bucket_count(axis, None).max(1);
+    let mut moves = Vec::new();
+    let mut stationary = 0usize;
+    for (i, (sample_id, old_bucket)) in resident.iter().enumerate() {
+        let to = (i as u32) % new_n;
+        if to == *old_bucket {
+            stationary += 1;
+        } else {
+            moves.push(Move {
+                sample_id: *sample_id,
+                from_bucket: *old_bucket,
+                to_bucket: to,
+            });
+        }
+    }
+    ReshardPlan {
+        new_buckets: new_n,
+        moves,
+        stationary,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,666 @@
+//! The elastic loader control plane.
+//!
+//! The paper's online autoscaler (Sec 5.2) and elastic resharding
+//! (Sec 6.1) decide *what* the loader fleet should look like; this module
+//! makes the threaded runtime actually follow those decisions while it
+//! serves. A supervised [`ControllerActor`] periodically:
+//!
+//! 1. pulls mixing-weight telemetry from the planner actor
+//!    ([`PlannerMsg::Telemetry`]) and per-loader health — buffer
+//!    occupancy, fetch stall time, mailbox depth — from every loader,
+//! 2. feeds the weights through [`AutoScaler`] to decide
+//!    scale-up / scale-down, and loader occupancy through
+//!    [`msd_balance::balance`] to decide shard rebalancing,
+//! 3. executes the decisions live against the shared loader registry:
+//!    new loaders are spawned as supervised actors mid-serve; a retiring
+//!    loader runs the drain/hand-off protocol (flush its read buffer,
+//!    hand every unconsumed sample to surviving peers of the same source)
+//!    so client streams stay gap-free and duplicate-free,
+//! 4. records every executed decision as an `MSDB`-codec checkpoint in
+//!    the GCS, so a restarted controller — or a whole restarted
+//!    deployment ([`restore_topology`]) — resumes the exact topology.
+//!
+//! ## Why drain/hand-off is duplicate-free
+//!
+//! The retiring loader's actor processes messages sequentially: any pop
+//! directive it handles *before* the drain removes those samples from the
+//! buffer (they were delivered), and the drain collects only what is
+//! left. A pop arriving *after* the drain finds nothing — the plan's
+//! directed samples are simply missing from that step's batch, exactly
+//! the degradation a loader crash already produces (and which the serve
+//! path tolerates). The drained samples reappear in a surviving loader's
+//! buffer summary and are re-planned later, so each sample is delivered
+//! at most once, with no gap in any client's step stream.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use msd_actor::actor::ReplyTo;
+use msd_actor::{Actor, ActorRef, ActorSystem, Ctx, Gcs};
+use msd_balance::BalanceMethod;
+use msd_data::{Sample, SourceId, SourceSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::autoscale::{AutoScaler, LoaderSetup, ScaleAction};
+use crate::loader::{LoaderConfig, LoaderHealth, WORKER_CTX_BYTES};
+use crate::system::runtime::{
+    gather_fleet_health, spawn_loader, LoaderIdentity, LoaderMsg, LoaderRegistry, LoaderSlot,
+    PlannerMsg,
+};
+
+/// GCS key holding the controller's topology checkpoint.
+pub const CONTROLLER_STATE_KEY: &str = "controller";
+
+/// Sample-id shard field width (see `SourceLoader::make_id`): shard
+/// indices must stay below this for ids to remain collision-free.
+const SHARD_LIMIT: u32 = 1 << 8;
+
+/// Knobs of the elastic control plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Never retire a source below this many loaders.
+    pub min_loaders_per_source: u32,
+    /// Never provision a source past this many loaders.
+    pub max_loaders_per_source: u32,
+    /// [`AutoScaler`] EWMA smoothing factor.
+    pub alpha: f64,
+    /// Scale up when the smoothed weight exceeds the provisioned share by
+    /// this factor.
+    pub up_factor: f64,
+    /// Scale down when it falls below the share by this factor.
+    pub down_factor: f64,
+    /// Consecutive ticks a signal must persist before acting.
+    pub patience: u32,
+    /// Rebalance a source when its fullest loader holds at least this
+    /// multiple of its emptiest loader's buffer…
+    pub rebalance_factor: f64,
+    /// …and at least this many more samples (suppresses churn on nearly
+    /// empty buffers).
+    pub min_rebalance_delta: usize,
+    /// RPC timeout for the controller's telemetry pulls and drains.
+    pub rpc_timeout: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            min_loaders_per_source: 1,
+            max_loaders_per_source: 4,
+            alpha: 0.3,
+            up_factor: 1.5,
+            down_factor: 0.5,
+            patience: 3,
+            rebalance_factor: 4.0,
+            min_rebalance_delta: 32,
+            rpc_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Messages understood by the controller actor.
+pub enum ControllerMsg {
+    /// Run one control interval: pull telemetry, decide, execute.
+    Tick,
+    /// Report decision counters and the current topology.
+    Status(ReplyTo<ControllerStatus>),
+}
+
+/// The controller's observable state.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStatus {
+    /// Control intervals run.
+    pub ticks: u64,
+    /// Loader scale-ups executed (live supervised spawns).
+    pub scale_ups: u64,
+    /// Loader retirements executed (drain/hand-off + stop).
+    pub scale_downs: u64,
+    /// Shard rebalances executed (drain + balanced re-adoption).
+    pub rebalances: u64,
+    /// Scaling events checkpointed to the GCS so far.
+    pub checkpointed_events: u64,
+    /// The current loader topology, in registry order.
+    pub topology: Vec<LoaderIdentity>,
+}
+
+/// One loader slot in a [`ControllerCheckpoint`] (everything needed to
+/// respawn the loader against a source template).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// `SourceId.0` of the source the loader serves.
+    pub source: u32,
+    /// Deployment-wide loader id.
+    pub loader_id: u32,
+    /// The loader's shard index (baked into its sample ids).
+    pub shard: u32,
+    /// Shard count at spawn time.
+    pub shards: u32,
+}
+
+/// Durable controller state: written to the GCS (as an `MSDB` frame)
+/// after every executed scaling event, read back by a restarted
+/// controller and by [`restore_topology`] at deployment construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerCheckpoint {
+    /// Monotonic event sequence number (also the GCS version).
+    pub seq: u64,
+    /// Next loader id to hand out (ids are never reused).
+    pub next_loader_id: u32,
+    /// Scale-ups executed over the controller's lifetime.
+    pub scale_ups: u64,
+    /// Retirements executed over the controller's lifetime.
+    pub scale_downs: u64,
+    /// Rebalances executed over the controller's lifetime.
+    pub rebalances: u64,
+    /// The live loader topology at checkpoint time.
+    pub slots: Vec<SlotRecord>,
+}
+
+/// Rebuilds the loader spawn list recorded in `gcs`'s controller
+/// checkpoint, using `provided` as the source-spec / config-template
+/// lookup. Returns `None` when no (readable) checkpoint exists — the
+/// caller then spawns `provided` as-is. Slots whose source has no
+/// template in `provided` are skipped with a fault-log entry.
+pub fn restore_topology(
+    gcs: &Gcs,
+    provided: &[(SourceSpec, LoaderConfig)],
+) -> Option<Vec<(SourceSpec, LoaderConfig)>> {
+    let cp = gcs.get_state(CONTROLLER_STATE_KEY)?;
+    let parsed = match crate::codec::decode_controller_checkpoint(&cp.data) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            gcs.log_fault(
+                CONTROLLER_STATE_KEY,
+                format!(
+                    "corrupt controller checkpoint (v{}): {e}; spawning the provided topology",
+                    cp.version
+                ),
+            );
+            return None;
+        }
+    };
+    let mut out = Vec::with_capacity(parsed.slots.len());
+    for slot in &parsed.slots {
+        let Some((spec, template)) = provided
+            .iter()
+            .find(|(spec, _)| spec.id.0 == slot.source)
+            .map(|(spec, cfg)| (spec.clone(), cfg.clone()))
+        else {
+            gcs.log_fault(
+                CONTROLLER_STATE_KEY,
+                format!(
+                    "checkpointed loader {} serves unknown source {}; slot dropped",
+                    slot.loader_id, slot.source
+                ),
+            );
+            continue;
+        };
+        out.push((
+            spec,
+            LoaderConfig {
+                loader_id: slot.loader_id,
+                shard: slot.shard,
+                shards: slot.shards,
+                ..template
+            },
+        ));
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// The elastic control plane, hosted in a supervised actor.
+pub struct ControllerActor {
+    config: ControllerConfig,
+    system: ActorSystem,
+    gcs: Gcs,
+    registry: LoaderRegistry,
+    planner: ActorRef<PlannerMsg>,
+    /// Source specs and config templates for spawning new loaders.
+    specs: BTreeMap<SourceId, SourceSpec>,
+    templates: BTreeMap<SourceId, LoaderConfig>,
+    seed: u64,
+    /// Scaler over the planner's source order (built on the first tick,
+    /// from live telemetry + the live registry).
+    scaler: Option<AutoScaler>,
+    scaler_sources: Vec<SourceId>,
+    next_loader_id: u32,
+    next_shard: BTreeMap<SourceId, u32>,
+    seq: u64,
+    ticks: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    rebalances: u64,
+}
+
+impl ControllerActor {
+    /// Creates the controller, restoring counters and id allocators from
+    /// the GCS checkpoint if one exists (so a supervised restart cannot
+    /// reuse a loader id or rewind its event sequence).
+    pub fn new(
+        config: ControllerConfig,
+        system: ActorSystem,
+        gcs: Gcs,
+        registry: LoaderRegistry,
+        planner: ActorRef<PlannerMsg>,
+        sources: Vec<(SourceSpec, LoaderConfig)>,
+        seed: u64,
+    ) -> Self {
+        let mut specs = BTreeMap::new();
+        let mut templates = BTreeMap::new();
+        for (spec, cfg) in sources {
+            templates.entry(spec.id).or_insert(cfg);
+            specs.entry(spec.id).or_insert(spec);
+        }
+        // Allocators start past everything the live registry uses…
+        let mut next_loader_id = 0u32;
+        let mut next_shard: BTreeMap<SourceId, u32> = BTreeMap::new();
+        for slot in registry.read().iter() {
+            next_loader_id = next_loader_id.max(slot.identity.loader_id + 1);
+            let e = next_shard.entry(slot.identity.source_id).or_insert(0);
+            *e = (*e).max(slot.config.shard + 1);
+        }
+        let mut controller = ControllerActor {
+            config,
+            system,
+            gcs,
+            registry,
+            planner,
+            specs,
+            templates,
+            seed,
+            scaler: None,
+            scaler_sources: Vec::new(),
+            next_loader_id,
+            next_shard,
+            seq: 0,
+            ticks: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            rebalances: 0,
+        };
+        // …and past anything a previous incarnation checkpointed.
+        if let Some(cp) = controller.gcs.get_state(CONTROLLER_STATE_KEY) {
+            match crate::codec::decode_controller_checkpoint(&cp.data) {
+                Ok(parsed) => {
+                    controller.seq = parsed.seq;
+                    controller.next_loader_id =
+                        controller.next_loader_id.max(parsed.next_loader_id);
+                    controller.scale_ups = parsed.scale_ups;
+                    controller.scale_downs = parsed.scale_downs;
+                    controller.rebalances = parsed.rebalances;
+                    for slot in &parsed.slots {
+                        let e = controller
+                            .next_shard
+                            .entry(SourceId(slot.source))
+                            .or_insert(0);
+                        *e = (*e).max(slot.shard + 1);
+                    }
+                }
+                Err(e) => controller.gcs.log_fault(
+                    CONTROLLER_STATE_KEY,
+                    format!(
+                        "corrupt controller checkpoint (v{}): {e}; starting counters fresh",
+                        cp.version
+                    ),
+                ),
+            }
+        }
+        controller
+    }
+
+    fn snapshot(&self) -> Vec<LoaderSlot> {
+        self.registry.read().clone()
+    }
+
+    fn slots_of(&self, source: SourceId) -> Vec<LoaderSlot> {
+        self.registry
+            .read()
+            .iter()
+            .filter(|s| s.identity.source_id == source)
+            .cloned()
+            .collect()
+    }
+
+    /// Gathers per-loader health (pipelined; mid-restart loaders are
+    /// skipped this interval) — the same snapshot `stats()` exposes.
+    fn gather_health(&self) -> Vec<(LoaderSlot, LoaderHealth)> {
+        gather_fleet_health(self.snapshot(), self.config.rpc_timeout)
+    }
+
+    /// (Re)builds the scaler when the planner's source order changes or
+    /// on the first tick. Actor counts seed from the live registry, so a
+    /// restarted controller scores shares against reality, not history.
+    fn ensure_scaler(&mut self, sources: &[SourceId]) {
+        if self.scaler.is_some() && self.scaler_sources == sources {
+            return;
+        }
+        let setups: Vec<LoaderSetup> = sources
+            .iter()
+            .map(|src| {
+                let actors = self.slots_of(*src).len().max(1) as u32;
+                let workers = self.templates.get(src).map(|t| t.workers).unwrap_or(1);
+                let mem = self
+                    .specs
+                    .get(src)
+                    .map(|s| s.access_state.total())
+                    .unwrap_or(0)
+                    + u64::from(workers) * WORKER_CTX_BYTES;
+                LoaderSetup {
+                    source: *src,
+                    actors,
+                    workers_per_actor: workers,
+                    cost_estimate_ns: 0.0,
+                    mem_per_actor: mem,
+                }
+            })
+            .collect();
+        self.scaler = Some(
+            AutoScaler::new(setups)
+                .with_knobs(
+                    self.config.alpha,
+                    self.config.up_factor,
+                    self.config.down_factor,
+                    self.config.patience,
+                )
+                .with_actor_cap(self.config.max_loaders_per_source),
+        );
+        self.scaler_sources = sources.to_vec();
+    }
+
+    /// One control interval: telemetry → decisions → live execution.
+    fn tick(&mut self) {
+        self.ticks += 1;
+        let Ok(telemetry) = self
+            .planner
+            .ask(PlannerMsg::Telemetry, self.config.rpc_timeout)
+        else {
+            return; // Planner mid-restart; try again next interval.
+        };
+        let healths = self.gather_health();
+        self.ensure_scaler(&telemetry.sources);
+        let actions = self
+            .scaler
+            .as_mut()
+            .expect("ensure_scaler ran")
+            .observe(&telemetry.weights);
+        let mut acted = false;
+        for action in actions {
+            let src = match action {
+                ScaleAction::ScaleUp(src) => src,
+                ScaleAction::ScaleDown(src) => src,
+            };
+            let executed = match action {
+                ScaleAction::ScaleUp(_) => self.scale_up(src, telemetry.step),
+                ScaleAction::ScaleDown(_) => self.scale_down(src, &healths),
+            };
+            if executed {
+                acted = true;
+                self.record_event();
+            } else {
+                // The scaler already mutated its count for this action;
+                // refusing to execute it (floor/ceiling, missing spec,
+                // shard exhaustion) must resync the scaler to the live
+                // registry or its shares drift from reality for good.
+                let live = self.slots_of(src).len().max(1) as u32;
+                self.scaler
+                    .as_mut()
+                    .expect("ensure_scaler ran")
+                    .set_actors(src, live);
+            }
+        }
+        // Rebalance only on quiet ticks: a scale event already reshuffles
+        // load, and interleaving both in one interval doubles the window
+        // in which pops can miss.
+        if !acted && self.maybe_rebalance(&healths) {
+            self.record_event();
+        }
+    }
+
+    /// Live scale-up: spawn one more supervised loader for `source`.
+    /// `planner_step` stamps the pre-seeded checkpoint so the newcomer's
+    /// restart path replays the plan log from now, not from step 0.
+    fn scale_up(&mut self, source: SourceId, planner_step: u64) -> bool {
+        let count = self.slots_of(source).len() as u32;
+        if count >= self.config.max_loaders_per_source {
+            return false;
+        }
+        let (Some(spec), Some(template)) = (
+            self.specs.get(&source).cloned(),
+            self.templates.get(&source).cloned(),
+        ) else {
+            self.gcs.log_fault(
+                CONTROLLER_STATE_KEY,
+                format!("scale-up for unknown source {source:?} skipped"),
+            );
+            return false;
+        };
+        let shard_entry = self.next_shard.entry(source).or_insert(1);
+        if *shard_entry >= SHARD_LIMIT {
+            self.gcs.log_fault(
+                CONTROLLER_STATE_KEY,
+                format!("shard space for source {source:?} exhausted; scale-up skipped"),
+            );
+            return false;
+        }
+        let shard = *shard_entry;
+        *shard_entry += 1;
+        let loader_id = self.next_loader_id;
+        self.next_loader_id += 1;
+        let config = LoaderConfig {
+            loader_id,
+            shard,
+            shards: shard + 1,
+            ..template
+        };
+        // Existing loaders of the source keep their shard layout (their
+        // deterministic streams and checkpoints must not rewind), so the
+        // newcomer's ordinal stream would overlap theirs and re-serve the
+        // same underlying rows under fresh sample ids. Start its cursor in
+        // a disjoint band instead (2^32 ordinals per shard — far past any
+        // session horizon) by pre-seeding the GCS checkpoint the spawned
+        // actor restores from; the RNG state matches what a fresh
+        // synthetic loader would use. The checkpoint is stamped with the
+        // current planner step: nothing before now can name this loader's
+        // samples, so replaying the plan log from an earlier step would
+        // only waste lookups and raise a false pruned-gap fault.
+        let cursor = u64::from(shard) << 32;
+        let cp = crate::loader::LoaderCheckpoint {
+            loader_id,
+            cursor,
+            rng_state: msd_sim::SimRng::seed(self.seed ^ (u64::from(loader_id) << 32)).state(),
+            version: planner_step,
+        };
+        self.gcs.put_state(
+            &format!("loader/{loader_id}"),
+            planner_step.max(1),
+            crate::codec::encode_loader_checkpoint(&cp),
+        );
+        spawn_loader(
+            &self.system,
+            &self.gcs,
+            &self.registry,
+            spec,
+            config,
+            self.seed,
+        );
+        self.scale_ups += 1;
+        true
+    }
+
+    /// Live retirement: pick the most idle loader of `source`, remove it
+    /// from the registry (new plans stop addressing it), drain its
+    /// buffer, hand every unconsumed sample to surviving peers (balanced
+    /// by [`msd_balance::balance`]), then stop the actor.
+    fn scale_down(&mut self, source: SourceId, healths: &[(LoaderSlot, LoaderHealth)]) -> bool {
+        let slots = self.slots_of(source);
+        if slots.len() as u32 <= self.config.min_loaders_per_source {
+            return false;
+        }
+        let buffered = |slot: &LoaderSlot| {
+            healths
+                .iter()
+                .find(|(s, _)| s.identity.loader_id == slot.identity.loader_id)
+                .map(|(_, h)| h.buffered)
+                .unwrap_or(usize::MAX)
+        };
+        let victim = slots
+            .iter()
+            .min_by_key(|slot| (buffered(slot), std::cmp::Reverse(slot.identity.loader_id)))
+            .expect("slots non-empty")
+            .clone();
+        let victim_id = victim.identity.loader_id;
+        self.registry
+            .write()
+            .retain(|s| s.identity.loader_id != victim_id);
+        match victim.actor.ask(LoaderMsg::Drain, self.config.rpc_timeout) {
+            Ok((samples, cp)) => {
+                // Final resting checkpoint: the retired loader's cursor
+                // is preserved even though it will never respawn.
+                let key = format!("loader/{victim_id}");
+                self.gcs.put_state(
+                    &key,
+                    cp.version,
+                    crate::codec::encode_loader_checkpoint(&cp),
+                );
+                self.hand_off(source, samples);
+            }
+            Err(_) => {
+                // The victim was mid-restart: its buffer is already lost,
+                // which is exactly the crash degradation the serve path
+                // tolerates. Retire it anyway.
+                self.gcs.log_fault(
+                    format!("loader/{victim_id}"),
+                    "drain RPC failed during retirement; buffered samples lost (crash-equivalent)",
+                );
+            }
+        }
+        victim.actor.stop();
+        self.gcs.deregister(&format!("loader/{victim_id}"));
+        self.scale_downs += 1;
+        true
+    }
+
+    /// Distributes drained samples over the surviving loaders of
+    /// `source`, balanced by token cost so no survivor inherits the whole
+    /// buffer.
+    fn hand_off(&self, source: SourceId, samples: Vec<Sample>) {
+        if samples.is_empty() {
+            return;
+        }
+        let survivors = self.slots_of(source);
+        if survivors.is_empty() {
+            self.gcs.log_fault(
+                CONTROLLER_STATE_KEY,
+                format!(
+                    "no survivor for source {source:?}: {} drained samples dropped",
+                    samples.len()
+                ),
+            );
+            return;
+        }
+        let costs: Vec<f64> = samples
+            .iter()
+            .map(|s| s.meta.total_tokens().max(1) as f64)
+            .collect();
+        let assignment = msd_balance::balance(&costs, survivors.len(), BalanceMethod::Greedy);
+        let mut pool: Vec<Option<Sample>> = samples.into_iter().map(Some).collect();
+        for (bin, survivor) in assignment.bins.iter().zip(&survivors) {
+            let batch: Vec<Sample> = bin.iter().filter_map(|i| pool[*i].take()).collect();
+            if !batch.is_empty() {
+                survivor.actor.tell(LoaderMsg::Adopt { samples: batch });
+            }
+        }
+    }
+
+    /// Shard rebalancing: when one loader of a source hoards buffered
+    /// samples while a peer runs dry, drain the hoarder and re-spread its
+    /// buffer across *all* loaders of the source (the hoarder included —
+    /// it gets its balanced share back). At most one source per tick.
+    fn maybe_rebalance(&mut self, healths: &[(LoaderSlot, LoaderHealth)]) -> bool {
+        let mut by_source: BTreeMap<SourceId, Vec<&(LoaderSlot, LoaderHealth)>> = BTreeMap::new();
+        for entry in healths {
+            by_source
+                .entry(entry.0.identity.source_id)
+                .or_default()
+                .push(entry);
+        }
+        for (source, group) in by_source {
+            if group.len() < 2 {
+                continue;
+            }
+            let (heaviest, max) = group
+                .iter()
+                .map(|(slot, h)| (slot, h.buffered))
+                .max_by_key(|(_, b)| *b)
+                .expect("group non-empty");
+            let min = group.iter().map(|(_, h)| h.buffered).min().unwrap_or(0);
+            let skewed = max >= min.saturating_add(self.config.min_rebalance_delta)
+                && max as f64 >= (min.max(1) as f64) * self.config.rebalance_factor;
+            if !skewed {
+                continue;
+            }
+            let Ok((samples, _)) = heaviest
+                .actor
+                .ask(LoaderMsg::Drain, self.config.rpc_timeout)
+            else {
+                continue; // Mid-restart; retry next interval.
+            };
+            self.hand_off(source, samples);
+            self.rebalances += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Records the latest executed event as an `MSDB` checkpoint in the
+    /// GCS (versioned by the event sequence number).
+    fn record_event(&mut self) {
+        self.seq += 1;
+        let slots = self
+            .snapshot()
+            .iter()
+            .map(|s| SlotRecord {
+                source: s.identity.source_id.0,
+                loader_id: s.identity.loader_id,
+                shard: s.config.shard,
+                shards: s.config.shards,
+            })
+            .collect();
+        let cp = ControllerCheckpoint {
+            seq: self.seq,
+            next_loader_id: self.next_loader_id,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            rebalances: self.rebalances,
+            slots,
+        };
+        self.gcs.put_state(
+            CONTROLLER_STATE_KEY,
+            self.seq,
+            crate::codec::encode_controller_checkpoint(&cp),
+        );
+    }
+}
+
+impl Actor for ControllerActor {
+    type Msg = ControllerMsg;
+
+    fn handle(&mut self, msg: ControllerMsg, _ctx: &mut Ctx) {
+        match msg {
+            ControllerMsg::Tick => self.tick(),
+            ControllerMsg::Status(reply) => {
+                reply.send(ControllerStatus {
+                    ticks: self.ticks,
+                    scale_ups: self.scale_ups,
+                    scale_downs: self.scale_downs,
+                    rebalances: self.rebalances,
+                    checkpointed_events: self.seq,
+                    topology: self
+                        .snapshot()
+                        .into_iter()
+                        .map(|slot| slot.identity)
+                        .collect(),
+                });
+            }
+        }
+    }
+}

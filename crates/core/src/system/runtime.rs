@@ -10,7 +10,10 @@
 //!   [`PipelineCore`] (plan synthesis
 //!   plus Replay Mode adoption),
 //! - one [`ConstructorActor`] per consumer bucket, receiving broadcast
-//!   plans and serving batches to pulling trainer clients.
+//!   plans and serving batches to pulling trainer clients,
+//! - one [`ControllerActor`] (see [`crate::system::controller`]) watching
+//!   mixing-weight telemetry and loader health, scaling and rebalancing
+//!   the loader fleet live through the shared registry.
 //!
 //! Failures surface as `ask` timeouts/dead errors; supervised restarts
 //! rebuild each actor from its latest GCS checkpoint. Restarted loaders
@@ -31,15 +34,19 @@ use std::time::{Duration, Instant};
 
 use msd_actor::actor::ReplyTo;
 use msd_actor::{Actor, ActorRef, ActorSystem, Ctx, Gcs, PendingReply, RestartPolicy};
-use msd_data::{Sample, SourceSpec};
+use msd_data::{Sample, SourceId, SourceSpec};
 use msd_mesh::{Axis, ClientPlaceTree};
+use parking_lot::RwLock;
 
 use crate::buffer::{BufferInfo, BufferSummary};
 use crate::constructor::{ConstructedBatch, DataConstructor};
 use crate::dgraph::DGraphError;
-use crate::loader::{LoaderConfig, SourceLoader};
+use crate::loader::{LoaderCheckpoint, LoaderConfig, LoaderHealth, SourceLoader};
 use crate::plan::{BucketPlan, LoadingPlan};
 use crate::planner::{PhaseBreakdown, Planner};
+use crate::system::controller::{
+    ControllerActor, ControllerConfig, ControllerMsg, ControllerStatus,
+};
 use crate::system::core::{PipelineCore, PlanOutcome};
 
 /// GCS key holding the planner actor's restart checkpoint.
@@ -84,6 +91,21 @@ pub enum LoaderMsg {
     Checkpoint {
         /// Snapshot version.
         version: u64,
+    },
+    /// Report a control-plane health snapshot (buffer occupancy, fetch
+    /// stall time, lifetime production).
+    Health(ReplyTo<LoaderHealth>),
+    /// Retirement hand-off, step 1: flush the whole read buffer and reply
+    /// with the drained samples plus a final checkpoint. Processed
+    /// sequentially with pops, so a sample is either popped (delivered)
+    /// or drained (handed off) — never both.
+    Drain(ReplyTo<(Vec<Sample>, LoaderCheckpoint)>),
+    /// Retirement hand-off, step 2: a surviving loader of the same source
+    /// adopts a retiring peer's unconsumed samples, keeping them
+    /// plannable under its own id.
+    Adopt {
+        /// The handed-off samples.
+        samples: Vec<Sample>,
     },
 }
 
@@ -171,9 +193,15 @@ fn replay_plan_log(loader: &mut SourceLoader, gcs: &Gcs, from_version: u64, load
         };
         match crate::codec::decode_plan_log(&entry.data) {
             Ok(directives) => {
-                if let Some(ids) = directives.get(&loader_id) {
-                    loader.replay_directives(ids);
-                }
+                // Replay EVERY directive id and let the loader's own
+                // source/shard prefix filter pick the ones it produced.
+                // Keying by this loader's directive entry alone is wrong
+                // under elastic hand-off: a sample this loader produced
+                // can be adopted by a peer and delivered under the
+                // *peer's* loader id, and skipping it here would let a
+                // post-checkpoint restart re-produce and re-deliver it.
+                let all: Vec<u64> = directives.values().flatten().copied().collect();
+                loader.replay_directives(&all);
             }
             Err(e) => {
                 gcs.log_fault(
@@ -205,6 +233,20 @@ impl Actor for LoaderActor {
                 self.gcs
                     .put_state(&key, version, crate::codec::encode_loader_checkpoint(&cp));
             }
+            LoaderMsg::Health(reply) => {
+                reply.send(self.inner.health());
+            }
+            LoaderMsg::Drain(reply) => {
+                let version = self
+                    .gcs
+                    .state_version(&format!("loader/{}", self.inner.id()))
+                    + 1;
+                let cp = self.inner.checkpoint(version);
+                reply.send((self.inner.drain(), cp));
+            }
+            LoaderMsg::Adopt { samples } => {
+                self.inner.adopt(samples);
+            }
         }
     }
 }
@@ -223,6 +265,20 @@ pub enum PlannerMsg {
     SetReplay(crate::replay::PlanStore),
     /// Replace the trainer topology (elastic resharding).
     SetTree(ClientPlaceTree),
+    /// Report mixing-weight telemetry (the elastic controller's input).
+    Telemetry(ReplyTo<PlannerTelemetry>),
+}
+
+/// Mixing-weight telemetry reported by the planner actor: the schedule's
+/// weights at the *current* step, in the planner's catalog source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerTelemetry {
+    /// The planner's current step counter.
+    pub step: u64,
+    /// Schedule source order; `weights[i]` belongs to `sources[i]`.
+    pub sources: Vec<SourceId>,
+    /// Normalized mixing weights at `step`.
+    pub weights: Vec<f64>,
 }
 
 /// The Planner (and its Replay Mode store) hosted in a supervised actor.
@@ -317,6 +373,15 @@ impl Actor for PlannerActor {
                 let version = self.gcs.state_version(PLANNER_TREE_KEY) + 1;
                 self.gcs.put_state(PLANNER_TREE_KEY, version, json);
                 self.core.planner().set_tree(tree);
+            }
+            PlannerMsg::Telemetry(reply) => {
+                let planner = self.core.planner_ref();
+                let step = planner.step();
+                reply.send(PlannerTelemetry {
+                    step,
+                    sources: planner.sources().to_vec(),
+                    weights: planner.config.schedule.weights(step),
+                });
             }
         }
     }
@@ -575,22 +640,152 @@ impl std::fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 /// Identity of one loader actor, for failure attribution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoaderIdentity {
     /// Deployment-wide loader id.
     pub loader_id: u32,
     /// Name of the source the loader serves.
     pub source: String,
+    /// Id of the source the loader serves (the control plane groups
+    /// loaders by source when scaling and rebalancing).
+    pub source_id: SourceId,
+}
+
+/// One registered loader actor: its handle, identity, and spawn config.
+#[derive(Clone)]
+pub struct LoaderSlot {
+    /// The loader's actor handle.
+    pub actor: ActorRef<LoaderMsg>,
+    /// Failure-attribution identity.
+    pub identity: LoaderIdentity,
+    /// The configuration the actor was spawned with.
+    pub config: LoaderConfig,
+}
+
+/// The live loader topology, shared between the pipeline handle, the
+/// serve driver, and the elastic controller. The controller mutates it
+/// (spawn/retire); everyone else snapshots it per operation, so a
+/// topology change lands between operations, never inside one.
+pub(crate) type LoaderRegistry = Arc<RwLock<Vec<LoaderSlot>>>;
+
+/// Spawns one supervised loader actor and registers it in the shared
+/// registry and the GCS name registry. Used at pipeline construction and
+/// by the elastic controller for live scale-ups.
+pub(crate) fn spawn_loader(
+    system: &ActorSystem,
+    gcs: &Gcs,
+    registry: &LoaderRegistry,
+    spec: SourceSpec,
+    config: LoaderConfig,
+    seed: u64,
+) -> ActorRef<LoaderMsg> {
+    let name = format!("loader/{}", config.loader_id);
+    gcs.register(&name, &spec.name);
+    let identity = LoaderIdentity {
+        loader_id: config.loader_id,
+        source: spec.name.clone(),
+        source_id: spec.id,
+    };
+    let factory_gcs = gcs.clone();
+    let factory_cfg = config.clone();
+    let actor = system.spawn_supervised(
+        &name,
+        RestartPolicy::Restart { max_restarts: 3 },
+        move || LoaderActor::new(spec.clone(), factory_cfg.clone(), seed, factory_gcs.clone()),
+    );
+    registry.write().push(LoaderSlot {
+        actor: actor.clone(),
+        identity,
+        config,
+    });
+    actor
+}
+
+/// One loader's row in a [`RuntimeStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct LoaderStat {
+    /// Who the loader is.
+    pub identity: LoaderIdentity,
+    /// Health reported by the loader itself (buffer occupancy, fetch
+    /// stall time, lifetime production).
+    pub health: LoaderHealth,
+    /// Envelopes waiting in the actor's mailbox (backlog signal).
+    pub mailbox_depth: usize,
+}
+
+/// One constructor's row in a [`RuntimeStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct ConstructorStat {
+    /// Constructor index (clients pull from `client % constructors`).
+    pub index: usize,
+    /// Envelopes waiting in the actor's mailbox.
+    pub mailbox_depth: usize,
+    /// Serve steps currently queued for pulling clients.
+    pub ready_steps: Vec<u64>,
+    /// Per-client consumed counts: `(client id, next step it needs)`.
+    pub client_cursors: Vec<(u32, u64)>,
+}
+
+/// Point-in-time health of the whole threaded deployment — the elastic
+/// controller's decision input, exposed via [`ThreadedPipeline::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Per-loader stats, in registry order (unreachable loaders skipped).
+    pub loaders: Vec<LoaderStat>,
+    /// Envelopes waiting in the planner's mailbox.
+    pub planner_mailbox_depth: usize,
+    /// Per-constructor stats (unreachable constructors skipped).
+    pub constructors: Vec<ConstructorStat>,
+}
+
+impl RuntimeStats {
+    /// Loader count per source, sorted by source id (the topology view
+    /// scaling tests assert on).
+    pub fn loaders_per_source(&self) -> Vec<(SourceId, usize)> {
+        let mut counts: BTreeMap<SourceId, usize> = BTreeMap::new();
+        for l in &self.loaders {
+            *counts.entry(l.identity.source_id).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Total buffered samples across all loaders.
+    pub fn total_buffered(&self) -> usize {
+        self.loaders.iter().map(|l| l.health.buffered).sum()
+    }
+}
+
+/// Gathers per-loader health from a registry snapshot with pipelined
+/// asks; loaders that fail the RPC (mid-restart) are skipped. Shared by
+/// [`ThreadedPipeline::stats`] and the elastic controller so the
+/// operator view and the control plane's decision input cannot diverge.
+pub(crate) fn gather_fleet_health(
+    snapshot: Vec<LoaderSlot>,
+    timeout: Duration,
+) -> Vec<(LoaderSlot, LoaderHealth)> {
+    let pending: Vec<(LoaderSlot, PendingReply<LoaderHealth>)> = snapshot
+        .into_iter()
+        .filter_map(|slot| {
+            slot.actor
+                .ask_pipelined(LoaderMsg::Health)
+                .ok()
+                .map(|p| (slot, p))
+        })
+        .collect();
+    pending
+        .into_iter()
+        .filter_map(|(slot, p)| p.wait(timeout).ok().map(|h| (slot, h)))
+        .collect()
 }
 
 /// The clonable actor handles a serve driver needs (shared between the
 /// synchronous step path and the background driver thread).
 #[derive(Clone)]
 struct Fleet {
-    loaders: Vec<ActorRef<LoaderMsg>>,
-    identities: Vec<LoaderIdentity>,
+    loaders: LoaderRegistry,
     planner: ActorRef<PlannerMsg>,
     constructors: Vec<ActorRef<ConstructorMsg>>,
+    controller: ActorRef<ControllerMsg>,
     broadcast_axes: Vec<Axis>,
     rpc_timeout: Duration,
     /// Steps served from the replay store, shared with the pipeline
@@ -600,40 +795,48 @@ struct Fleet {
     gcs: Gcs,
 }
 
+fn slot_failure(idx: usize, identity: &LoaderIdentity) -> RuntimeError {
+    RuntimeError::LoaderFailure {
+        loader: idx,
+        loader_id: identity.loader_id,
+        source: identity.source.clone(),
+    }
+}
+
 impl Fleet {
-    fn loader_failure(&self, idx: usize) -> RuntimeError {
-        let id = &self.identities[idx];
-        RuntimeError::LoaderFailure {
-            loader: idx,
-            loader_id: id.loader_id,
-            source: id.source.clone(),
-        }
+    /// A point-in-time copy of the loader topology. Handles are cheap
+    /// clones; the controller may grow or shrink the registry while this
+    /// snapshot is in use — directives for retired loaders then simply
+    /// miss (the same degradation as a loader crash mid-step).
+    fn snapshot(&self) -> Vec<LoaderSlot> {
+        self.loaders.read().clone()
     }
 
     fn refill(&self, target: usize) {
-        for l in &self.loaders {
-            l.tell(LoaderMsg::Refill { target });
+        for slot in self.snapshot() {
+            slot.actor.tell(LoaderMsg::Refill { target });
         }
     }
 
     /// Gathers buffer summaries with pipelined asks (one fleet-wide
     /// round-trip instead of one per loader).
     fn gather(&self) -> Result<BufferInfo, RuntimeError> {
-        let pending: Vec<(usize, PendingReply<BufferSummary>)> = self
-            .loaders
+        let snapshot = self.snapshot();
+        let pending: Vec<(usize, PendingReply<BufferSummary>)> = snapshot
             .iter()
             .enumerate()
-            .map(|(i, l)| {
-                l.ask_pipelined(LoaderMsg::Summary)
+            .map(|(i, slot)| {
+                slot.actor
+                    .ask_pipelined(LoaderMsg::Summary)
                     .map(|p| (i, p))
-                    .map_err(|_| self.loader_failure(i))
+                    .map_err(|_| slot_failure(i, &slot.identity))
             })
             .collect::<Result<_, _>>()?;
         let mut summaries = Vec::with_capacity(pending.len());
         for (i, p) in pending {
             summaries.push(
                 p.wait(self.rpc_timeout)
-                    .map_err(|_| self.loader_failure(i))?,
+                    .map_err(|_| slot_failure(i, &snapshot[i].identity))?,
             );
         }
         Ok(BufferInfo::new(summaries))
@@ -651,18 +854,25 @@ impl Fleet {
         Ok(outcome)
     }
 
-    /// Pops every plan directive with pipelined asks; returns the popped
-    /// samples plus the loaders (by index) whose pop RPC failed.
-    fn pop(&self, plan: &LoadingPlan) -> (HashMap<u64, Sample>, Vec<usize>) {
+    /// Pops every plan directive with pipelined asks, addressing loaders
+    /// by deployment-wide id (the topology may have changed since the
+    /// plan was made); returns the popped samples plus the identities of
+    /// loaders whose pop RPC failed. Directives naming a loader that has
+    /// since been retired are skipped — the retiring drain handed its
+    /// unconsumed samples to a surviving peer, so they stay plannable.
+    fn pop(&self, plan: &LoadingPlan) -> (HashMap<u64, Sample>, Vec<(usize, LoaderIdentity)>) {
+        let snapshot = self.snapshot();
         let mut pending = Vec::new();
         let mut failed = Vec::new();
-        for (i, l) in self.loaders.iter().enumerate() {
-            let summary_id = self.identities[i].loader_id;
-            if let Some(ids) = plan.directives.get(&summary_id) {
+        for (i, slot) in snapshot.iter().enumerate() {
+            if let Some(ids) = plan.directives.get(&slot.identity.loader_id) {
                 let ids = ids.clone();
-                match l.ask_pipelined(move |reply| LoaderMsg::Pop { ids, reply }) {
+                match slot
+                    .actor
+                    .ask_pipelined(move |reply| LoaderMsg::Pop { ids, reply })
+                {
                     Ok(p) => pending.push((i, p)),
-                    Err(_) => failed.push(i),
+                    Err(_) => failed.push((i, slot.identity.clone())),
                 }
             }
         }
@@ -674,15 +884,15 @@ impl Fleet {
                         popped.insert(s.meta.sample_id, s);
                     }
                 }
-                Err(_) => failed.push(i),
+                Err(_) => failed.push((i, snapshot[i].identity.clone())),
             }
         }
         (popped, failed)
     }
 
     fn checkpoint(&self, version: u64) {
-        for l in &self.loaders {
-            l.tell(LoaderMsg::Checkpoint { version });
+        for slot in self.snapshot() {
+            slot.actor.tell(LoaderMsg::Checkpoint { version });
         }
     }
 
@@ -719,16 +929,39 @@ pub struct ThreadedPipeline {
 
 impl ThreadedPipeline {
     /// Spawns the supervised actor topology: one loader per `(spec,
-    /// config)` pair, the planner, and one constructor actor per entry of
-    /// `constructors`.
+    /// config)` pair, the planner, one constructor actor per entry of
+    /// `constructors`, and the elastic controller.
     pub fn new(
+        sources: Vec<(SourceSpec, LoaderConfig)>,
+        planner: Planner,
+        constructors: Vec<DataConstructor>,
+        seed: u64,
+    ) -> Self {
+        Self::new_with(
+            sources,
+            planner,
+            constructors,
+            seed,
+            Gcs::new(),
+            ControllerConfig::default(),
+        )
+    }
+
+    /// Like [`ThreadedPipeline::new`], but against an existing control
+    /// store and with explicit controller knobs. When `gcs` holds a
+    /// controller checkpoint from a previous incarnation, the recorded
+    /// loader topology is respawned *instead of* the provided one — a
+    /// restarted deployment resumes the exact post-scaling shape
+    /// (`sources` then only supplies the spec + config templates).
+    pub fn new_with(
         sources: Vec<(SourceSpec, LoaderConfig)>,
         planner: Planner,
         mut constructors: Vec<DataConstructor>,
         seed: u64,
+        gcs: Gcs,
+        controller_config: ControllerConfig,
     ) -> Self {
         let system = ActorSystem::new("msd");
-        let gcs = Gcs::new();
         // The serve path delivers per-bucket batches through per-bucket
         // constructor actors; with fewer actors than plan buckets a
         // bucket's broadcast would collide with its step-mate. Pad to the
@@ -742,24 +975,12 @@ impl ThreadedPipeline {
                 constructors.push(template.clone());
             }
         }
-        let mut identities = Vec::with_capacity(sources.len());
-        let loaders = sources
-            .into_iter()
-            .map(|(spec, config)| {
-                let name = format!("loader/{}", config.loader_id);
-                gcs.register(&name, &spec.name);
-                identities.push(LoaderIdentity {
-                    loader_id: config.loader_id,
-                    source: spec.name.clone(),
-                });
-                let gcs = gcs.clone();
-                system.spawn_supervised(
-                    &name,
-                    RestartPolicy::Restart { max_restarts: 3 },
-                    move || LoaderActor::new(spec.clone(), config.clone(), seed, gcs.clone()),
-                )
-            })
-            .collect();
+        let topology =
+            crate::system::controller::restore_topology(&gcs, &sources).unwrap_or(sources.clone());
+        let registry: LoaderRegistry = Arc::new(RwLock::new(Vec::new()));
+        for (spec, config) in topology {
+            spawn_loader(&system, &gcs, &registry, spec, config, seed);
+        }
 
         let broadcast_axes = planner.config.broadcast_axes.clone();
         gcs.register("planner", "central");
@@ -770,7 +991,7 @@ impl ThreadedPipeline {
             move || PlannerActor::new(planner.clone(), planner_gcs.clone()),
         );
 
-        let constructor_refs = constructors
+        let constructor_refs: Vec<ActorRef<ConstructorMsg>> = constructors
             .into_iter()
             .enumerate()
             .map(|(i, c)| {
@@ -784,13 +1005,37 @@ impl ThreadedPipeline {
             })
             .collect();
 
+        gcs.register("controller", "elastic control plane");
+        let controller_ref = {
+            let ctl_system = system.clone();
+            let ctl_gcs = gcs.clone();
+            let ctl_registry = registry.clone();
+            let ctl_planner = planner_ref.clone();
+            let config = controller_config;
+            system.spawn_supervised(
+                "controller",
+                RestartPolicy::Restart { max_restarts: 8 },
+                move || {
+                    ControllerActor::new(
+                        config,
+                        ctl_system.clone(),
+                        ctl_gcs.clone(),
+                        ctl_registry.clone(),
+                        ctl_planner.clone(),
+                        sources.clone(),
+                        seed,
+                    )
+                },
+            )
+        };
+
         ThreadedPipeline {
             system,
             fleet: Fleet {
-                loaders,
-                identities,
+                loaders: registry,
                 planner: planner_ref,
                 constructors: constructor_refs,
+                controller: controller_ref,
                 broadcast_axes,
                 rpc_timeout: Duration::from_secs(10),
                 replayed: Arc::new(AtomicU64::new(0)),
@@ -821,19 +1066,87 @@ impl ThreadedPipeline {
         self.fleet.rpc_timeout = timeout;
     }
 
-    /// Loader handles (fault injection in tests).
-    pub fn loaders(&self) -> &[ActorRef<LoaderMsg>] {
-        &self.fleet.loaders
+    /// Loader handles in registry order (fault injection in tests). The
+    /// topology is live — the elastic controller may grow or shrink it —
+    /// so this returns a snapshot of cloned handles, not a borrow.
+    pub fn loaders(&self) -> Vec<ActorRef<LoaderMsg>> {
+        self.fleet
+            .snapshot()
+            .into_iter()
+            .map(|slot| slot.actor)
+            .collect()
     }
 
     /// Loader identities, parallel to [`ThreadedPipeline::loaders`].
-    pub fn loader_identities(&self) -> &[LoaderIdentity] {
-        &self.fleet.identities
+    pub fn loader_identities(&self) -> Vec<LoaderIdentity> {
+        self.fleet
+            .snapshot()
+            .into_iter()
+            .map(|slot| slot.identity)
+            .collect()
     }
 
     /// The planner actor handle (fault injection in tests).
     pub fn planner_actor(&self) -> &ActorRef<PlannerMsg> {
         &self.fleet.planner
+    }
+
+    /// The elastic controller's actor handle.
+    pub fn controller_actor(&self) -> &ActorRef<ControllerMsg> {
+        &self.fleet.controller
+    }
+
+    /// Drives one control-plane interval by hand: the controller pulls
+    /// planner telemetry + loader health and executes any scaling or
+    /// rebalancing decision. [`ThreadedPipeline::serve`] does this
+    /// automatically every [`ServeOptions::control_interval`] steps.
+    pub fn control_tick(&self) {
+        self.fleet.controller.tell(ControllerMsg::Tick);
+    }
+
+    /// The controller's decision counters and current topology view.
+    pub fn controller_status(&self) -> Option<ControllerStatus> {
+        self.fleet
+            .controller
+            .ask(ControllerMsg::Status, self.fleet.rpc_timeout)
+            .ok()
+    }
+
+    /// Snapshots runtime health across the whole deployment: per-loader
+    /// buffer occupancy / fetch stalls / mailbox depth, the planner's
+    /// backlog, and per-constructor queue + client-cursor state. This is
+    /// the elastic controller's raw input, exposed for operators and
+    /// tests; unreachable actors (mid-restart) are skipped.
+    pub fn stats(&self) -> RuntimeStats {
+        let loaders = gather_fleet_health(self.fleet.snapshot(), self.fleet.rpc_timeout)
+            .into_iter()
+            .map(|(slot, health)| LoaderStat {
+                identity: slot.identity,
+                mailbox_depth: slot.actor.mailbox_depth(),
+                health,
+            })
+            .collect();
+        let constructors = self
+            .fleet
+            .constructors
+            .iter()
+            .enumerate()
+            .filter_map(|(index, c)| {
+                c.ask(ConstructorMsg::Watermark, self.fleet.rpc_timeout)
+                    .ok()
+                    .map(|w| ConstructorStat {
+                        index,
+                        mailbox_depth: c.mailbox_depth(),
+                        ready_steps: w.ready,
+                        client_cursors: w.cursors,
+                    })
+            })
+            .collect();
+        RuntimeStats {
+            loaders,
+            planner_mailbox_depth: self.fleet.planner.mailbox_depth(),
+            constructors,
+        }
     }
 
     /// Constructor actor handles (fault injection in tests).
@@ -865,8 +1178,8 @@ impl ThreadedPipeline {
 
         // 5. Pop and checkpoint.
         let (popped, failed) = self.fleet.pop(&plan);
-        if let Some(&i) = failed.first() {
-            return Err(self.fleet.loader_failure(i));
+        if let Some((i, identity)) = failed.first() {
+            return Err(slot_failure(*i, identity));
         }
         self.fleet.checkpoint(plan.step);
 
@@ -933,8 +1246,39 @@ impl ThreadedPipeline {
 
     /// Stops all actors and joins their threads.
     pub fn shutdown(self) {
-        for l in &self.fleet.loaders {
-            l.stop();
+        // The controller must be fully out of the way before the loader
+        // snapshot is taken: a Tick still queued behind its Stop could
+        // spawn a loader *after* the snapshot, and that unstopped actor
+        // would wedge the join below forever. The Status ask is a drain
+        // barrier for already-queued Ticks; the bounded spin then waits
+        // for the Stop to land so no further spawns are possible.
+        let _ = self
+            .fleet
+            .controller
+            .ask(ControllerMsg::Status, self.fleet.rpc_timeout);
+        self.fleet.controller.stop();
+        // Generous: a backlog of Ticks each doing timeout-bounded RPCs can
+        // outlast one rpc_timeout; every tick terminates, so this only
+        // wedges past the deadline if the controller thread itself hung.
+        let deadline = Instant::now() + self.fleet.rpc_timeout.max(Duration::from_secs(30));
+        while self.fleet.controller.is_alive() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Stop loaders until the registry stops changing: even if the
+        // controller outlived the deadline above, a loader spawned behind
+        // our back is caught on the next pass instead of wedging the join.
+        let mut stopped: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        loop {
+            let mut new_any = false;
+            for slot in self.fleet.snapshot() {
+                if stopped.insert(slot.identity.loader_id) {
+                    slot.actor.stop();
+                    new_any = true;
+                }
+            }
+            if !new_any {
+                break;
+            }
         }
         self.fleet.planner.stop();
         for c in &self.fleet.constructors {
@@ -964,6 +1308,11 @@ pub struct ServeOptions {
     /// Per-pull ask timeout on the client side (pulls retry until their
     /// step arrives).
     pub pull_timeout: Duration,
+    /// Elastic control-plane cadence: every this-many serve steps the
+    /// driver ticks the controller, which pulls mixing-weight telemetry
+    /// and loader health and may scale or rebalance the loader fleet
+    /// live. `0` (the default) disables autoscaling during the session.
+    pub control_interval: u64,
 }
 
 impl Default for ServeOptions {
@@ -975,6 +1324,7 @@ impl Default for ServeOptions {
             queue_depth: 4,
             prefetch: true,
             pull_timeout: Duration::from_millis(500),
+            control_interval: 0,
         }
     }
 }
@@ -1187,6 +1537,13 @@ fn run_serve_driver(fleet: Fleet, opts: ServeOptions, stop: Arc<AtomicBool>) -> 
         broadcast(&fleet, s, &items);
         window.push_back((s, items));
         served = s + 1;
+
+        // (7b) Elastic control plane: tick the controller on its cadence.
+        // The tick is a tell — scaling decisions execute on the
+        // controller's thread while the driver keeps pumping steps.
+        if opts.control_interval > 0 && served % opts.control_interval == 0 {
+            fleet.controller.tell(ControllerMsg::Tick);
+        }
 
         // (8) Ack + backpressure: wait until every rostered constructor
         // has enqueued step `s` (re-broadcasting on restarts) and the
@@ -1577,6 +1934,7 @@ mod tests {
                 queue_depth: 2,
                 prefetch: true,
                 pull_timeout: Duration::from_millis(500),
+                control_interval: 0,
             });
             let handles: Vec<_> = session
                 .take_clients()
@@ -1610,6 +1968,7 @@ mod tests {
             queue_depth: 3,
             prefetch: true,
             pull_timeout: Duration::from_millis(500),
+            control_interval: 0,
         });
         let clients = session.take_clients();
         let handles: Vec<_> = clients

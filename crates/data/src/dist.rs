@@ -158,7 +158,7 @@ mod tests {
         let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
         assert!(samples.iter().all(|s| *s >= 10.0));
         // Top 1% should carry a disproportionate share of the mass.
-        let mut sorted = samples.clone();
+        let mut sorted = samples;
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let total: f64 = sorted.iter().sum();
         let top: f64 = sorted[n * 99 / 100..].iter().sum();

@@ -16,6 +16,11 @@
 //!   heterogeneity (audio ≈ 4× image ≈ 300× text per output token).
 //! - [`gen`]: materializes synthetic sources as real `MSDCOL01` files.
 
+// The zero-copy data plane starts at sample synthesis: payloads are
+// refcounted `Bytes`, and dead clones on this path silently regrow
+// copies. ci.sh runs clippy with -D warnings, so this is enforced.
+#![warn(clippy::redundant_clone)]
+
 pub mod catalog;
 pub mod dist;
 pub mod gen;

@@ -20,6 +20,11 @@
 //! - [`handle`]: [`handle::AccessState`] — the unit of source-state memory
 //!   used by every memory experiment.
 
+// Decoded block buffers hand out `Bytes` sub-views; a redundant clone
+// here is a full payload copy on the storage → loader hop. ci.sh runs
+// clippy with -D warnings, so this is enforced.
+#![warn(clippy::redundant_clone)]
+
 pub mod error;
 pub mod format;
 pub mod handle;

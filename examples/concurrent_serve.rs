@@ -79,6 +79,7 @@ fn main() {
         queue_depth: 3,
         prefetch: true,
         pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
     });
     let handles: Vec<_> = session
         .take_clients()

@@ -1,0 +1,453 @@
+//! Integration tests for the elastic loader control plane.
+//!
+//! The controller must re-provision the loader fleet *while the runtime
+//! serves*: a drifting source mixture triggers live supervised scale-ups
+//! and drain/hand-off retirements, with every client still observing a
+//! gap-free, duplicate-free batch stream; every executed decision lands
+//! as an `MSDB` GCS checkpoint from which a rebuilt deployment resumes
+//! the exact topology. A property test pins elastic resharding's
+//! minimal-disruption guarantee against the naive full-reshuffle bound.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use megascale_data::actor::Gcs;
+use megascale_data::balance::BalanceMethod;
+use megascale_data::core::constructor::{ConstructedBatch, DataConstructor};
+use megascale_data::core::loader::LoaderConfig;
+use megascale_data::core::planner::{Planner, PlannerConfig, Strategy};
+use megascale_data::core::reshard::{naive_full_reshuffle, reshard};
+use megascale_data::core::schedule::MixSchedule;
+use megascale_data::core::system::controller::ControllerConfig;
+use megascale_data::core::system::runtime::{LoaderMsg, ServeOptions, ThreadedPipeline};
+use megascale_data::data::catalog::coyo700m_like;
+use megascale_data::data::{SourceId, SourceSpec};
+use megascale_data::mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
+use megascale_data::sim::SimRng;
+
+/// Per-sample modeled fetch latency: slows steps to a few milliseconds so
+/// the control plane reliably acts while traffic is in flight.
+const FETCH_LATENCY_NS: u64 = 400_000;
+
+fn small_backbone() -> megascale_data::balance::BackboneShape {
+    megascale_data::balance::BackboneShape {
+        layers: 2,
+        hidden: 128,
+        mlp_ratio: 4.0,
+        heads: 2,
+        vocab: 1000,
+        experts_per_token: 1,
+    }
+}
+
+/// A fast-reacting control plane, so tests need few intervals.
+fn controller_config() -> ControllerConfig {
+    ControllerConfig {
+        alpha: 0.6,
+        patience: 2,
+        max_loaders_per_source: 3,
+        ..ControllerConfig::default()
+    }
+}
+
+/// Builds a 5-source pipeline whose mixture follows `schedule`, against
+/// an explicit control store (so tests can rebuild from its checkpoints).
+fn pipeline(
+    schedule: MixSchedule,
+    seed: u64,
+    gcs: Gcs,
+    ctrl: ControllerConfig,
+) -> ThreadedPipeline {
+    let mut rng = SimRng::seed(2);
+    let catalog = coyo700m_like(&mut rng);
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: 16,
+            schedule,
+        },
+        Strategy::BackboneBalance {
+            method: BalanceMethod::Greedy,
+            backbone: small_backbone(),
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        3,
+    );
+    let sources: Vec<(SourceSpec, LoaderConfig)> = catalog
+        .sources()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                s.clone(),
+                LoaderConfig::solo_with_fetch_latency(i as u32, FETCH_LATENCY_NS),
+            )
+        })
+        .collect();
+    let constructors = (0..2)
+        .map(|_| DataConstructor::new(mesh.clone(), 4096))
+        .collect();
+    ThreadedPipeline::new_with(sources, planner, constructors, seed, gcs, ctrl)
+}
+
+/// A mixture that drifts mid-run: source 0 is scorching for the first 10
+/// plan steps (forcing a scale-up), then goes nearly idle (forcing the
+/// extra loaders' retirement).
+fn drifting_schedule() -> MixSchedule {
+    MixSchedule::Staged(vec![
+        (0, vec![0.8, 0.05, 0.05, 0.05, 0.05]),
+        (10, vec![0.04, 0.24, 0.24, 0.24, 0.24]),
+    ])
+}
+
+fn sample_ids(batch: &ConstructedBatch) -> Vec<u64> {
+    batch
+        .microbatches
+        .iter()
+        .flat_map(|m| &m.sequences)
+        .flat_map(|s| &s.segments)
+        .map(|seg| seg.sample_id)
+        .collect()
+}
+
+#[test]
+fn drifting_mixture_scales_up_then_retires_without_gaps_or_duplicates() {
+    let clients = 4u32;
+    let steps = 26u64;
+    let mut p = pipeline(drifting_schedule(), 21, Gcs::new(), controller_config());
+    let mut session = p.serve(ServeOptions {
+        clients,
+        steps,
+        refill_target: 32,
+        queue_depth: 3,
+        control_interval: 1,
+        pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
+    });
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| {
+            std::thread::spawn(move || {
+                let mut stream = Vec::new();
+                while let Some((step, batch)) = c.next() {
+                    stream.push((step, batch));
+                }
+                (c.id, stream)
+            })
+        })
+        .collect();
+    let streams: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    assert_eq!(session.join(), steps, "driver fell short of its steps");
+
+    // Stream soundness under live topology changes: every client saw
+    // every step in order, and no sample was ever delivered twice.
+    for (id, stream) in &streams {
+        assert_eq!(stream.len(), steps as usize, "client {id} missed steps");
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (i, (step, batch)) in stream.iter().enumerate() {
+            assert_eq!(*step, i as u64, "client {id} stream has a gap");
+            for sid in sample_ids(batch) {
+                assert!(seen.insert(sid), "client {id} got sample {sid} twice");
+            }
+        }
+    }
+    // Clients sharing a constructor observe identical batches.
+    for (id_a, stream_a) in &streams {
+        for (id_b, stream_b) in &streams {
+            if id_a < id_b && id_a % 2 == id_b % 2 {
+                assert_eq!(stream_a, stream_b, "clients {id_a}/{id_b} diverged");
+            }
+        }
+    }
+
+    // Any sample delivered by a live-spawned loader (shard >= 1; the
+    // initial fleet is all shard 0) must come from the disjoint ordinal
+    // band the controller seeds, so a scaled-up source never re-serves
+    // rows its original loader also produces. Id layout:
+    // source(16) | shard(8) | ordinal(40).
+    for (_, stream) in &streams {
+        for (_, batch) in stream {
+            for sid in sample_ids(batch) {
+                let shard = (sid >> 40) & 0xFF;
+                if shard >= 1 {
+                    assert!(
+                        sid & ((1u64 << 40) - 1) >= (shard << 32),
+                        "spawned-loader sample {sid:#x} outside its ordinal band"
+                    );
+                }
+            }
+        }
+    }
+
+    // The control plane actually acted, live, and checkpointed it.
+    let status = p.controller_status().expect("controller reachable");
+    assert!(status.ticks > 0, "controller never ticked");
+    assert!(
+        status.scale_ups >= 1,
+        "hot mixture never scaled up: {status:?}"
+    );
+    assert!(
+        status.scale_downs >= 1,
+        "cold mixture never retired a loader: {status:?}"
+    );
+    assert_eq!(
+        status.checkpointed_events,
+        status.scale_ups + status.scale_downs + status.rebalances,
+        "scaling events missing from the GCS checkpoint sequence"
+    );
+    assert!(
+        p.gcs.get_state("controller").is_some(),
+        "controller checkpoint absent from GCS"
+    );
+    p.shutdown();
+}
+
+#[test]
+fn controller_checkpoint_restores_the_exact_topology() {
+    let gcs = Gcs::new();
+    // Statically scorching source 0: the controller scales it up and
+    // stays there (no later retirement to race with).
+    let schedule = MixSchedule::Static(vec![0.8, 0.05, 0.05, 0.05, 0.05]);
+    let mut p = pipeline(schedule.clone(), 33, gcs.clone(), controller_config());
+    let mut scaled = false;
+    for _ in 0..12 {
+        p.step(32).expect("step");
+        p.control_tick();
+        let status = p.controller_status().expect("controller reachable");
+        if status.scale_ups >= 1 {
+            scaled = true;
+            break;
+        }
+    }
+    assert!(scaled, "static hot mixture never triggered a scale-up");
+    let topology: Vec<(u32, SourceId)> = p
+        .loader_identities()
+        .iter()
+        .map(|id| (id.loader_id, id.source_id))
+        .collect();
+    assert!(topology.len() > 5, "scale-up did not grow the fleet");
+    let events = p.controller_status().unwrap().checkpointed_events;
+
+    // The spawned loader produces from a disjoint ordinal band (cursor
+    // pre-seeded at shard << 32), so its rows can never collide with the
+    // original shard-0 loader's stream content.
+    let spawned_idx = p
+        .loader_identities()
+        .iter()
+        .position(|id| id.loader_id >= 5)
+        .expect("spawned loader registered");
+    let spawned = &p.loaders()[spawned_idx];
+    spawned.tell(LoaderMsg::Refill { target: 8 });
+    let summary = spawned
+        .ask(LoaderMsg::Summary, Duration::from_secs(5))
+        .expect("spawned loader reachable");
+    assert!(!summary.is_empty(), "spawned loader refilled nothing");
+    for m in &summary.samples {
+        let shard = (m.sample_id >> 40) & 0xFF;
+        assert!(shard >= 1, "spawned loader reused shard 0");
+        assert!(
+            m.sample_id & ((1u64 << 40) - 1) >= (shard << 32),
+            "spawned-loader sample {:#x} outside its ordinal band",
+            m.sample_id
+        );
+    }
+    p.shutdown();
+
+    // A rebuilt deployment against the same control store must respawn
+    // the post-scaling topology, not the 5-loader template, and its
+    // controller must resume the event sequence rather than rewind it.
+    let p2 = pipeline(schedule, 33, gcs, controller_config());
+    let topology2: Vec<(u32, SourceId)> = p2
+        .loader_identities()
+        .iter()
+        .map(|id| (id.loader_id, id.source_id))
+        .collect();
+    assert_eq!(topology, topology2, "restart lost the scaled topology");
+    let status2 = p2.controller_status().expect("controller reachable");
+    assert_eq!(status2.ticks, 0, "tick counter is not durable state");
+    assert!(
+        status2.checkpointed_events >= events,
+        "event sequence rewound across restart"
+    );
+    p2.shutdown();
+}
+
+#[test]
+fn skewed_buffers_rebalance_through_drain_and_handoff() {
+    // Two loaders for source 0 (shards 0/1), one for each other source;
+    // a uniform mixture keeps the autoscaler quiet so the occupancy
+    // rebalancer is the only control-plane path that can fire.
+    let mut rng = SimRng::seed(2);
+    let catalog = coyo700m_like(&mut rng);
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: 16,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::BackboneBalance {
+            method: BalanceMethod::Greedy,
+            backbone: small_backbone(),
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        3,
+    );
+    let mut sources: Vec<(SourceSpec, LoaderConfig)> = Vec::new();
+    for (i, s) in catalog.sources().iter().enumerate() {
+        if i == 0 {
+            for shard in 0..2u32 {
+                sources.push((
+                    s.clone(),
+                    LoaderConfig {
+                        shard,
+                        shards: 2,
+                        ..LoaderConfig::solo(shard)
+                    },
+                ));
+            }
+        } else {
+            sources.push((s.clone(), LoaderConfig::solo(i as u32 + 1)));
+        }
+    }
+    let constructors = (0..2)
+        .map(|_| DataConstructor::new(mesh.clone(), 4096))
+        .collect();
+    let ctrl = ControllerConfig {
+        rebalance_factor: 2.0,
+        min_rebalance_delta: 16,
+        ..ControllerConfig::default()
+    };
+    let p = ThreadedPipeline::new_with(sources, planner, constructors, 44, Gcs::new(), ctrl);
+
+    // Skew by hand: shard 0 of source 0 hoards a fat buffer while its
+    // peer stays empty.
+    p.loaders()[0].tell(LoaderMsg::Refill { target: 64 });
+    let before = p.stats();
+    assert_eq!(before.loaders[0].health.buffered, 64);
+    assert_eq!(before.loaders[1].health.buffered, 0);
+
+    p.control_tick();
+    let status = p.controller_status().expect("controller reachable");
+    assert_eq!(status.scale_ups, 0, "uniform mixture must not scale");
+    assert_eq!(status.scale_downs, 0, "uniform mixture must not retire");
+    assert_eq!(status.rebalances, 1, "skewed source never rebalanced");
+
+    // The hoard was drained and re-spread across both shards of the
+    // source — no sample lost, none duplicated.
+    let after = p.stats();
+    let (a, b) = (
+        after.loaders[0].health.buffered,
+        after.loaders[1].health.buffered,
+    );
+    assert_eq!(a + b, 64, "hand-off lost or duplicated samples");
+    assert!(
+        a.abs_diff(b) <= 2,
+        "hand-off left the source skewed: {a} vs {b}"
+    );
+    p.shutdown();
+}
+
+#[test]
+fn stats_snapshot_reports_loaders_and_client_cursors() {
+    let schedule = MixSchedule::uniform(5);
+    let mut p = pipeline(schedule, 55, Gcs::new(), ControllerConfig::default());
+    // Before any traffic: five idle loaders, no buffered samples.
+    let idle = p.stats();
+    assert_eq!(idle.loaders.len(), 5);
+    assert_eq!(idle.total_buffered(), 0);
+    assert_eq!(idle.loaders_per_source().len(), 5);
+    assert_eq!(idle.constructors.len(), 2);
+
+    let steps = 4u64;
+    let mut session = p.serve(ServeOptions {
+        clients: 4,
+        steps,
+        refill_target: 32,
+        queue_depth: 3,
+        pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
+    });
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| std::thread::spawn(move || while c.next().is_some() {}))
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert_eq!(session.join(), steps);
+
+    let stats = p.stats();
+    // Loaders refilled past what the plans consumed.
+    assert!(stats.total_buffered() > 0, "loaders report empty buffers");
+    for l in &stats.loaders {
+        assert!(l.health.samples_produced > 0, "{:?} idle", l.identity);
+        assert!(l.health.fetch_stall_ns > 0, "fetch stalls unaccounted");
+    }
+    // Every client's consumed count reached the end of its stream.
+    let mut cursors: Vec<(u32, u64)> = stats
+        .constructors
+        .iter()
+        .flat_map(|c| c.client_cursors.iter().copied())
+        .collect();
+    cursors.sort_unstable();
+    assert_eq!(
+        cursors,
+        vec![(0, steps), (1, steps), (2, steps), (3, steps)],
+        "per-client consumed counts wrong"
+    );
+    p.shutdown();
+}
+
+proptest! {
+    /// Elastic resharding's minimal-disruption pledge: for any resident
+    /// placement and any topology change, the reshard plan never moves
+    /// more data than the naive full reshuffle (reassign everything
+    /// round-robin from scratch) would.
+    #[test]
+    fn reshard_never_moves_more_than_the_naive_full_reshuffle(
+        n in 1usize..300,
+        old_dp in 1u32..9,
+        new_dp in 1u32..9,
+    ) {
+        let tree = |dp: u32| {
+            ClientPlaceTree::from_device_mesh(&DeviceMesh::pp_dp_cp_tp(1, dp, 1, 1).unwrap())
+        };
+        let resident: Vec<(u64, u32)> =
+            (0..n).map(|i| (i as u64, i as u32 % old_dp)).collect();
+        let (old_tree, new_tree) = (tree(old_dp), tree(new_dp));
+        let plan = reshard(&resident, &old_tree, &new_tree, DistributeAxis::DP);
+        let naive = naive_full_reshuffle(&resident, &new_tree, DistributeAxis::DP);
+        prop_assert_eq!(plan.new_buckets, new_dp);
+        prop_assert!(
+            plan.moves.len() <= naive.moves.len(),
+            "reshard moved {} > naive {}", plan.moves.len(), naive.moves.len()
+        );
+        prop_assert!(plan.move_fraction() <= naive.move_fraction() + 1e-12);
+        // Moves touch only orphaned buckets and land in live ones.
+        for m in &plan.moves {
+            prop_assert!(m.from_bucket >= new_dp);
+            prop_assert!(m.to_bucket < new_dp);
+        }
+        // Conservation: every resident sample is either moved or stays.
+        prop_assert_eq!(plan.moves.len() + plan.stationary, n);
+    }
+}

@@ -102,6 +102,7 @@ fn serve_with_fault(
         queue_depth: 3,
         prefetch: true,
         pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
     });
     let handles: Vec<_> = session
         .take_clients()

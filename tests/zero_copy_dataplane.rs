@@ -155,6 +155,7 @@ fn sim_and_serve_paths_produce_byte_identical_batches() {
         queue_depth: 4,
         prefetch: true,
         pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
     });
     let handles: Vec<_> = session
         .take_clients()
@@ -211,6 +212,7 @@ fn clients_of_one_constructor_share_the_same_batch_allocation() {
         queue_depth: 4,
         prefetch: true,
         pull_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
     });
     let handles: Vec<_> = session
         .take_clients()
