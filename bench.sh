@@ -18,6 +18,19 @@
 #   elastic recovery_ratio        must stay >= 0.70 absolute (committed
 #                                 reports carry >= 0.90; the slack is noise
 #                                 headroom, not a quality target)
+#   distributed vs_local_serve8   must stay >= 0.50 absolute (committed
+#                                 reports carry >= 0.80: loopback protocol
+#                                 overhead is a few percent; the gap to the
+#                                 floor is noise headroom)
+#
+# scaling_efficiency is the *clamped* metric: the bench caps the raw
+# serve@8/serve@1 ratio at the client count (8), because super-linear
+# readings (e.g. the historical 8.49) are measurement artifacts —
+# serve@1 pays the full per-step driver latency for a single consumer
+# while serve@8 amortizes it over eight Arc-shared pulls, and shared-box
+# timer noise adds a few percent. An efficiency *above* 1.0/client is
+# therefore not a win to defend; only the lower bound is guarded. The
+# raw ratio is still emitted as scaling_efficiency_raw for forensics.
 set -euo pipefail
 
 CHECK=0
@@ -76,18 +89,25 @@ if [[ -n "${OLD_JSON}" ]]; then
   new_eff="$(json_metric "${OUT}" scaling_efficiency)"
   old_rec="$(json_metric "${OLD_JSON}" recovery_ratio)"
   new_rec="$(json_metric "${OUT}" recovery_ratio)"
+  old_dist="$(json_metric "${OLD_JSON}" vs_local_serve8)"
+  new_dist="$(json_metric "${OUT}" vs_local_serve8)"
   delta="n/a"
   if [[ "${old_s8}" != "n/a" && "${new_s8}" != "n/a" ]]; then
     delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
       'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
   fi
-  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}"
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}"
   if [[ "${CHECK}" == 1 ]]; then
     check_ratio "serve@8 delivered samples/s" "${old_s8}" "${new_s8}" 0.50
     check_ratio "scaling_efficiency" "${old_eff}" "${new_eff}" 0.50
     if [[ "${new_rec}" != "n/a" ]] && \
        awk -v r="${new_rec}" 'BEGIN { exit !(r < 0.70) }'; then
       echo "CHECK FAIL: elastic recovery_ratio ${new_rec} < 0.70 — post-rebalance throughput did not recover"
+      FAILED=1
+    fi
+    if [[ "${new_dist}" != "n/a" ]] && \
+       awk -v r="${new_dist}" 'BEGIN { exit !(r < 0.50) }'; then
+      echo "CHECK FAIL: distributed vs_local_serve8 ${new_dist} < 0.50 — the serving plane's protocol overhead exploded"
       FAILED=1
     fi
   fi

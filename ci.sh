@@ -48,10 +48,23 @@ bash -n bench.sh
 echo "==> cargo test -q"
 cargo test -q
 
-# The elasticity suite is part of `cargo test`, but gate it by name too so
-# a test-filter or default-members slip can't silently drop it.
+# The elasticity and distributed-serving suites are part of `cargo
+# test`, but gate them by name too so a test-filter or default-members
+# slip can't silently drop them.
 echo "==> cargo test --test elastic_runtime -q"
 cargo test --test elastic_runtime -q
+
+echo "==> cargo test --test distributed_serve -q"
+cargo test --test distributed_serve -q
+
+# Second property-test leg: an independent sampling of every property
+# suite. MSD_PROPTEST_SEED salts the shim's deterministic RNG labels
+# (so the cases differ from the default leg's), and PROPTEST_CASES
+# sizes the leg. Fixed values keep this leg as reproducible as the
+# first one.
+echo "==> property suites, alternate sampling (PROPTEST_CASES=96, MSD_PROPTEST_SEED=ci-leg-2)"
+PROPTEST_CASES=96 MSD_PROPTEST_SEED=ci-leg-2 cargo test -q \
+  --test prop_codec --test prop_invariants --test prop_deploy_tricks --test prop_future_work
 
 # Smoke-run the elastic control plane end to end (scales up, retires,
 # asserts gap-free clients internally). Debug profile on purpose: it
@@ -59,6 +72,12 @@ cargo test --test elastic_runtime -q
 # and the demo's wall-clock is dominated by modeled fetch sleeps.
 echo "==> cargo run --example elastic_serve"
 cargo run --example elastic_serve
+
+# Smoke-run the distributed serving plane: loopback with a mid-stream
+# disconnect/resume, then a 10%-loss simulated network — both assert
+# gap-free client streams internally.
+echo "==> cargo run --example distributed_serve"
+cargo run --example distributed_serve
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

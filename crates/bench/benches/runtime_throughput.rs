@@ -35,7 +35,9 @@ use msd_core::planner::{Planner, PlannerConfig, Strategy};
 use msd_core::schedule::MixSchedule;
 use msd_core::system::controller::ControllerConfig;
 use msd_core::system::core::PipelineCore;
+use msd_core::system::net::LoopbackTransport;
 use msd_core::system::runtime::{ServeOptions, ThreadedPipeline};
+use msd_core::system::server::RemotePlacement;
 use msd_data::catalog::coyo700m_like;
 use msd_data::{Catalog, SourceSpec};
 use msd_mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
@@ -262,6 +264,78 @@ fn run_serve(clients: u32) -> Delivered {
     }
 }
 
+/// Deployment 5: the distributed serving plane over loopback — the same
+/// serve drive as deployment 3, but consumers are `RemoteClient`s
+/// reaching the pipeline through the `DataServer` actor and the MSDB
+/// wire protocol (Hello/Subscribe/Batch/Ack/Credit/Close with
+/// credit-based flow control). Loopback keeps batch payloads
+/// `Arc`-shared, so the delta vs `run_serve` is pure protocol overhead.
+fn run_distributed(clients: u32) -> Delivered {
+    let catalog = catalog();
+    let mut pipeline =
+        ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
+    // The 1×4×1×2 mesh: DP bucket `d` holds ranks {2d, 2d+1}; spread the
+    // clients over all buckets (and both TP ranks) like `serve` does via
+    // `id % constructors`.
+    let placements: Vec<RemotePlacement> = (0..clients)
+        .map(|c| RemotePlacement {
+            client: c,
+            rank: (c % 4) * 2 + (c / 4) % 2,
+        })
+        .collect();
+    let t0 = Instant::now();
+    let (session, handle) = pipeline.serve_distributed(
+        ServeOptions {
+            clients,
+            steps: STEPS,
+            refill_target: REFILL_TARGET,
+            queue_depth: 4,
+            prefetch: true,
+            pull_timeout: Duration::from_millis(500),
+            ..ServeOptions::default()
+        },
+        std::sync::Arc::new(LoopbackTransport),
+        &placements,
+    );
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut rc = handle.connect(c);
+            std::thread::spawn(move || {
+                let (mut pulled, mut samples, mut bytes) = (0u64, 0u64, 0u64);
+                while let Some((_, batch)) = rc.next() {
+                    let (s, p) = batch_delivery(&batch);
+                    samples += s;
+                    bytes += p;
+                    std::hint::black_box(&batch);
+                    pulled += 1;
+                }
+                (pulled, samples, bytes)
+            })
+        })
+        .collect();
+    let (mut pulled, mut samples, mut payload_bytes) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (c_pulled, c_samples, c_bytes) = h.join().expect("remote client thread");
+        pulled += c_pulled;
+        samples += c_samples;
+        payload_bytes += c_bytes;
+    }
+    let served = session.join();
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    assert_eq!(served, STEPS, "distributed driver fell short");
+    assert_eq!(
+        pulled,
+        STEPS * u64::from(clients),
+        "remote clients missed steps"
+    );
+    pipeline.shutdown();
+    Delivered {
+        elapsed_s,
+        samples,
+        payload_bytes,
+    }
+}
+
 /// The elastic scenario's phase boundaries (plan steps): a steady uniform
 /// mixture, a hot-source phase that forces live loader scale-ups, then a
 /// return to uniform that forces retirements. Throughput is measured per
@@ -392,7 +466,21 @@ fn main() {
     let actorized = run_actorized();
     let client_counts = [1u32, 2, 4, 8];
     let serve: Vec<Delivered> = client_counts.iter().map(|c| run_serve(*c)).collect();
-    let scaling_efficiency = serve[3].samples_per_sec() / serve[0].samples_per_sec();
+    // Raw serve@8 ÷ serve@1 routinely lands *above* 8.0: serve@1 pays
+    // the full per-step driver latency for one consumer while serve@8
+    // amortizes it over eight Arc-shared pulls, and wall-clock noise on
+    // shared CI boxes adds a few percent either way. Anything past the
+    // client count is measurement artifact, not real efficiency, so the
+    // reported metric clamps there (the raw ratio is emitted alongside
+    // for forensics).
+    let scaling_efficiency_raw = serve[3].samples_per_sec() / serve[0].samples_per_sec();
+    let scaling_efficiency =
+        scaling_efficiency_raw.min(f64::from(client_counts[client_counts.len() - 1]));
+    let distributed_clients = client_counts[client_counts.len() - 1];
+    let distributed = run_distributed(distributed_clients);
+    // Protocol overhead of the distributed plane: delivered throughput
+    // relative to the same serve drive with in-process clients.
+    let distributed_vs_local = distributed.samples_per_sec() / serve[3].samples_per_sec();
     let elastic = run_elastic();
 
     table_header(&[
@@ -418,10 +506,15 @@ fn main() {
     for (c, d) in client_counts.iter().zip(&serve) {
         row("serve+prefetch", *c, d);
     }
+    row("distributed(loopback)", distributed_clients, &distributed);
     println!("\n[steps={STEPS}, samples/step={SAMPLES_PER_STEP}; delivered throughput sums over");
     println!(" consumers: serve clients share each constructed batch zero-copy, so fan-out");
     println!(
-        " multiplies egress. scaling_efficiency (serve@8 / serve@1) = {scaling_efficiency:.2}]"
+        " multiplies egress. scaling_efficiency (serve@8 / serve@1) = {scaling_efficiency:.2} \
+         (raw {scaling_efficiency_raw:.2}, clamped at the client count);"
+    );
+    println!(
+        " distributed loopback serve delivers {distributed_vs_local:.2}x of local serve@{distributed_clients}]"
     );
 
     println!("\nelastic scenario (drifting mixture, controller live, 2 clients):");
@@ -475,6 +568,11 @@ fn main() {
              \"payload_mb_per_sec\": {{\n    \"inline\": {:.2},\n    \"actorized\": {:.2},\n    \
              \"serve_prefetch_by_clients\": {{\n{}\n    }}\n  }},\n  \
              \"scaling_efficiency\": {:.2},\n  \
+             \"scaling_efficiency_raw\": {:.2},\n  \
+             \"distributed\": {{\n    \"clients\": {},\n    \
+             \"samples_per_sec\": {:.2},\n    \
+             \"payload_mb_per_sec\": {:.2},\n    \
+             \"vs_local_serve8\": {:.2}\n  }},\n  \
              \"elastic\": {{\n    \"steady_samples_per_sec\": {:.2},\n    \
              \"scaling_samples_per_sec\": {:.2},\n    \
              \"recovered_samples_per_sec\": {:.2},\n    \
@@ -487,6 +585,11 @@ fn main() {
             actorized.payload_mb_per_sec(),
             by_clients(&Delivered::payload_mb_per_sec),
             scaling_efficiency,
+            scaling_efficiency_raw,
+            distributed_clients,
+            distributed.samples_per_sec(),
+            distributed.payload_mb_per_sec(),
+            distributed_vs_local,
             elastic.before,
             elastic.during,
             elastic.after,

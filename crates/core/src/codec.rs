@@ -19,20 +19,29 @@
 //! written before this codec (or by tooling that still emits JSON)
 //! restore unchanged, and genuinely corrupt state still surfaces as an
 //! error for the restart paths' fault-log fallbacks.
+//!
+//! Since frame version 2 every frame also carries a trailing 32-bit
+//! FNV-1a checksum over everything before it. The same `MSDB` frames now
+//! travel the distributed serving plane's wire (kinds 5–10, see
+//! [`crate::system::net::WireFrame`]), where bit rot is a live threat,
+//! not a theoretical one: any single-bit corruption anywhere in a frame
+//! is guaranteed to surface as a [`CodecError`], never as a silently
+//! mis-decoded value.
 
 use std::collections::BTreeMap;
 
-use bytes::BufMut;
+use bytes::{BufMut, Bytes};
 
 use crate::loader::LoaderCheckpoint;
 use crate::planner::PlannerCheckpoint;
 use crate::system::controller::{ControllerCheckpoint, SlotRecord};
 use crate::system::core::CoreCheckpoint;
+use crate::system::net::{BatchPayload, WireFrame};
 
 /// Frame magic for all binary GCS blobs.
 pub const MAGIC: [u8; 4] = *b"MSDB";
-/// Current frame version.
-pub const VERSION: u8 = 1;
+/// Current frame version (2 added the trailing FNV-1a frame checksum).
+pub const VERSION: u8 = 2;
 
 /// Frame kind: planner checkpoint ([`CoreCheckpoint`]).
 const KIND_PLANNER: u8 = 1;
@@ -42,11 +51,31 @@ const KIND_PLAN_LOG: u8 = 2;
 const KIND_LOADER: u8 = 3;
 /// Frame kind: elastic-controller checkpoint ([`ControllerCheckpoint`]).
 const KIND_CONTROLLER: u8 = 4;
+/// Wire kind: client introduction ([`WireFrame::Hello`]).
+const KIND_WIRE_HELLO: u8 = 5;
+/// Wire kind: stream (re)subscription ([`WireFrame::Subscribe`]).
+const KIND_WIRE_SUBSCRIBE: u8 = 6;
+/// Wire kind: one serve step's batch ([`WireFrame::Batch`]).
+const KIND_WIRE_BATCH: u8 = 7;
+/// Wire kind: batch receipt ([`WireFrame::Ack`]).
+const KIND_WIRE_ACK: u8 = 8;
+/// Wire kind: flow-control credit grant ([`WireFrame::Credit`]).
+const KIND_WIRE_CREDIT: u8 = 9;
+/// Wire kind: clean stream teardown ([`WireFrame::Close`]).
+const KIND_WIRE_CLOSE: u8 = 10;
 
 /// Why a blob failed to decode (through both the binary and the JSON
 /// fallback paths).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodecError(String);
+
+impl CodecError {
+    /// Builds an error with the given detail (also used by the wire
+    /// payload parser in [`crate::system::net`]).
+    pub(crate) fn new(detail: impl Into<String>) -> Self {
+        CodecError(detail.into())
+    }
+}
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -105,16 +134,63 @@ impl<'a> Reader<'a> {
 }
 
 fn frame(kind: u8, capacity: usize) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(MAGIC.len() + 2 + capacity);
+    let mut buf = Vec::with_capacity(MAGIC.len() + 2 + capacity + CHECKSUM_LEN);
     buf.put_slice(&MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(kind);
     buf
 }
 
-/// Strips and validates the frame header, returning the body reader.
+/// Trailing checksum width.
+const CHECKSUM_LEN: usize = 4;
+
+/// 32-bit FNV-1a over `data`. Each step `h = (h ^ byte) * prime` is
+/// injective in `h` (the prime is odd, hence invertible mod 2³²), so two
+/// frames differing in exactly one byte can never share a checksum —
+/// single-bit corruption is *guaranteed* to be caught, not just likely.
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in data {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Appends the frame checksum; every encoder's final step.
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&buf);
+    buf.put_u32_le(sum);
+    buf
+}
+
+/// Strips and validates the frame header plus the trailing checksum,
+/// returning a reader over the body only.
 fn open_frame(data: &[u8], kind: u8) -> Result<Reader<'_>, CodecError> {
-    let mut r = Reader { data };
+    let (got, r) = open_any_frame(data)?;
+    if got != kind {
+        return Err(CodecError(format!(
+            "frame kind mismatch: expected {kind}, got {got}"
+        )));
+    }
+    Ok(r)
+}
+
+/// Like [`open_frame`], but yields whichever kind the frame carries
+/// (the wire decoder dispatches on it).
+fn open_any_frame(data: &[u8]) -> Result<(u8, Reader<'_>), CodecError> {
+    if data.len() < MAGIC.len() + 2 + CHECKSUM_LEN {
+        return Err(CodecError(format!("frame too short: {} bytes", data.len())));
+    }
+    let (body, tail) = data.split_at(data.len() - CHECKSUM_LEN);
+    let stored = u32::from_le_bytes(tail.try_into().expect("4-byte tail"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(CodecError(format!(
+            "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut r = Reader { data: body };
     let magic = r.take(MAGIC.len())?;
     if magic != MAGIC {
         return Err(CodecError("missing MSDB magic".into()));
@@ -123,13 +199,8 @@ fn open_frame(data: &[u8], kind: u8) -> Result<Reader<'_>, CodecError> {
     if version != VERSION {
         return Err(CodecError(format!("unsupported frame version {version}")));
     }
-    let got = r.u8()?;
-    if got != kind {
-        return Err(CodecError(format!(
-            "frame kind mismatch: expected {kind}, got {got}"
-        )));
-    }
-    Ok(r)
+    let kind = r.u8()?;
+    Ok((kind, r))
 }
 
 fn put_rng(buf: &mut Vec<u8>, state: &[u64; 4]) {
@@ -148,7 +219,7 @@ pub fn encode_planner_checkpoint(cp: &CoreCheckpoint) -> Vec<u8> {
     buf.put_u64_le(cp.planner.step);
     put_rng(&mut buf, &cp.planner.rng_state);
     buf.put_u64_le(cp.replayed_steps);
-    buf
+    seal(buf)
 }
 
 /// Decodes a planner checkpoint, falling back to the legacy JSON reader
@@ -182,7 +253,7 @@ pub fn encode_plan_log(directives: &BTreeMap<u32, Vec<u64>>) -> Vec<u8> {
             buf.put_u64_le(*id);
         }
     }
-    buf
+    seal(buf)
 }
 
 /// Decodes a plan-log entry, falling back to the legacy JSON reader.
@@ -214,7 +285,7 @@ pub fn encode_loader_checkpoint(cp: &LoaderCheckpoint) -> Vec<u8> {
     buf.put_u64_le(cp.cursor);
     put_rng(&mut buf, &cp.rng_state);
     buf.put_u64_le(cp.version);
-    buf
+    seal(buf)
 }
 
 /// Decodes a loader checkpoint, falling back to the legacy JSON reader.
@@ -254,7 +325,7 @@ pub fn encode_controller_checkpoint(cp: &ControllerCheckpoint) -> Vec<u8> {
         buf.put_u32_le(slot.shard);
         buf.put_u32_le(slot.shards);
     }
-    buf
+    seal(buf)
 }
 
 /// Decodes an elastic-controller checkpoint, falling back to the legacy
@@ -289,6 +360,107 @@ pub fn decode_controller_checkpoint(data: &[u8]) -> Result<ControllerCheckpoint,
         rebalances,
         slots,
     })
+}
+
+/// Encodes one wire frame of the distributed serving plane's MSDB
+/// protocol. A [`WireFrame::Batch`] carrying a shared in-process payload
+/// is serialized here — encoding is exactly the point where a batch
+/// leaves shared memory.
+pub fn encode_wire_frame(frame_in: &WireFrame) -> Vec<u8> {
+    match frame_in {
+        WireFrame::Hello { client, rank } => {
+            let mut buf = frame(KIND_WIRE_HELLO, 8);
+            buf.put_u32_le(*client);
+            buf.put_u32_le(*rank);
+            seal(buf)
+        }
+        WireFrame::Subscribe {
+            client,
+            from_step,
+            credits,
+        } => {
+            let mut buf = frame(KIND_WIRE_SUBSCRIBE, 16);
+            buf.put_u32_le(*client);
+            buf.put_u64_le(*from_step);
+            buf.put_u32_le(*credits);
+            seal(buf)
+        }
+        WireFrame::Batch {
+            client,
+            step,
+            payload,
+        } => {
+            let encoded = payload.encoded();
+            let mut buf = frame(KIND_WIRE_BATCH, 16 + encoded.len());
+            buf.put_u32_le(*client);
+            buf.put_u64_le(*step);
+            buf.put_u32_le(encoded.len() as u32);
+            buf.put_slice(&encoded);
+            seal(buf)
+        }
+        WireFrame::Ack { client, step } => {
+            let mut buf = frame(KIND_WIRE_ACK, 12);
+            buf.put_u32_le(*client);
+            buf.put_u64_le(*step);
+            seal(buf)
+        }
+        WireFrame::Credit { client, grant } => {
+            let mut buf = frame(KIND_WIRE_CREDIT, 8);
+            buf.put_u32_le(*client);
+            buf.put_u32_le(*grant);
+            seal(buf)
+        }
+        WireFrame::Close { client } => {
+            let mut buf = frame(KIND_WIRE_CLOSE, 4);
+            buf.put_u32_le(*client);
+            seal(buf)
+        }
+    }
+}
+
+/// Decodes one wire frame. Unlike the GCS checkpoint decoders there is
+/// no JSON fallback — wire frames never had a legacy encoding — so any
+/// non-frame byte string is an error. A decoded batch carries its
+/// payload as [`BatchPayload::Encoded`] bytes; parsing the batch itself
+/// is deferred to [`BatchPayload::batch`] so relays never pay for it.
+pub fn decode_wire_frame(data: &[u8]) -> Result<WireFrame, CodecError> {
+    let (kind, mut r) = open_any_frame(data)?;
+    let frame_out = match kind {
+        KIND_WIRE_HELLO => WireFrame::Hello {
+            client: r.u32()?,
+            rank: r.u32()?,
+        },
+        KIND_WIRE_SUBSCRIBE => WireFrame::Subscribe {
+            client: r.u32()?,
+            from_step: r.u64()?,
+            credits: r.u32()?,
+        },
+        KIND_WIRE_BATCH => {
+            let client = r.u32()?;
+            let step = r.u64()?;
+            let len = r.u32()? as usize;
+            let payload = Bytes::copy_from_slice(r.take(len)?);
+            WireFrame::Batch {
+                client,
+                step,
+                payload: BatchPayload::Encoded(payload),
+            }
+        }
+        KIND_WIRE_ACK => WireFrame::Ack {
+            client: r.u32()?,
+            step: r.u64()?,
+        },
+        KIND_WIRE_CREDIT => WireFrame::Credit {
+            client: r.u32()?,
+            grant: r.u32()?,
+        },
+        KIND_WIRE_CLOSE => WireFrame::Close { client: r.u32()? },
+        other => {
+            return Err(CodecError(format!("not a wire frame kind: {other}")));
+        }
+    };
+    r.finish()?;
+    Ok(frame_out)
 }
 
 #[cfg(test)]

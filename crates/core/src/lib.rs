@@ -73,5 +73,9 @@ pub use planner::{Planner, Strategy};
 pub use replay::{PlanStore, ReplayOutcome, ReplayPlanner};
 pub use schedule::MixSchedule;
 pub use system::core::{PipelineCore, PlanOutcome};
+pub use system::net::{
+    BatchPayload, LoopbackTransport, NetError, SharedBatch, SimTransport, Transport, WireFrame,
+};
 pub use system::runtime::{ServeClient, ServeOptions, ServeSession, ThreadedPipeline};
+pub use system::server::{DataServerHandle, RemoteClient, RemotePlacement, ServerStatus};
 pub use system::MegaScaleData;

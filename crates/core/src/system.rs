@@ -35,7 +35,9 @@ use crate::system::core::PipelineCore;
 
 pub mod controller;
 pub mod core;
+pub mod net;
 pub mod runtime;
+pub mod server;
 
 /// Feature toggles for the component ablation (Fig 16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -58,7 +58,11 @@ const SHARD_LIMIT: u32 = 1 << 8;
 /// Knobs of the elastic control plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
-    /// Never retire a source below this many loaders.
+    /// Never retire a source below this many loaders. Values below 1
+    /// are treated as 1: the *last* loader of a source never retires,
+    /// because the drain/hand-off protocol needs a surviving same-source
+    /// peer to adopt the drained buffer — without one the samples would
+    /// be dropped.
     pub min_loaders_per_source: u32,
     /// Never provision a source past this many loaders.
     pub max_loaders_per_source: u32,
@@ -103,6 +107,17 @@ pub enum ControllerMsg {
     Tick,
     /// Report decision counters and the current topology.
     Status(ReplyTo<ControllerStatus>),
+    /// Operator command: retire one loader of `source` through the
+    /// drain/hand-off protocol, replying whether a retirement executed.
+    /// Refused — like any autoscaler-initiated retirement — when the
+    /// source is down to its last loader: there is no same-source peer
+    /// to adopt the drained buffer, so executing it would drop samples.
+    Retire {
+        /// The source to shrink by one loader.
+        source: SourceId,
+        /// Whether the retirement executed.
+        reply: ReplyTo<bool>,
+    },
 }
 
 /// The controller's observable state.
@@ -492,6 +507,21 @@ impl ControllerActor {
     /// by [`msd_balance::balance`]), then stop the actor.
     fn scale_down(&mut self, source: SourceId, healths: &[(LoaderSlot, LoaderHealth)]) -> bool {
         let slots = self.slots_of(source);
+        // Hard floor of 1 regardless of configuration: retiring the last
+        // loader has no surviving same-source peer for the hand-off, so
+        // its drained buffer would be dropped on the floor.
+        if slots.len() <= 1 {
+            if slots.len() == 1 {
+                self.gcs.log_fault(
+                    CONTROLLER_STATE_KEY,
+                    format!(
+                        "retirement of the last loader for source {source:?} refused: \
+                         no same-source peer to adopt its buffer"
+                    ),
+                );
+            }
+            return false;
+        }
         if slots.len() as u32 <= self.config.min_loaders_per_source {
             return false;
         }
@@ -647,6 +677,27 @@ impl Actor for ControllerActor {
     fn handle(&mut self, msg: ControllerMsg, _ctx: &mut Ctx) {
         match msg {
             ControllerMsg::Tick => self.tick(),
+            ControllerMsg::Retire { source, reply } => {
+                let healths = self.gather_health();
+                let executed = self.scale_down(source, &healths);
+                if executed {
+                    self.record_event();
+                }
+                // The autoscaler was not consulted; pin its view of this
+                // source to the live registry either way, so manual
+                // surgery cannot make its shares drift from reality.
+                if let Some(scaler) = self.scaler.as_mut() {
+                    let live = self
+                        .registry
+                        .read()
+                        .iter()
+                        .filter(|s| s.identity.source_id == source)
+                        .count()
+                        .max(1) as u32;
+                    scaler.set_actors(source, live);
+                }
+                reply.send(executed);
+            }
             ControllerMsg::Status(reply) => {
                 reply.send(ControllerStatus {
                     ticks: self.ticks,

@@ -1,0 +1,605 @@
+//! Transport abstraction for the distributed serving plane.
+//!
+//! The paper's dataloader is a disaggregated *service*: loader hosts
+//! feed trainer ranks across a network, not across a function call. This
+//! module is the seam between those two worlds — a [`Transport`] opens
+//! bidirectional connections carrying [`WireFrame`]s of the MSDB wire
+//! protocol (kinds 5–10 of [`crate::codec`]), and two implementations
+//! bound the fidelity/cost trade:
+//!
+//! - [`LoopbackTransport`]: in-process channels moving frames by value.
+//!   A [`WireFrame::Batch`] keeps its [`BatchPayload::Shared`] handle,
+//!   so delivery is a refcount bump on the one constructed batch — the
+//!   zero-copy contract of the data plane extends through the wire
+//!   layer unchanged.
+//! - [`SimTransport`]: every frame is *serialized* through the MSDB
+//!   codec and pushed through a [`msd_sim::LossyLink`] — deterministic
+//!   loss plus the alpha-beta latency of [`msd_sim::NetModel`] — before
+//!   the receiver decodes it. This is the adversarial testbed: the
+//!   reliability layer above (credit windows, acks, resume-from-cursor)
+//!   must keep client streams gap-free and duplicate-free on it.
+//!
+//! Frames, not streams: each send is one self-delimiting MSDB frame, so
+//! the sim transport can drop, delay, or (on decode failure) discard
+//! messages independently — the failure units the protocol reasons
+//! about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use msd_sim::{LossyLink, NetModel};
+use parking_lot::Mutex;
+
+use crate::codec::{self, CodecError};
+use crate::constructor::ConstructedBatch;
+
+/// Errors surfaced by a transport endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer endpoint is gone (connection closed or dropped).
+    Closed,
+    /// No frame arrived within the timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A shared in-process batch plus its lazily memoized wire form: the
+/// first wire send serializes, and window resends or bucket-mate
+/// fan-out of the same batch reuse the cached bytes.
+#[derive(Debug, Clone)]
+pub struct SharedBatch {
+    batch: Arc<ConstructedBatch>,
+    wire: Arc<std::sync::OnceLock<Bytes>>,
+}
+
+impl SharedBatch {
+    /// Wraps a constructed batch for wire delivery.
+    pub fn new(batch: Arc<ConstructedBatch>) -> Self {
+        SharedBatch {
+            batch,
+            wire: Arc::new(std::sync::OnceLock::new()),
+        }
+    }
+
+    /// The shared batch handle (a refcount bump).
+    pub fn batch(&self) -> Arc<ConstructedBatch> {
+        Arc::clone(&self.batch)
+    }
+
+    /// The serialized wire form, computed once per batch.
+    fn encoded(&self) -> Bytes {
+        self.wire
+            .get_or_init(|| {
+                Bytes::from(
+                    serde_json::to_vec(self.batch.as_ref()).expect("constructed batches serialize"),
+                )
+            })
+            .clone()
+    }
+}
+
+impl PartialEq for SharedBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.batch == other.batch
+    }
+}
+
+/// The batch payload of a [`WireFrame::Batch`].
+///
+/// On loopback the payload stays a shared handle end to end; over a real
+/// (or simulated) network it is the serialized batch bytes. Receivers
+/// call [`BatchPayload::batch`] and get a shared `Arc` either way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchPayload {
+    /// In-process delivery: the constructed batch handed over by
+    /// refcount — its payload `Bytes` remain views of the loader
+    /// buffers, never copies.
+    Shared(SharedBatch),
+    /// Network delivery: the batch serialized for the wire, parsed
+    /// lazily on first use.
+    Encoded(Bytes),
+}
+
+impl BatchPayload {
+    /// Wraps a constructed batch as an in-process shared payload.
+    pub fn shared(batch: Arc<ConstructedBatch>) -> Self {
+        BatchPayload::Shared(SharedBatch::new(batch))
+    }
+
+    /// The carried batch, parsing encoded payloads on demand.
+    pub fn batch(&self) -> Result<Arc<ConstructedBatch>, CodecError> {
+        match self {
+            BatchPayload::Shared(shared) => Ok(shared.batch()),
+            BatchPayload::Encoded(bytes) => serde_json::from_slice::<ConstructedBatch>(bytes)
+                .map(Arc::new)
+                .map_err(|e| CodecError::new(format!("batch payload does not parse: {e}"))),
+        }
+    }
+
+    /// The wire form of the payload; shared batches serialize once and
+    /// memoize.
+    pub fn encoded(&self) -> Bytes {
+        match self {
+            BatchPayload::Shared(shared) => shared.encoded(),
+            BatchPayload::Encoded(bytes) => bytes.clone(),
+        }
+    }
+}
+
+/// One message of the MSDB wire protocol between a trainer-rank client
+/// and the loader-side [`crate::system::server::DataServer`].
+///
+/// The protocol is client-driven and window-based: a client introduces
+/// itself (`Hello`), opens or resumes its stream (`Subscribe` carries
+/// the resume cursor plus the initial credit window), and thereafter
+/// every consumed batch is both acknowledged (`Ack`, trimming the
+/// server's retransmit buffer) and paid for (`Credit`, sliding the
+/// absolute send window forward). Loss of any frame degrades to a
+/// client-side receive timeout, which re-`Subscribe`s from the cursor —
+/// the server then resends exactly the unacknowledged window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// Client introduction: who is dialing and which trainer rank it
+    /// hosts (the server maps the rank onto a constructor bucket).
+    Hello {
+        /// Deployment-wide client id.
+        client: u32,
+        /// The trainer rank this client feeds.
+        rank: u32,
+    },
+    /// Open or resume the client's batch stream.
+    Subscribe {
+        /// Deployment-wide client id.
+        client: u32,
+        /// First serve step the client still needs (its consumed
+        /// cursor — resume is gap-free and duplicate-free by
+        /// construction).
+        from_step: u64,
+        /// Credit window: the server may send steps
+        /// `[from_step, from_step + credits)` before further `Credit`
+        /// grants arrive.
+        credits: u32,
+    },
+    /// One serve step's constructed batch (server → client).
+    Batch {
+        /// Destination client id.
+        client: u32,
+        /// Serve step ordinal.
+        step: u64,
+        /// The batch, shared on loopback, serialized on the wire.
+        payload: BatchPayload,
+    },
+    /// Receipt for a delivered batch; trims the server's retransmit
+    /// buffer.
+    Ack {
+        /// Acknowledging client id.
+        client: u32,
+        /// The received serve step.
+        step: u64,
+    },
+    /// Flow-control grant: slide the client's send window forward by
+    /// `grant` steps. Withholding credit is how a slow trainer rank
+    /// backpressures the constructors instead of ballooning queues.
+    Credit {
+        /// Granting client id.
+        client: u32,
+        /// Additional steps the server may send.
+        grant: u32,
+    },
+    /// Clean stream teardown (sent by a finishing or dropped client).
+    Close {
+        /// Departing client id.
+        client: u32,
+    },
+}
+
+impl WireFrame {
+    /// The client id the frame concerns.
+    pub fn client(&self) -> u32 {
+        match self {
+            WireFrame::Hello { client, .. }
+            | WireFrame::Subscribe { client, .. }
+            | WireFrame::Batch { client, .. }
+            | WireFrame::Ack { client, .. }
+            | WireFrame::Credit { client, .. }
+            | WireFrame::Close { client } => *client,
+        }
+    }
+}
+
+/// The sending half of a connection endpoint.
+pub trait FrameTx: Send {
+    /// Sends one frame. `Err(Closed)` means the peer hung up; a lossy
+    /// transport dropping the frame is *not* an error — loss is
+    /// invisible to the sender, exactly like a real datagram.
+    fn send(&self, frame: WireFrame) -> Result<(), NetError>;
+}
+
+/// The receiving half of a connection endpoint.
+pub trait FrameRx: Send {
+    /// Blocks up to `timeout` for the next frame.
+    fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError>;
+}
+
+/// One end of an established bidirectional connection.
+pub struct WireConn {
+    /// Sending half.
+    pub tx: Box<dyn FrameTx>,
+    /// Receiving half.
+    pub rx: Box<dyn FrameRx>,
+}
+
+impl WireConn {
+    /// Splits the endpoint into independently owned halves (the server
+    /// actor keeps the sender; a reader thread drains the receiver).
+    pub fn split(self) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        (self.tx, self.rx)
+    }
+}
+
+/// A connection factory: the serving plane's pluggable data path.
+pub trait Transport: Send + Sync {
+    /// Opens one connection, returning the `(client, server)` endpoints.
+    fn pair(&self) -> (WireConn, WireConn);
+
+    /// Short transport label for logs and reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// Loopback: in-process channels, zero-copy batch hand-off.
+
+/// In-process transport: frames move by value over channels and batch
+/// payloads stay `Arc`-shared. The upper bound on what any network
+/// transport can deliver — and the deployment shape for trainer ranks
+/// co-located with their loader host.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoopbackTransport;
+
+struct ChanTx(Sender<WireFrame>);
+
+impl FrameTx for ChanTx {
+    fn send(&self, frame: WireFrame) -> Result<(), NetError> {
+        self.0.send(frame).map_err(|_| NetError::Closed)
+    }
+}
+
+struct ChanRx(Receiver<WireFrame>);
+
+impl FrameRx for ChanRx {
+    fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Closed,
+        })
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn pair(&self) -> (WireConn, WireConn) {
+        let (to_server_tx, to_server_rx) = unbounded();
+        let (to_client_tx, to_client_rx) = unbounded();
+        (
+            WireConn {
+                tx: Box::new(ChanTx(to_server_tx)),
+                rx: Box::new(ChanRx(to_client_rx)),
+            },
+            WireConn {
+                tx: Box::new(ChanTx(to_client_tx)),
+                rx: Box::new(ChanRx(to_server_rx)),
+            },
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulated network: serialized frames over a lossy, delayed link.
+
+/// Aggregate traffic counters of a [`SimTransport`], summed over every
+/// lane of every connection it opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimNetStats {
+    /// Frames offered to the network.
+    pub offered: u64,
+    /// Frames the network dropped.
+    pub dropped: u64,
+    /// Serialized bytes of every delivered frame.
+    pub delivered_bytes: u64,
+}
+
+/// A simulated network path: frames are MSDB-serialized, then pushed
+/// through a per-lane [`LossyLink`] (deterministic loss, alpha-beta
+/// latency) and decoded at the far end. Frames that fail to decode are
+/// discarded like drops — corruption and loss are the same event to the
+/// protocol above.
+pub struct SimTransport {
+    model: NetModel,
+    loss: f64,
+    seed: u64,
+    next_lane: AtomicU64,
+    stats: Arc<Mutex<SimNetStats>>,
+}
+
+impl SimTransport {
+    /// Creates a transport with the given link model, per-frame loss
+    /// probability, and RNG seed (lanes derive per-connection seeds, so
+    /// a run is bit-reproducible).
+    pub fn new(model: NetModel, loss: f64, seed: u64) -> Self {
+        SimTransport {
+            model,
+            loss,
+            seed,
+            next_lane: AtomicU64::new(0),
+            stats: Arc::new(Mutex::new(SimNetStats::default())),
+        }
+    }
+
+    /// Traffic counters aggregated over all connections so far.
+    pub fn stats(&self) -> SimNetStats {
+        *self.stats.lock()
+    }
+
+    fn lane(&self, tx: Sender<(Instant, Vec<u8>)>) -> SimTx {
+        let lane = self.next_lane.fetch_add(1, Ordering::SeqCst);
+        SimTx {
+            link: Mutex::new(LossyLink::new(
+                self.model.clone(),
+                self.loss,
+                self.seed ^ (lane << 32) ^ lane,
+            )),
+            tx,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+struct SimTx {
+    link: Mutex<LossyLink>,
+    tx: Sender<(Instant, Vec<u8>)>,
+    stats: Arc<Mutex<SimNetStats>>,
+}
+
+impl FrameTx for SimTx {
+    fn send(&self, frame: WireFrame) -> Result<(), NetError> {
+        let bytes = codec::encode_wire_frame(&frame);
+        let admitted = self.link.lock().admit(bytes.len() as u64);
+        {
+            let mut stats = self.stats.lock();
+            stats.offered += 1;
+            match admitted {
+                Some(_) => stats.delivered_bytes += bytes.len() as u64,
+                None => stats.dropped += 1,
+            }
+        }
+        match admitted {
+            // Dropped in flight: success from the sender's perspective.
+            None => Ok(()),
+            Some(delay) => {
+                let due = Instant::now() + Duration::from_nanos(delay.as_nanos());
+                self.tx.send((due, bytes)).map_err(|_| NetError::Closed)
+            }
+        }
+    }
+}
+
+struct SimRx {
+    rx: Receiver<(Instant, Vec<u8>)>,
+    /// A dequeued frame whose modeled delivery time lies beyond a past
+    /// `recv` call's deadline — parked so the timeout contract holds
+    /// without losing the frame.
+    pending: Option<(Instant, Vec<u8>)>,
+}
+
+impl FrameRx for SimRx {
+    fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (due, bytes) = match self.pending.take() {
+                Some(parked) => parked,
+                None => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    self.rx.recv_timeout(remaining).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => NetError::Timeout,
+                        RecvTimeoutError::Disconnected => NetError::Closed,
+                    })?
+                }
+            };
+            // Model the link latency: the frame is not observable before
+            // its delivery time — but never sleep past the caller's
+            // deadline; park the frame for the next call instead.
+            let now = Instant::now();
+            if due > now {
+                if due > deadline {
+                    self.pending = Some((due, bytes));
+                    return Err(NetError::Timeout);
+                }
+                std::thread::sleep(due - now);
+            }
+            match codec::decode_wire_frame(&bytes) {
+                Ok(frame) => return Ok(frame),
+                Err(_) => continue, // Corrupted in transit: same as lost.
+            }
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn pair(&self) -> (WireConn, WireConn) {
+        let (to_server_tx, to_server_rx) = unbounded();
+        let (to_client_tx, to_client_rx) = unbounded();
+        (
+            WireConn {
+                tx: Box::new(self.lane(to_server_tx)),
+                rx: Box::new(SimRx {
+                    rx: to_client_rx,
+                    pending: None,
+                }),
+            },
+            WireConn {
+                tx: Box::new(self.lane(to_client_tx)),
+                rx: Box::new(SimRx {
+                    rx: to_server_rx,
+                    pending: None,
+                }),
+            },
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello(client: u32) -> WireFrame {
+        WireFrame::Hello { client, rank: 7 }
+    }
+
+    #[test]
+    fn loopback_delivers_frames_both_ways() {
+        let t = LoopbackTransport;
+        let (client, server) = t.pair();
+        let (ctx, mut crx) = client.split();
+        let (stx, mut srx) = server.split();
+        ctx.send(hello(3)).unwrap();
+        match srx.recv(Duration::from_secs(1)).unwrap() {
+            WireFrame::Hello { client, rank } => {
+                assert_eq!((client, rank), (3, 7));
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+        stx.send(WireFrame::Credit {
+            client: 3,
+            grant: 2,
+        })
+        .unwrap();
+        assert!(matches!(
+            crx.recv(Duration::from_secs(1)).unwrap(),
+            WireFrame::Credit { grant: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn loopback_batches_stay_shared() {
+        let t = LoopbackTransport;
+        let (client, server) = t.pair();
+        let batch = Arc::new(ConstructedBatch {
+            bucket: 1,
+            microbatches: vec![],
+            deliveries: vec![],
+        });
+        client
+            .tx
+            .send(WireFrame::Batch {
+                client: 0,
+                step: 0,
+                payload: BatchPayload::shared(Arc::clone(&batch)),
+            })
+            .unwrap();
+        let (_, mut srx) = server.split();
+        let got = match srx.recv(Duration::from_secs(1)).unwrap() {
+            WireFrame::Batch { payload, .. } => payload.batch().unwrap(),
+            other => panic!("unexpected frame: {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&got, &batch), "loopback copied the batch");
+    }
+
+    #[test]
+    fn closed_peer_surfaces_on_both_halves() {
+        let t = LoopbackTransport;
+        let (client, server) = t.pair();
+        drop(server);
+        assert_eq!(client.tx.send(hello(0)), Err(NetError::Closed));
+        let mut rx = client.rx;
+        assert_eq!(rx.recv(Duration::from_millis(10)), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn sim_transport_serializes_and_drops_deterministically() {
+        let t = SimTransport::new(NetModel::default(), 0.5, 11);
+        let (client, server) = t.pair();
+        let (_, mut srx) = server.split();
+        let sent = 200u32;
+        for i in 0..sent {
+            client.tx.send(hello(i)).unwrap();
+        }
+        let mut got = 0u32;
+        while let Ok(frame) = srx.recv(Duration::from_millis(100)) {
+            assert!(matches!(frame, WireFrame::Hello { .. }));
+            got += 1;
+        }
+        let stats = t.stats();
+        assert_eq!(stats.offered, u64::from(sent));
+        assert_eq!(u64::from(got), stats.offered - stats.dropped);
+        assert!(stats.dropped > 30, "loss=0.5 dropped {}", stats.dropped);
+        assert!(got > 30, "loss=0.5 delivered only {got}");
+        // Identical seed → identical drop pattern.
+        let t2 = SimTransport::new(NetModel::default(), 0.5, 11);
+        let (client2, server2) = t2.pair();
+        let (_, mut srx2) = server2.split();
+        for i in 0..sent {
+            client2.tx.send(hello(i)).unwrap();
+        }
+        let mut got2 = 0u32;
+        while srx2.recv(Duration::from_millis(100)).is_ok() {
+            got2 += 1;
+        }
+        assert_eq!(got, got2, "sim loss is not deterministic");
+    }
+
+    #[test]
+    fn sim_transport_round_trips_batches_through_the_codec() {
+        let t = SimTransport::new(NetModel::default(), 0.0, 3);
+        let (client, server) = t.pair();
+        let batch = Arc::new(ConstructedBatch {
+            bucket: 9,
+            microbatches: vec![],
+            deliveries: vec![],
+        });
+        client
+            .tx
+            .send(WireFrame::Batch {
+                client: 4,
+                step: 17,
+                payload: BatchPayload::shared(Arc::clone(&batch)),
+            })
+            .unwrap();
+        let (_, mut srx) = server.split();
+        match srx.recv(Duration::from_secs(1)).unwrap() {
+            WireFrame::Batch {
+                client,
+                step,
+                payload,
+            } => {
+                assert_eq!((client, step), (4, 17));
+                // The wire hop serialized: the decoded batch is equal but
+                // no longer the same allocation.
+                let got = payload.batch().unwrap();
+                assert_eq!(*got, *batch);
+                assert!(!Arc::ptr_eq(&got, &batch));
+                assert!(matches!(payload, BatchPayload::Encoded(_)));
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+}

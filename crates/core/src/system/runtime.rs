@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use msd_actor::actor::ReplyTo;
 use msd_actor::{Actor, ActorRef, ActorSystem, Ctx, Gcs, PendingReply, RestartPolicy};
 use msd_data::{Sample, SourceId, SourceSpec};
-use msd_mesh::{Axis, ClientPlaceTree};
+use msd_mesh::{Axis, ClientPlaceTree, DistributeAxis};
 use parking_lot::RwLock;
 
 use crate::buffer::{BufferInfo, BufferSummary};
@@ -48,6 +48,8 @@ use crate::system::controller::{
     ControllerActor, ControllerConfig, ControllerMsg, ControllerStatus,
 };
 use crate::system::core::{PipelineCore, PlanOutcome};
+use crate::system::net::Transport;
+use crate::system::server::{DataServer, DataServerHandle, RemotePlacement, ServerMsg};
 
 /// GCS key holding the planner actor's restart checkpoint.
 const PLANNER_STATE_KEY: &str = "planner";
@@ -919,10 +921,25 @@ impl Fleet {
     }
 }
 
+/// The construction-time trainer topology, kept for the distributed
+/// serving plane's rank → constructor-bucket placement. (A later
+/// [`ThreadedPipeline::set_tree`] reshard applies to *plans*; serve
+/// sessions opened after it should be placed against the new topology
+/// by the caller.)
+struct PlacementView {
+    tree: ClientPlaceTree,
+    axis: DistributeAxis,
+    group_size: Option<u32>,
+}
+
 /// The fully actorized threaded pipeline.
 pub struct ThreadedPipeline {
     system: ActorSystem,
     fleet: Fleet,
+    placement: PlacementView,
+    /// Data-server actors opened by [`ThreadedPipeline::serve_distributed`]
+    /// (stopped at shutdown), paired with their pump threads' stop flags.
+    servers: Vec<(ActorRef<ServerMsg>, Arc<AtomicBool>)>,
     /// Shared control store (checkpoints, registry, fault log).
     pub gcs: Gcs,
 }
@@ -975,6 +992,11 @@ impl ThreadedPipeline {
                 constructors.push(template.clone());
             }
         }
+        let placement = PlacementView {
+            tree: planner.tree().clone(),
+            axis: planner.config.axis,
+            group_size: planner.config.group_size,
+        };
         let topology =
             crate::system::controller::restore_topology(&gcs, &sources).unwrap_or(sources.clone());
         let registry: LoaderRegistry = Arc::new(RwLock::new(Vec::new()));
@@ -1041,6 +1063,8 @@ impl ThreadedPipeline {
                 replayed: Arc::new(AtomicU64::new(0)),
                 gcs: gcs.clone(),
             },
+            placement,
+            servers: Vec::new(),
             gcs,
         }
     }
@@ -1217,25 +1241,138 @@ impl ThreadedPipeline {
     /// `opts.steps` steps while the returned session's clients pull
     /// batches from their constructor actors. See [`ServeOptions`].
     pub fn serve(&mut self, opts: ServeOptions) -> ServeSession {
-        let stop = Arc::new(AtomicBool::new(false));
-        let clients: Vec<ServeClient> = (0..opts.clients)
-            .map(|id| {
-                let ctor_idx = id as usize % self.fleet.constructors.len().max(1);
-                ServeClient {
-                    id,
-                    constructor: self.fleet.constructors[ctor_idx].clone(),
-                    next_step: 0,
-                    steps: opts.steps,
-                    pull_timeout: opts.pull_timeout,
-                }
+        let ctor_count = self.fleet.constructors.len().max(1);
+        let roster: Vec<(u32, usize)> = (0..opts.clients)
+            .map(|id| (id, id as usize % ctor_count))
+            .collect();
+        let clients: Vec<ServeClient> = roster
+            .iter()
+            .map(|(id, ctor_idx)| ServeClient {
+                id: *id,
+                constructor: self.fleet.constructors[*ctor_idx].clone(),
+                next_step: 0,
+                steps: opts.steps,
+                pull_timeout: opts.pull_timeout,
             })
             .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        self.spawn_driver(opts, roster, clients, stop)
+    }
+
+    /// Starts a *distributed* serve session: the driver pumps exactly as
+    /// in [`ThreadedPipeline::serve`], but the consumers are remote
+    /// trainer clients reaching the pipeline over `transport` through a
+    /// [`DataServer`] actor. Each placement's rank is mapped onto the
+    /// trainer mesh ([`ClientPlaceTree`]: DP-rank → constructor bucket);
+    /// `opts.clients` is ignored — `placements` defines the client set.
+    ///
+    /// Returns the serve session (no local clients; join it as usual)
+    /// plus the server handle used to [`DataServerHandle::connect`]
+    /// remote clients. The credit window of each client is
+    /// `opts.queue_depth` steps, so remote flow control and the driver's
+    /// bounded-queue backpressure agree on how far ahead the pipeline
+    /// may run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement's rank lies outside the trainer mesh.
+    pub fn serve_distributed(
+        &mut self,
+        opts: ServeOptions,
+        transport: Arc<dyn Transport>,
+        placements: &[RemotePlacement],
+    ) -> (ServeSession, DataServerHandle) {
+        let ctor_count = self.fleet.constructors.len().max(1);
+        let placed: Vec<(u32, msd_mesh::Rank, usize)> = placements
+            .iter()
+            .map(|p| {
+                let bucket = self
+                    .placement
+                    .tree
+                    .bucket_of(p.rank, self.placement.axis, self.placement.group_size)
+                    .unwrap_or_else(|| {
+                        panic!("placement rank {} lies outside the trainer mesh", p.rank)
+                    });
+                (
+                    p.client,
+                    p.rank,
+                    PipelineCore::constructor_index(bucket, ctor_count),
+                )
+            })
+            .collect();
+        let roster: Vec<(u32, usize)> = placed.iter().map(|(c, _, i)| (*c, *i)).collect();
+
+        let server = DataServer::new(
+            self.fleet.constructors.clone(),
+            placed.clone(),
+            opts.steps,
+            // Parked pulls are re-issued on this cadence after constructor
+            // restarts; bounded so loss recovery stays well inside the
+            // driver's per-step retry budget.
+            self.fleet.rpc_timeout.min(Duration::from_secs(2)),
+            self.gcs.clone(),
+        );
+        let name = format!("data-server/{}", self.servers.len());
+        self.gcs.register(&name, "distributed serving plane");
+        let actor = self.system.spawn(&name, server);
+
+        // The pump thread resolves the server's pipelined constructor
+        // pulls. Its lifetime is the *session's*: the driver's drain
+        // (and so `ServeSession::join`) depends on the pump advancing
+        // client cursors, and once the session is joined or dropped its
+        // stop flag ends the pump — sequential serve sessions do not
+        // accumulate 1 ms pollers. (The server actor itself stays
+        // alive, idle, for `DataServerHandle::status` until pipeline
+        // shutdown.)
+        let session_stop = Arc::new(AtomicBool::new(false));
+        let pipeline_stop = Arc::new(AtomicBool::new(false));
+        let pump_actor = actor.clone();
+        let pump_session_stop = session_stop.clone();
+        let pump_pipeline_stop = pipeline_stop.clone();
+        std::thread::Builder::new()
+            .name("msd/server-pump".to_string())
+            .spawn(move || {
+                while !pump_session_stop.load(Ordering::SeqCst)
+                    && !pump_pipeline_stop.load(Ordering::SeqCst)
+                {
+                    if pump_actor.mailbox_depth() < 8 && !pump_actor.tell(ServerMsg::Pump) {
+                        break; // Server stopped.
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+            .expect("failed to spawn server pump thread");
+        self.servers.push((actor.clone(), pipeline_stop));
+
+        let handle = DataServerHandle::new(
+            actor,
+            transport,
+            Arc::new(placed.iter().map(|(c, r, _)| (*c, *r)).collect()),
+            opts.steps,
+            opts.pull_timeout,
+            opts.queue_depth.min(u64::from(u32::MAX)) as u32,
+        );
+        let session = self.spawn_driver(opts, roster, Vec::new(), session_stop);
+        (session, handle)
+    }
+
+    /// Spawns the serve driver over an explicit `(client, constructor)`
+    /// roster; shared by local and distributed serving. `stop` becomes
+    /// the session's stop flag (distributed serving also hangs its pump
+    /// thread's lifetime off it).
+    fn spawn_driver(
+        &mut self,
+        opts: ServeOptions,
+        roster: Vec<(u32, usize)>,
+        clients: Vec<ServeClient>,
+        stop: Arc<AtomicBool>,
+    ) -> ServeSession {
         let fleet = self.fleet.clone();
         let driver_stop = stop.clone();
         let driver_opts = opts;
         let driver = std::thread::Builder::new()
             .name("msd/serve-driver".to_string())
-            .spawn(move || run_serve_driver(fleet, driver_opts, driver_stop))
+            .spawn(move || run_serve_driver(fleet, driver_opts, driver_stop, roster))
             .expect("failed to spawn serve driver");
         ServeSession {
             driver: Some(driver),
@@ -1246,6 +1383,13 @@ impl ThreadedPipeline {
 
     /// Stops all actors and joins their threads.
     pub fn shutdown(self) {
+        // Data servers (and their pump threads) first: they hold
+        // constructor handles and would otherwise keep issuing pulls
+        // into a fleet that is tearing down.
+        for (server, pump_stop) in &self.servers {
+            pump_stop.store(true, Ordering::SeqCst);
+            server.stop();
+        }
         // The controller must be fully out of the way before the loader
         // snapshot is taken: a Tick still queued behind its Stop could
         // spawn a loader *after* the snapshot, and that unstopped actor
@@ -1427,6 +1571,22 @@ impl ServeClient {
     }
 }
 
+impl Drop for ServeClient {
+    fn drop(&mut self) {
+        if self.next_step < self.steps {
+            // Abandoned mid-stream: declare the stream finished so the
+            // constructor's prune floor (and with it the serve driver's
+            // backpressure and drain) stop waiting for pulls that will
+            // never come. Queued batches for this client are pruned —
+            // a dropped client cannot leak its ready queue.
+            self.constructor.tell(ConstructorMsg::Complete {
+                client: self.id,
+                next_step: self.steps,
+            });
+        }
+    }
+}
+
 /// How long the driver keeps retrying one serve step through failures
 /// before concluding the fleet is unrecoverable (e.g. a loader exhausted
 /// its restart budget) and ending the session early. Keeps
@@ -1435,20 +1595,22 @@ const STEP_RETRY_BUDGET: Duration = Duration::from_secs(60);
 
 /// The serve driver loop: pump `opts.steps` steps through the actor
 /// fleet, riding out supervised restarts, then drain until every
-/// rostered client has consumed its stream.
-fn run_serve_driver(fleet: Fleet, opts: ServeOptions, stop: Arc<AtomicBool>) -> u64 {
-    let ctor_count = fleet.constructors.len().max(1);
-    // Roster: client i pulls from constructor i % C. The driver caches
-    // every client's cursor (refreshed from watermark polls) so a roster
-    // re-sent to a restarted constructor restores real positions.
-    let mut cursors: Vec<HashMap<u32, u64>> = (0..fleet.constructors.len())
-        .map(|idx| {
-            (0..opts.clients)
-                .filter(|c| *c as usize % ctor_count == idx)
-                .map(|c| (c, 0u64))
-                .collect()
-        })
-        .collect();
+/// rostered client has consumed its stream. `roster` maps each client
+/// to its constructor — `i % C` for local sessions, the mesh placement
+/// for distributed ones.
+fn run_serve_driver(
+    fleet: Fleet,
+    opts: ServeOptions,
+    stop: Arc<AtomicBool>,
+    roster: Vec<(u32, usize)>,
+) -> u64 {
+    // The driver caches every client's cursor (refreshed from watermark
+    // polls) so a roster re-sent to a restarted constructor restores
+    // real positions.
+    let mut cursors: Vec<HashMap<u32, u64>> = vec![HashMap::new(); fleet.constructors.len()];
+    for (client, ctor_idx) in &roster {
+        cursors[*ctor_idx].insert(*client, 0);
+    }
     for (idx, ctor) in fleet.constructors.iter().enumerate() {
         // A previous serve session may have left queued batches and
         // cursors behind; serve-step numbering restarts at 0.

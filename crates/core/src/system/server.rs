@@ -1,0 +1,834 @@
+//! The loader-side data server of the distributed serving plane.
+//!
+//! [`DataServer`] is the actor that turns a [`ThreadedPipeline`] serve
+//! session into a network service: remote trainer clients dial in over a
+//! [`Transport`], are mapped onto the device mesh via
+//! [`msd_mesh::ClientPlaceTree`] (DP-rank → constructor bucket), and
+//! stream their per-step batches under credit-based flow control.
+//!
+//! ## Protocol walk-through
+//!
+//! ```text
+//! client                         server
+//!   | -- Hello{client, rank} ----> |   bind session, place on the mesh
+//!   | -- Subscribe{cursor, W} ---> |   window = [cursor, cursor + W)
+//!   | <------- Batch{step} ------- |   pulled from the bucket constructor
+//!   | -- Ack{step} --------------> |   trim retransmit buffer
+//!   | -- Credit{1} --------------> |   slide the window forward
+//!   |            ...               |
+//!   | -- Close{client} ----------> |   cursor → end, prune floor advances
+//! ```
+//!
+//! The server pulls a step from the client's constructor only while the
+//! step is inside the granted window, so a slow (or vanished) trainer
+//! rank freezes its own constructor cursor and the serve driver's
+//! bounded-queue backpressure stalls the pipeline — queues never balloon
+//! on behalf of a rank that is not consuming.
+//!
+//! ## Reconnect and resume
+//!
+//! Every batch stays in a per-client retransmit buffer until acked. A
+//! client that loses its connection (or just a frame, on the lossy sim
+//! transport) re-dials and re-`Subscribe`s from its consumed cursor; the
+//! server rebinds the session, resends exactly the unacknowledged
+//! window, and the client discards anything below its cursor — the
+//! resumed stream is gap-free and duplicate-free by construction.
+//!
+//! [`ThreadedPipeline`]: crate::system::runtime::ThreadedPipeline
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msd_actor::actor::ReplyTo;
+use msd_actor::{Actor, ActorRef, Ctx, Gcs, PendingReply};
+use msd_mesh::Rank;
+
+use crate::constructor::ConstructedBatch;
+use crate::system::net::{
+    BatchPayload, FrameTx, NetError, SharedBatch, Transport, WireConn, WireFrame,
+};
+use crate::system::runtime::ConstructorMsg;
+
+/// Where one remote client's trainer rank lives on the mesh (the input
+/// to [`ThreadedPipeline::serve_distributed`]).
+///
+/// [`ThreadedPipeline::serve_distributed`]: crate::system::runtime::ThreadedPipeline::serve_distributed
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemotePlacement {
+    /// Deployment-wide client id (also its roster entry).
+    pub client: u32,
+    /// The trainer rank the client feeds.
+    pub rank: Rank,
+}
+
+/// Messages understood by the data-server actor.
+pub enum ServerMsg {
+    /// A freshly dialed connection's server-side sender. The receiver
+    /// half is drained by a reader thread that forwards decoded frames
+    /// as [`ServerMsg::Frame`].
+    Session {
+        /// Connection identity (unique per dial).
+        session: u64,
+        /// The server → client frame sender.
+        tx: Box<dyn FrameTx>,
+    },
+    /// One frame received on a live session.
+    Frame {
+        /// The session the frame arrived on.
+        session: u64,
+        /// The decoded frame.
+        frame: WireFrame,
+    },
+    /// A session's reader observed the peer hang up.
+    Gone {
+        /// The dead session.
+        session: u64,
+    },
+    /// Poll pending constructor pulls and push window-eligible batches
+    /// (ticked by the pump thread).
+    Pump,
+    /// Report per-client serving state.
+    Status(ReplyTo<ServerStatus>),
+}
+
+/// One client's row in a [`ServerStatus`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientServeStat {
+    /// The client.
+    pub client: u32,
+    /// Whether a session is currently bound.
+    pub connected: bool,
+    /// Resume floor of the latest `Subscribe`.
+    pub base: u64,
+    /// Next step the server will pull from the constructor.
+    pub next_pull: u64,
+    /// Batches sent but not yet acknowledged (retransmit buffer size).
+    pub unacked: usize,
+    /// `Subscribe` frames seen after the first (reconnects + loss
+    /// recoveries).
+    pub resumes: u64,
+    /// Whether the client's stream is finished (consumed or closed).
+    pub done: bool,
+}
+
+/// Point-in-time state of a [`DataServer`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// Per-client serving state, sorted by client id.
+    pub clients: Vec<ClientServeStat>,
+    /// Frames received over all sessions.
+    pub frames_rx: u64,
+    /// Batch frames sent (including window resends).
+    pub batches_tx: u64,
+}
+
+/// The in-flight constructor pull of one client.
+type PendingPull = (u64, Instant, PendingReply<(u64, Arc<ConstructedBatch>)>);
+
+/// Binds `state` to `session` unless a *newer* session already owns the
+/// client (ids are monotone per server). Returns whether `session` is
+/// now (or already was) the bound one; a superseded session's sender is
+/// dropped.
+fn rebind(
+    sessions: &mut HashMap<u64, Box<dyn FrameTx>>,
+    state: &mut ClientState,
+    session: u64,
+) -> bool {
+    match state.session {
+        Some(current) if current == session => true,
+        Some(current) if current > session => false,
+        current => {
+            if let Some(old) = current {
+                sessions.remove(&old);
+            }
+            state.session = Some(session);
+            true
+        }
+    }
+}
+
+struct ClientState {
+    rank: Rank,
+    ctor: usize,
+    session: Option<u64>,
+    subscribed: bool,
+    /// Resume floor: `from_step` of the latest `Subscribe`.
+    base: u64,
+    /// Absolute send limit: the server may pull/send steps `< high`.
+    high: u64,
+    /// Next step to pull from the constructor.
+    next_pull: u64,
+    pending: Option<PendingPull>,
+    /// Sent-but-unacked batches, kept for window resends (the wire
+    /// form memoizes inside `SharedBatch`, so resends serialize once).
+    unacked: BTreeMap<u64, SharedBatch>,
+    resumes: u64,
+    done: bool,
+}
+
+/// The serving-plane server actor. See the module docs for the
+/// protocol; construction happens inside
+/// [`ThreadedPipeline::serve_distributed`].
+///
+/// [`ThreadedPipeline::serve_distributed`]: crate::system::runtime::ThreadedPipeline::serve_distributed
+pub struct DataServer {
+    constructors: Vec<ActorRef<ConstructorMsg>>,
+    steps: u64,
+    /// A parked pull older than this is assumed lost to a constructor
+    /// restart and re-issued (re-pulls are idempotent).
+    pull_retry: Duration,
+    sessions: HashMap<u64, Box<dyn FrameTx>>,
+    clients: HashMap<u32, ClientState>,
+    gcs: Gcs,
+    frames_rx: u64,
+    batches_tx: u64,
+}
+
+impl DataServer {
+    /// Creates the server for one serve session. `placements` carries
+    /// `(client, rank, constructor index)` triples — the mesh lookup
+    /// happened in the caller, which owns the `ClientPlaceTree`.
+    pub fn new(
+        constructors: Vec<ActorRef<ConstructorMsg>>,
+        placements: Vec<(u32, Rank, usize)>,
+        steps: u64,
+        pull_retry: Duration,
+        gcs: Gcs,
+    ) -> Self {
+        let clients = placements
+            .into_iter()
+            .map(|(client, rank, ctor)| {
+                (
+                    client,
+                    ClientState {
+                        rank,
+                        ctor,
+                        session: None,
+                        subscribed: false,
+                        base: 0,
+                        high: 0,
+                        next_pull: 0,
+                        pending: None,
+                        unacked: BTreeMap::new(),
+                        resumes: 0,
+                        done: false,
+                    },
+                )
+            })
+            .collect();
+        DataServer {
+            constructors,
+            steps,
+            pull_retry,
+            sessions: HashMap::new(),
+            clients,
+            gcs,
+            frames_rx: 0,
+            batches_tx: 0,
+        }
+    }
+
+    /// Sends one batch frame to a client's bound session; a send failure
+    /// unbinds the session (the reader's `Gone` may still be in flight).
+    fn send_batch(&mut self, client: u32, step: u64) {
+        let Some(state) = self.clients.get(&client) else {
+            return;
+        };
+        let (Some(session), Some(shared)) = (state.session, state.unacked.get(&step)) else {
+            return;
+        };
+        let frame = WireFrame::Batch {
+            client,
+            step,
+            payload: BatchPayload::Shared(shared.clone()),
+        };
+        let delivered = match self.sessions.get(&session) {
+            Some(tx) => tx.send(frame).is_ok(),
+            None => false,
+        };
+        if delivered {
+            self.batches_tx += 1;
+        } else {
+            self.sessions.remove(&session);
+            if let Some(state) = self.clients.get_mut(&client) {
+                state.session = None;
+            }
+        }
+    }
+
+    /// Marks a client's stream finished and advances its constructor
+    /// cursor to the end so the prune floor and the serve driver's
+    /// drain stop waiting on it.
+    fn finish(&mut self, client: u32) {
+        let Some(state) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if state.done {
+            return;
+        }
+        state.done = true;
+        state.pending = None;
+        state.unacked.clear();
+        let steps = self.steps;
+        self.constructors[state.ctor].tell(ConstructorMsg::Complete {
+            client,
+            next_step: steps,
+        });
+    }
+
+    fn handle_frame(&mut self, session: u64, frame: WireFrame) {
+        self.frames_rx += 1;
+        let client = frame.client();
+        match frame {
+            WireFrame::Hello { rank, .. } => {
+                let Some(state) = self.clients.get_mut(&client) else {
+                    self.gcs.log_fault(
+                        "data-server",
+                        format!("unplaced client {client} dialed in; closing its session"),
+                    );
+                    if let Some(tx) = self.sessions.remove(&session) {
+                        let _ = tx.send(WireFrame::Close { client });
+                    }
+                    return;
+                };
+                if rank != state.rank {
+                    self.gcs.log_fault(
+                        "data-server",
+                        format!(
+                            "client {client} dialed with rank {rank}, placed at rank {}; \
+                             keeping the placement",
+                            state.rank
+                        ),
+                    );
+                }
+                rebind(&mut self.sessions, state, session);
+            }
+            WireFrame::Subscribe {
+                from_step, credits, ..
+            } => {
+                let Some(state) = self.clients.get_mut(&client) else {
+                    return;
+                };
+                // A Subscribe binds too: on a lossy transport the Hello
+                // may simply never have arrived, and ignoring the
+                // Subscribe would strand the client on an unbound
+                // session. Session ids are monotone, so a delayed frame
+                // from a pre-reconnect session can never rebind
+                // backwards.
+                if !rebind(&mut self.sessions, state, session) {
+                    return; // Stale session; the client re-dialed since.
+                }
+                if state.subscribed {
+                    state.resumes += 1;
+                }
+                state.subscribed = true;
+                // Everything below the client's cursor is consumed.
+                state.base = from_step;
+                state.unacked.retain(|step, _| *step >= from_step);
+                state.high = from_step.saturating_add(u64::from(credits));
+                state.next_pull = state.next_pull.max(from_step);
+                // Resend the unacknowledged window (idempotent on the
+                // client, which discards steps below its cursor).
+                let resend: Vec<u64> = state
+                    .unacked
+                    .range(from_step..state.high.min(self.steps))
+                    .map(|(step, _)| *step)
+                    .collect();
+                for step in resend {
+                    self.send_batch(client, step);
+                }
+            }
+            WireFrame::Ack { step, .. } => {
+                if let Some(state) = self.clients.get_mut(&client) {
+                    // Clients consume strictly in order, so an Ack for
+                    // `step` implies everything below it was consumed
+                    // too — trim cumulatively, or a single lost Ack
+                    // would pin its batch in the buffer forever (a
+                    // smoothly consuming client never re-subscribes).
+                    state.unacked.retain(|s, _| *s > step);
+                    if state.next_pull >= self.steps
+                        && state.unacked.is_empty()
+                        && state.pending.is_none()
+                    {
+                        self.finish(client);
+                    }
+                }
+            }
+            WireFrame::Credit { grant, .. } => {
+                if let Some(state) = self.clients.get_mut(&client) {
+                    state.high = state.high.saturating_add(u64::from(grant));
+                }
+            }
+            WireFrame::Close { .. } => {
+                self.finish(client);
+                // Echo the Close so the client's teardown handshake can
+                // terminate even on a lossy transport (it retries Close
+                // until the echo lands). The session stays bound — the
+                // client drops it, which surfaces here as `Gone`.
+                if let Some(state) = self.clients.get(&client) {
+                    if let Some(session) = state.session {
+                        if let Some(tx) = self.sessions.get(&session) {
+                            let _ = tx.send(WireFrame::Close { client });
+                        }
+                    }
+                }
+            }
+            WireFrame::Batch { .. } => {
+                // Clients never send batches; ignore.
+            }
+        }
+    }
+
+    /// Drives one client forward: resolve its parked pull, issue the
+    /// next one while the credit window allows, send what completed.
+    fn pump_client(&mut self, client: u32) {
+        loop {
+            let Some(state) = self.clients.get_mut(&client) else {
+                return;
+            };
+            if state.done || !state.subscribed {
+                return;
+            }
+            // Resolve the in-flight pull, if any.
+            if let Some((step, issued, reply)) = state.pending.take() {
+                match reply.try_wait() {
+                    Ok((got, batch)) => {
+                        debug_assert_eq!(got, step);
+                        state.unacked.insert(step, SharedBatch::new(batch));
+                        self.send_batch(client, step);
+                        continue; // A send may open room for the next pull.
+                    }
+                    Err(reply) => {
+                        if issued.elapsed() > self.pull_retry {
+                            // The constructor likely restarted and lost
+                            // the parked reply; re-issue (idempotent).
+                            let ctor = &self.constructors[state.ctor];
+                            match ctor.ask_pipelined(move |tx| ConstructorMsg::Pull {
+                                client,
+                                step,
+                                reply: tx,
+                            }) {
+                                Ok(p) => state.pending = Some((step, Instant::now(), p)),
+                                Err(_) => state.pending = None, // Retry next pump.
+                            }
+                        } else {
+                            state.pending = Some((step, issued, reply));
+                        }
+                        return;
+                    }
+                }
+            }
+            // Issue the next pull while inside the granted window.
+            if state.next_pull < self.steps && state.next_pull < state.high {
+                let step = state.next_pull;
+                let ctor = &self.constructors[state.ctor];
+                match ctor.ask_pipelined(move |tx| ConstructorMsg::Pull {
+                    client,
+                    step,
+                    reply: tx,
+                }) {
+                    Ok(p) => {
+                        state.pending = Some((step, Instant::now(), p));
+                        state.next_pull = step + 1;
+                    }
+                    Err(_) => return, // Constructor mid-restart.
+                }
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn status(&self) -> ServerStatus {
+        let mut clients: Vec<ClientServeStat> = self
+            .clients
+            .iter()
+            .map(|(client, s)| ClientServeStat {
+                client: *client,
+                connected: s.session.is_some(),
+                base: s.base,
+                next_pull: s.next_pull,
+                unacked: s.unacked.len(),
+                resumes: s.resumes,
+                done: s.done,
+            })
+            .collect();
+        clients.sort_by_key(|c| c.client);
+        ServerStatus {
+            clients,
+            frames_rx: self.frames_rx,
+            batches_tx: self.batches_tx,
+        }
+    }
+}
+
+impl Actor for DataServer {
+    type Msg = ServerMsg;
+
+    fn handle(&mut self, msg: ServerMsg, _ctx: &mut Ctx) {
+        match msg {
+            ServerMsg::Session { session, tx } => {
+                self.sessions.insert(session, tx);
+            }
+            ServerMsg::Frame { session, frame } => self.handle_frame(session, frame),
+            ServerMsg::Gone { session } => {
+                self.sessions.remove(&session);
+                for state in self.clients.values_mut() {
+                    if state.session == Some(session) {
+                        state.session = None;
+                    }
+                }
+            }
+            ServerMsg::Pump => {
+                let ids: Vec<u32> = self.clients.keys().copied().collect();
+                for client in ids {
+                    self.pump_client(client);
+                }
+            }
+            ServerMsg::Status(reply) => {
+                reply.send(self.status());
+            }
+        }
+    }
+}
+
+/// A handle to a live [`DataServer`]: dial new client connections and
+/// inspect serving state. Cheap to clone; dropping it does not stop the
+/// server (the owning [`ThreadedPipeline`] does, at shutdown).
+///
+/// [`ThreadedPipeline`]: crate::system::runtime::ThreadedPipeline
+#[derive(Clone)]
+pub struct DataServerHandle {
+    actor: ActorRef<ServerMsg>,
+    transport: Arc<dyn Transport>,
+    placements: Arc<HashMap<u32, Rank>>,
+    next_session: Arc<AtomicU64>,
+    steps: u64,
+    pull_timeout: Duration,
+    credits: u32,
+}
+
+impl DataServerHandle {
+    pub(crate) fn new(
+        actor: ActorRef<ServerMsg>,
+        transport: Arc<dyn Transport>,
+        placements: Arc<HashMap<u32, Rank>>,
+        steps: u64,
+        pull_timeout: Duration,
+        credits: u32,
+    ) -> Self {
+        DataServerHandle {
+            actor,
+            transport,
+            placements,
+            next_session: Arc::new(AtomicU64::new(1)),
+            steps,
+            pull_timeout,
+            credits,
+        }
+    }
+
+    /// The transport connections ride on.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Current per-client serving state.
+    pub fn status(&self) -> Option<ServerStatus> {
+        self.actor
+            .ask(ServerMsg::Status, Duration::from_secs(5))
+            .ok()
+    }
+
+    /// Connects a placed client and returns its pulling handle. The
+    /// connection is dialed lazily on the first
+    /// [`RemoteClient::next`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not in the serve session's placements.
+    pub fn connect(&self, client: u32) -> RemoteClient {
+        let rank = *self
+            .placements
+            .get(&client)
+            .unwrap_or_else(|| panic!("client {client} is not placed in this serve session"));
+        RemoteClient {
+            id: client,
+            rank,
+            dialer: self.clone(),
+            conn: None,
+            ever_connected: false,
+            next_step: 0,
+            steps: self.steps,
+            credits: self.credits.max(1),
+            pull_timeout: self.pull_timeout,
+            reconnects: 0,
+            closed: false,
+        }
+    }
+
+    /// Opens one transport connection, registers its server end with the
+    /// actor, and spawns the reader thread that forwards inbound frames.
+    fn dial(&self) -> WireConn {
+        let (client_end, server_end) = self.transport.pair();
+        let session = self.next_session.fetch_add(1, Ordering::SeqCst);
+        let (tx, mut rx) = server_end.split();
+        self.actor.tell(ServerMsg::Session { session, tx });
+        let actor = self.actor.clone();
+        std::thread::Builder::new()
+            .name(format!("msd/server-rx-{session}"))
+            .spawn(move || {
+                // The thread lives as long as the connection: the client
+                // dropping its endpoint closes the channel and ends the
+                // loop. The liveness check only reaps readers of
+                // connections leaked past server shutdown.
+                let mut seen_alive = false;
+                loop {
+                    match rx.recv(Duration::from_millis(200)) {
+                        Ok(frame) => {
+                            seen_alive = true;
+                            if !actor.tell(ServerMsg::Frame { session, frame }) {
+                                break; // Server stopped.
+                            }
+                        }
+                        Err(NetError::Timeout) => {
+                            if actor.is_alive() {
+                                seen_alive = true;
+                            } else if seen_alive {
+                                break; // Server stopped after serving us.
+                            }
+                        }
+                        Err(NetError::Closed) => {
+                            actor.tell(ServerMsg::Gone { session });
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn server reader thread");
+        client_end
+    }
+}
+
+/// A remote trainer client of a distributed serve session. The
+/// network-facing sibling of [`ServeClient`]: pulls are strictly
+/// ordered, the client carries its own consumed cursor, and a lost
+/// connection (or lost frames, on a lossy transport) is survived by
+/// re-dialing and re-subscribing from that cursor.
+///
+/// [`ServeClient`]: crate::system::runtime::ServeClient
+pub struct RemoteClient {
+    /// Client id (also its roster entry on the serve driver).
+    pub id: u32,
+    rank: Rank,
+    dialer: DataServerHandle,
+    conn: Option<WireConn>,
+    ever_connected: bool,
+    next_step: u64,
+    steps: u64,
+    credits: u32,
+    pull_timeout: Duration,
+    reconnects: u64,
+    closed: bool,
+}
+
+impl RemoteClient {
+    /// The trainer rank this client feeds.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Serve steps already consumed (the resume cursor).
+    pub fn consumed(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Connections dialed beyond the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Drops the current connection without telling the server —
+    /// simulates a client crash or network partition. The next
+    /// [`RemoteClient::next`] call re-dials and resumes from the cursor.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn redial(&mut self) {
+        if self.conn.is_some() {
+            return;
+        }
+        let conn = self.dialer.dial();
+        let hello = conn.tx.send(WireFrame::Hello {
+            client: self.id,
+            rank: self.rank,
+        });
+        if hello.is_err() {
+            return; // Server gone; retry on the next attempt.
+        }
+        let _ = conn.tx.send(WireFrame::Subscribe {
+            client: self.id,
+            from_step: self.next_step,
+            credits: self.credits,
+        });
+        self.conn = Some(conn);
+    }
+
+    fn resubscribe(&mut self) {
+        let Some(conn) = self.conn.as_ref() else {
+            return;
+        };
+        let sent = conn.tx.send(WireFrame::Subscribe {
+            client: self.id,
+            from_step: self.next_step,
+            credits: self.credits,
+        });
+        if sent.is_err() {
+            self.conn = None;
+        }
+    }
+
+    /// Reliable stream teardown: retries `Close` until the server's echo
+    /// confirms it landed, so a lost final Ack/Close on a lossy
+    /// transport cannot leave the server (and with it the serve
+    /// driver's drain) waiting on this client forever.
+    fn close_handshake(&mut self) {
+        if self.closed {
+            return;
+        }
+        for _ in 0..40 {
+            let Some(conn) = self.conn.as_mut() else {
+                break; // Never connected (or server gone): nothing to close.
+            };
+            if conn.tx.send(WireFrame::Close { client: self.id }).is_err() {
+                break;
+            }
+            match conn.rx.recv(Duration::from_millis(100)) {
+                Ok(WireFrame::Close { .. }) => {
+                    self.closed = true;
+                    return;
+                }
+                Ok(WireFrame::Batch { step, .. }) if step < self.next_step => {
+                    // A straggling window resend: re-ack so the server's
+                    // retransmit buffer drains.
+                    let _ = conn.tx.send(WireFrame::Ack {
+                        client: self.id,
+                        step,
+                    });
+                }
+                Ok(_) => {}
+                Err(NetError::Timeout) => {} // Close lost: retry.
+                Err(NetError::Closed) => break,
+            }
+        }
+        self.closed = true; // Best effort exhausted.
+    }
+
+    /// Pulls the next batch, blocking (with reconnects and window
+    /// re-subscriptions while the network or the pipeline recovers)
+    /// until it arrives. Returns `None` once the stream is exhausted or
+    /// the server stays unreachable past the retry budget. The batch is
+    /// shared on loopback and decoded-once on network transports.
+    pub fn next(&mut self) -> Option<(u64, Arc<ConstructedBatch>)> {
+        if self.next_step >= self.steps {
+            self.close_handshake();
+            return None;
+        }
+        let want = self.next_step;
+        // Generous budget: mirrors ServeClient::next — supervised
+        // restarts, backpressure stalls, and (here) loss recovery all
+        // spend retries.
+        let mut quiet_timeouts = 0u32;
+        for _ in 0..600 {
+            if self.conn.is_none() {
+                if self.ever_connected {
+                    self.reconnects += 1;
+                }
+                self.redial();
+                if self.conn.is_none() {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+                self.ever_connected = true;
+            }
+            let Some(conn) = self.conn.as_mut() else {
+                continue;
+            };
+            match conn.rx.recv(self.pull_timeout) {
+                Ok(WireFrame::Batch { step, payload, .. }) => {
+                    quiet_timeouts = 0;
+                    if step < want {
+                        // Window resend of an already-consumed step:
+                        // re-ack so the server trims it.
+                        let _ = conn.tx.send(WireFrame::Ack {
+                            client: self.id,
+                            step,
+                        });
+                        continue;
+                    }
+                    if step > want {
+                        // Early arrival while `want` was lost; the
+                        // timeout-driven resubscribe will recover it.
+                        continue;
+                    }
+                    let Ok(batch) = payload.batch() else {
+                        continue; // Undecodable payload: same as lost.
+                    };
+                    let _ = conn.tx.send(WireFrame::Ack {
+                        client: self.id,
+                        step,
+                    });
+                    let _ = conn.tx.send(WireFrame::Credit {
+                        client: self.id,
+                        grant: 1,
+                    });
+                    self.next_step = want + 1;
+                    if self.next_step == self.steps {
+                        let _ = conn.tx.send(WireFrame::Close { client: self.id });
+                    }
+                    return Some((step, batch));
+                }
+                Ok(WireFrame::Close { .. }) => {
+                    self.conn = None; // Server shed us; re-dial.
+                }
+                Ok(_) => {
+                    quiet_timeouts = 0;
+                }
+                Err(NetError::Timeout) => {
+                    // Lost Batch/Subscribe/Ack/Credit all collapse to
+                    // this: resync the window from the cursor. If even
+                    // repeated re-subscriptions stay unanswered, the
+                    // session itself may be broken (e.g. its Hello was
+                    // lost); tear it down and re-dial fresh.
+                    quiet_timeouts += 1;
+                    if quiet_timeouts >= 3 {
+                        quiet_timeouts = 0;
+                        self.conn = None;
+                    } else {
+                        self.resubscribe();
+                    }
+                }
+                Err(NetError::Closed) => {
+                    self.conn = None;
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Abandoned (or never fully torn down): tell the server so
+            // the constructor's prune floor and the serve driver stop
+            // waiting for a client that will never pull again.
+            if let Some(conn) = self.conn.as_ref() {
+                let _ = conn.tx.send(WireFrame::Close { client: self.id });
+            }
+        }
+    }
+}

@@ -200,6 +200,25 @@ impl ClientPlaceTree {
         }
     }
 
+    /// The bucket of `buckets(axis, group_size)` that consumes `rank`'s
+    /// deliveries, or `None` when the rank lies outside the mesh. This is
+    /// the placement lookup the distributed serving plane uses to map a
+    /// dialing trainer rank onto its constructor bucket.
+    pub fn bucket_of(
+        &self,
+        rank: Rank,
+        axis: DistributeAxis,
+        group_size: Option<u32>,
+    ) -> Option<u32> {
+        if rank >= self.mesh.world_size() {
+            return None;
+        }
+        self.buckets(axis, group_size)
+            .iter()
+            .position(|bucket| bucket.contains(&rank))
+            .map(|i| i as u32)
+    }
+
     /// Clients excluded from data fetching when the trainer broadcasts
     /// along `axis` (the `broadcast_at` primitive): every rank whose
     /// coordinate on that axis is nonzero.
@@ -433,6 +452,29 @@ mod tests {
         let t = tree.select_broadcast_axes(1);
         assert!(t.axes.is_empty(), "no size>1 TP/CP to select");
         assert_eq!(t.sync_clients, 4);
+    }
+
+    #[test]
+    fn bucket_of_agrees_with_buckets() {
+        let mesh = DeviceMesh::pp_dp_cp_tp(2, 3, 2, 2).unwrap();
+        let tree = ClientPlaceTree::from_device_mesh(&mesh);
+        for axis in [
+            DistributeAxis::DP,
+            DistributeAxis::CP,
+            DistributeAxis::World,
+        ] {
+            for gs in [None, Some(2)] {
+                let buckets = tree.buckets(axis, gs);
+                for r in 0..mesh.world_size() {
+                    let b = tree.bucket_of(r, axis, gs).expect("rank in mesh") as usize;
+                    assert!(buckets[b].contains(&r), "axis {axis:?} gs {gs:?} rank {r}");
+                }
+            }
+        }
+        assert_eq!(
+            tree.bucket_of(mesh.world_size(), DistributeAxis::DP, None),
+            None
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, EventId, Scheduler};
-pub use net::NetModel;
+pub use net::{LossyLink, NetModel};
 pub use resource::{MemoryMeter, ResourcePool};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, Summary};

@@ -8,6 +8,12 @@
 //! [`prop_oneof!`], the [`Strategy`] trait with `prop_map`, [`Just`],
 //! [`any`], [`collection::vec`], [`option::of`], numeric range strategies,
 //! and simple `".{lo,hi}"` string-pattern strategies.
+//!
+//! Two environment variables (read per property run) let CI take extra,
+//! independent samplings without touching test code: `PROPTEST_CASES`
+//! overrides every block's case count (as in the real crate), and
+//! `MSD_PROPTEST_SEED` salts the deterministic RNG labels so a second
+//! leg explores a disjoint region of each property's input space.
 
 use std::ops::Range;
 
@@ -30,6 +36,28 @@ impl Default for ProptestConfig {
         // The real crate defaults to 256; 64 keeps debug-mode `cargo test`
         // fast while still exercising each property broadly.
         ProptestConfig { cases: 64 }
+    }
+}
+
+/// The effective case count for a property: the `PROPTEST_CASES`
+/// environment variable (when set and parseable) overrides the block's
+/// configured count, mirroring the real crate. CI uses it to run a
+/// second, independently sized sampling of the property suites.
+pub fn effective_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+}
+
+/// The RNG label of one property case. When `MSD_PROPTEST_SEED` is set
+/// (and non-empty) it is mixed into the label, giving every property an
+/// *independent* deterministic sampling — with it unset, streams are
+/// byte-identical to historical runs.
+pub fn case_label(test_label: &str, case: u32) -> String {
+    match std::env::var("MSD_PROPTEST_SEED") {
+        Ok(salt) if !salt.is_empty() => format!("{test_label}#{case}#{salt}"),
+        _ => format!("{test_label}#{case}"),
     }
 }
 
@@ -463,8 +491,8 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
             let __label = concat!(module_path!(), "::", stringify!($name));
-            for __case in 0..__config.cases {
-                let mut __rng = $crate::TestRng::from_name(&format!("{__label}#{__case}"));
+            for __case in 0..$crate::effective_cases(__config.cases) {
+                let mut __rng = $crate::TestRng::from_name(&$crate::case_label(__label, __case));
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 let __run = || $body;
                 if let Err(err) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {

@@ -1,0 +1,415 @@
+//! Integration tests for the distributed serving plane.
+//!
+//! The contract under test: serving trainer clients over the MSDB wire
+//! protocol — loopback or a lossy simulated network — is *invisible* to
+//! them. Every remote client's stream is byte-identical to what the
+//! same client would pull from a local `ThreadedPipeline::serve`
+//! session, a dropped connection resumes gap-free and duplicate-free
+//! from the client's cursor, and credit-based flow control keeps
+//! constructor queues bounded even when a client vanishes mid-serve.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use megascale_data::balance::BalanceMethod;
+use megascale_data::core::constructor::{ConstructedBatch, DataConstructor};
+use megascale_data::core::loader::LoaderConfig;
+use megascale_data::core::planner::{Planner, PlannerConfig, Strategy};
+use megascale_data::core::schedule::MixSchedule;
+use megascale_data::core::system::net::{LoopbackTransport, SimTransport, Transport};
+use megascale_data::core::system::runtime::{ServeOptions, ThreadedPipeline};
+use megascale_data::core::system::server::RemotePlacement;
+use megascale_data::data::catalog::coyo700m_like;
+use megascale_data::data::SourceSpec;
+use megascale_data::mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
+use megascale_data::sim::{NetModel, SimRng};
+
+/// Per-sample modeled fetch latency: keeps steps slow enough that the
+/// serving plane's pipelining actually overlaps with loader work.
+const FETCH_LATENCY_NS: u64 = 200_000;
+
+fn small_backbone() -> megascale_data::balance::BackboneShape {
+    megascale_data::balance::BackboneShape {
+        layers: 2,
+        hidden: 128,
+        mlp_ratio: 4.0,
+        heads: 2,
+        vocab: 1000,
+        experts_per_token: 1,
+    }
+}
+
+/// A 5-source, DP=2 pipeline (2 constructor buckets); identical seeds
+/// produce identical plan and batch streams, which is what lets these
+/// tests compare local and distributed serving byte for byte.
+fn pipeline(seed: u64) -> ThreadedPipeline {
+    let mut rng = SimRng::seed(2);
+    let catalog = coyo700m_like(&mut rng);
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: 16,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::BackboneBalance {
+            method: BalanceMethod::Greedy,
+            backbone: small_backbone(),
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        3,
+    );
+    let sources: Vec<(SourceSpec, LoaderConfig)> = catalog
+        .sources()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                s.clone(),
+                LoaderConfig::solo_with_fetch_latency(i as u32, FETCH_LATENCY_NS),
+            )
+        })
+        .collect();
+    let constructors = (0..2)
+        .map(|_| DataConstructor::new(mesh.clone(), 4096))
+        .collect();
+    ThreadedPipeline::new(sources, planner, constructors, seed)
+}
+
+fn opts(clients: u32, steps: u64) -> ServeOptions {
+    ServeOptions {
+        clients,
+        steps,
+        refill_target: 32,
+        queue_depth: 3,
+        prefetch: true,
+        pull_timeout: Duration::from_millis(300),
+        control_interval: 0,
+    }
+}
+
+/// Placements whose constructor mapping matches local client ids: in the
+/// 1×2×1×2 mesh, DP bucket 0 holds ranks {0, 1} and bucket 1 holds
+/// {2, 3}, so client `c` lands on bucket `c % 2` — exactly where a local
+/// `ServeClient` with the same id pulls from.
+fn placements(n: u32) -> Vec<RemotePlacement> {
+    (0..n)
+        .map(|c| RemotePlacement {
+            client: c,
+            rank: (c % 2) * 2 + (c / 2) % 2,
+        })
+        .collect()
+}
+
+type Stream = Vec<(u64, Arc<ConstructedBatch>)>;
+
+/// Serves locally and collects every client's full stream.
+fn local_streams(seed: u64, clients: u32, steps: u64) -> Vec<(u32, Stream)> {
+    let mut p = pipeline(seed);
+    let mut session = p.serve(opts(clients, steps));
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| {
+            std::thread::spawn(move || {
+                let mut stream = Stream::new();
+                while let Some(item) = c.next() {
+                    stream.push(item);
+                }
+                (c.id, stream)
+            })
+        })
+        .collect();
+    let mut streams: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    assert_eq!(session.join(), steps, "local driver fell short");
+    p.shutdown();
+    streams.sort_by_key(|(id, _)| *id);
+    streams
+}
+
+/// Serves over `transport` and collects every remote client's stream.
+fn remote_streams(
+    transport: Arc<dyn Transport>,
+    seed: u64,
+    clients: u32,
+    steps: u64,
+) -> Vec<(u32, Stream)> {
+    let mut p = pipeline(seed);
+    let (session, handle) =
+        p.serve_distributed(opts(clients, steps), transport, &placements(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut rc = handle.connect(c);
+            std::thread::spawn(move || {
+                let mut stream = Stream::new();
+                while let Some(item) = rc.next() {
+                    stream.push(item);
+                }
+                (rc.id, stream)
+            })
+        })
+        .collect();
+    let mut streams: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("remote client thread"))
+        .collect();
+    assert_eq!(session.join(), steps, "distributed driver fell short");
+    p.shutdown();
+    streams.sort_by_key(|(id, _)| *id);
+    streams
+}
+
+fn assert_ordered_full(streams: &[(u32, Stream)], steps: u64) {
+    for (id, stream) in streams {
+        assert_eq!(stream.len(), steps as usize, "client {id} missed steps");
+        for (i, (step, _)) in stream.iter().enumerate() {
+            assert_eq!(*step, i as u64, "client {id} stream out of order");
+        }
+    }
+}
+
+fn sample_ids(batch: &ConstructedBatch) -> Vec<u64> {
+    batch
+        .microbatches
+        .iter()
+        .flat_map(|m| &m.sequences)
+        .flat_map(|s| &s.segments)
+        .map(|seg| seg.sample_id)
+        .collect()
+}
+
+#[test]
+fn loopback_distributed_serve_is_byte_identical_to_local() {
+    let (clients, steps) = (4u32, 6u64);
+    let local = local_streams(77, clients, steps);
+    let remote = remote_streams(Arc::new(LoopbackTransport), 77, clients, steps);
+    assert_ordered_full(&local, steps);
+    assert_ordered_full(&remote, steps);
+    for ((lid, lstream), (rid, rstream)) in local.iter().zip(&remote) {
+        assert_eq!(lid, rid);
+        for ((lstep, lbatch), (rstep, rbatch)) in lstream.iter().zip(rstream) {
+            assert_eq!(lstep, rstep);
+            assert_eq!(
+                **lbatch, **rbatch,
+                "client {lid} step {lstep}: distributed batch diverged from local"
+            );
+            // Byte-identical includes the payload bytes themselves.
+            for (lmb, rmb) in lbatch.microbatches.iter().zip(&rbatch.microbatches) {
+                for ((lid_, lp), (rid_, rp)) in lmb.payloads.iter().zip(&rmb.payloads) {
+                    assert_eq!(lid_, rid_);
+                    assert_eq!(lp.as_ref(), rp.as_ref());
+                }
+            }
+        }
+    }
+    // Loopback is zero-copy end to end: clients sharing a constructor
+    // bucket hold the *same* constructed batch allocation.
+    let (_, s0) = &remote[0];
+    let (_, s2) = &remote[2]; // Clients 0 and 2 both map to bucket 0.
+    for ((_, a), (_, b)) in s0.iter().zip(s2) {
+        assert!(
+            Arc::ptr_eq(a, b),
+            "loopback fan-out copied a batch instead of sharing it"
+        );
+    }
+}
+
+#[test]
+fn dropped_remote_client_reconnects_and_resumes_gap_free() {
+    let (clients, steps) = (2u32, 8u64);
+    let mut p = pipeline(91);
+    let (session, handle) = p.serve_distributed(
+        opts(clients, steps),
+        Arc::new(LoopbackTransport),
+        &placements(clients),
+    );
+
+    // Client 1 consumes its whole stream normally, in parallel.
+    let mut peer = handle.connect(1);
+    let peer_thread = std::thread::spawn(move || {
+        let mut stream = Stream::new();
+        while let Some(item) = peer.next() {
+            stream.push(item);
+        }
+        stream
+    });
+
+    // Client 0 consumes three steps, loses its connection (no Close —
+    // a crash, not a goodbye), then resumes.
+    let mut victim = handle.connect(0);
+    let mut stream = Stream::new();
+    for _ in 0..3 {
+        stream.push(victim.next().expect("pre-drop pull"));
+    }
+    victim.disconnect();
+    while let Some(item) = victim.next() {
+        stream.push(item);
+    }
+    assert!(victim.reconnects() >= 1, "disconnect was never observed");
+
+    let peer_stream = peer_thread.join().expect("peer thread");
+    assert_eq!(session.join(), steps, "driver fell short");
+
+    // The resumed stream is gap-free, in order, and duplicate-free down
+    // to individual samples; the undisturbed peer saw a full stream too.
+    for (streams, who) in [(&stream, "victim"), (&peer_stream, "peer")] {
+        assert_eq!(streams.len(), steps as usize, "{who} missed steps");
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (i, (step, batch)) in streams.iter().enumerate() {
+            assert_eq!(*step, i as u64, "{who} stream has a gap");
+            for sid in sample_ids(batch) {
+                assert!(seen.insert(sid), "{who} got sample {sid} twice");
+            }
+        }
+    }
+
+    // The server observed the resume.
+    let status = handle.status().expect("server status");
+    let victim_stat = status.clients.iter().find(|c| c.client == 0).unwrap();
+    assert!(victim_stat.resumes >= 1, "server never saw a re-subscribe");
+    assert!(victim_stat.done, "victim's stream not finished");
+    p.shutdown();
+}
+
+#[test]
+fn lossy_sim_transport_stays_correct() {
+    let (clients, steps) = (2u32, 6u64);
+    // Reference: the same pipeline served over loopback.
+    let reference = remote_streams(Arc::new(LoopbackTransport), 55, clients, steps);
+
+    let sim = Arc::new(SimTransport::new(NetModel::default(), 0.2, 13));
+    let lossy = remote_streams(sim.clone(), 55, clients, steps);
+
+    assert_ordered_full(&lossy, steps);
+    for ((_, want), (id, got)) in reference.iter().zip(&lossy) {
+        for ((ws, wb), (gs, gb)) in want.iter().zip(got) {
+            assert_eq!(ws, gs);
+            assert_eq!(
+                **wb, **gb,
+                "client {id} step {ws}: lossy transport corrupted the stream"
+            );
+        }
+    }
+    let stats = sim.stats();
+    assert!(
+        stats.dropped > 0,
+        "loss never fired ({} frames offered) — the test proved nothing",
+        stats.offered
+    );
+    assert!(stats.delivered_bytes > 0);
+}
+
+#[test]
+fn dropped_client_mid_serve_leaves_others_gap_free_and_queues_bounded() {
+    let (clients, steps) = (4u32, 8u64);
+    let queue_depth = 2u64;
+    let mut p = pipeline(33);
+    let mut session = p.serve(ServeOptions {
+        queue_depth,
+        ..opts(clients, steps)
+    });
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| {
+            std::thread::spawn(move || {
+                let id = c.id;
+                let mut stream = Vec::new();
+                while let Some((step, batch)) = c.next() {
+                    stream.push((step, batch));
+                    if id == 3 && stream.len() == 2 {
+                        break; // Client 3 walks away mid-serve; Drop runs.
+                    }
+                }
+                (id, stream)
+            })
+        })
+        .collect();
+    let streams: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    // The driver must complete all steps: the dropped client's Drop
+    // deregistered it, so backpressure stopped waiting on its cursor.
+    assert_eq!(session.join(), steps, "dropped client wedged the driver");
+
+    for (id, stream) in &streams {
+        let want = if *id == 3 { 2 } else { steps as usize };
+        assert_eq!(stream.len(), want, "client {id} missed steps");
+        for (i, (step, _)) in stream.iter().enumerate() {
+            assert_eq!(*step, i as u64, "client {id} stream has a gap");
+        }
+    }
+
+    // stats(): the dropped client's cursor was advanced to the end of
+    // the stream (no leak — its batches are prunable), and no
+    // constructor retains more ready batches than the backpressure
+    // window allows.
+    let stats = p.stats();
+    let cursors: Vec<(u32, u64)> = stats
+        .constructors
+        .iter()
+        .flat_map(|c| c.client_cursors.iter().copied())
+        .collect();
+    assert!(
+        cursors.contains(&(3, steps)),
+        "dropped client still pins the prune floor: {cursors:?}"
+    );
+    for c in &stats.constructors {
+        assert!(
+            c.ready_steps.len() as u64 <= queue_depth + 2,
+            "constructor {} leaked its ready queue: {:?}",
+            c.index,
+            c.ready_steps
+        );
+    }
+    p.shutdown();
+}
+
+#[test]
+fn dropped_remote_client_releases_the_session() {
+    let (clients, steps) = (2u32, 6u64);
+    let mut p = pipeline(44);
+    let (session, handle) = p.serve_distributed(
+        opts(clients, steps),
+        Arc::new(LoopbackTransport),
+        &placements(clients),
+    );
+    let mut survivor = handle.connect(0);
+    let survivor_thread = std::thread::spawn(move || {
+        let mut n = 0u64;
+        while survivor.next().is_some() {
+            n += 1;
+        }
+        n
+    });
+    {
+        let mut quitter = handle.connect(1);
+        assert!(quitter.next().is_some());
+        assert!(quitter.next().is_some());
+        // Dropped here: Drop sends Close, the server completes the
+        // client, and the driver stops waiting for it.
+    }
+    assert_eq!(survivor_thread.join().unwrap(), steps);
+    assert_eq!(
+        session.join(),
+        steps,
+        "abandoned remote client wedged serve"
+    );
+    let status = handle.status().expect("server status");
+    let quitter_stat = status.clients.iter().find(|c| c.client == 1).unwrap();
+    assert!(
+        quitter_stat.done,
+        "server still waits on the dropped client"
+    );
+    p.shutdown();
+}

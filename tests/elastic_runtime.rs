@@ -20,7 +20,7 @@ use megascale_data::core::loader::LoaderConfig;
 use megascale_data::core::planner::{Planner, PlannerConfig, Strategy};
 use megascale_data::core::reshard::{naive_full_reshuffle, reshard};
 use megascale_data::core::schedule::MixSchedule;
-use megascale_data::core::system::controller::ControllerConfig;
+use megascale_data::core::system::controller::{ControllerConfig, ControllerMsg};
 use megascale_data::core::system::runtime::{LoaderMsg, ServeOptions, ThreadedPipeline};
 use megascale_data::data::catalog::coyo700m_like;
 use megascale_data::data::{SourceId, SourceSpec};
@@ -361,6 +361,147 @@ fn skewed_buffers_rebalance_through_drain_and_handoff() {
     assert!(
         a.abs_diff(b) <= 2,
         "hand-off left the source skewed: {a} vs {b}"
+    );
+    p.shutdown();
+}
+
+#[test]
+fn retiring_the_last_loader_of_a_source_is_refused() {
+    // Source 0 runs two loaders (shards 0/1); every other source has
+    // exactly one. Retiring from the single-loader sources must be
+    // refused — there is no surviving same-source peer to adopt the
+    // drained buffer — even when the configured floor would allow it.
+    let mut rng = SimRng::seed(2);
+    let catalog = coyo700m_like(&mut rng);
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: 16,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::BackboneBalance {
+            method: BalanceMethod::Greedy,
+            backbone: small_backbone(),
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        3,
+    );
+    let mut sources: Vec<(SourceSpec, LoaderConfig)> = Vec::new();
+    for (i, s) in catalog.sources().iter().enumerate() {
+        if i == 0 {
+            for shard in 0..2u32 {
+                sources.push((
+                    s.clone(),
+                    LoaderConfig {
+                        shard,
+                        shards: 2,
+                        ..LoaderConfig::solo(shard)
+                    },
+                ));
+            }
+        } else {
+            sources.push((s.clone(), LoaderConfig::solo(i as u32 + 1)));
+        }
+    }
+    let constructors = (0..2)
+        .map(|_| DataConstructor::new(mesh.clone(), 4096))
+        .collect();
+    // min_loaders_per_source 0: even an operator config that permits
+    // retiring everything must not drop the last loader's buffer.
+    let ctrl = ControllerConfig {
+        min_loaders_per_source: 0,
+        ..ControllerConfig::default()
+    };
+    let p = ThreadedPipeline::new_with(sources, planner, constructors, 46, Gcs::new(), ctrl);
+    let single_source = catalog.sources()[1].id;
+    let dual_source = catalog.sources()[0].id;
+    let timeout = Duration::from_secs(10);
+
+    // Give the single-loader source a buffer worth protecting.
+    let single_idx = p
+        .loader_identities()
+        .iter()
+        .position(|id| id.source_id == single_source)
+        .expect("single-loader source spawned");
+    p.loaders()[single_idx].tell(LoaderMsg::Refill { target: 24 });
+    let buffered_before = p.stats().total_buffered();
+    assert_eq!(buffered_before, 24);
+
+    // The retirement must be refused: no peer to hand the buffer to.
+    let executed = p
+        .controller_actor()
+        .ask(
+            |reply| ControllerMsg::Retire {
+                source: single_source,
+                reply,
+            },
+            timeout,
+        )
+        .expect("controller reachable");
+    assert!(!executed, "last loader of a source was retired");
+    let status = p.controller_status().expect("controller status");
+    assert_eq!(status.scale_downs, 0);
+    assert_eq!(status.checkpointed_events, 0, "refusal must not checkpoint");
+    let stats = p.stats();
+    assert_eq!(
+        stats.total_buffered(),
+        buffered_before,
+        "refused retirement lost samples"
+    );
+    assert!(
+        stats
+            .loaders_per_source()
+            .iter()
+            .all(|(_, count)| *count >= 1),
+        "a source lost its last loader: {:?}",
+        stats.loaders_per_source()
+    );
+    let faults = p.gcs.fault_log("controller");
+    assert!(
+        faults.iter().any(|f| f.detail.contains("refused")),
+        "refusal not surfaced on the fault log: {faults:?}"
+    );
+
+    // With a surviving peer the same command executes: the victim's
+    // buffer is handed off, nothing is lost.
+    for idx in 0..2 {
+        p.loaders()[idx].tell(LoaderMsg::Refill { target: 20 });
+    }
+    let before = p.stats().total_buffered();
+    let executed = p
+        .controller_actor()
+        .ask(
+            |reply| ControllerMsg::Retire {
+                source: dual_source,
+                reply,
+            },
+            timeout,
+        )
+        .expect("controller reachable");
+    assert!(executed, "retirement with a surviving peer refused");
+    let status = p.controller_status().expect("controller status");
+    assert_eq!(status.scale_downs, 1);
+    assert_eq!(status.checkpointed_events, 1);
+    let stats = p.stats();
+    assert_eq!(
+        stats.total_buffered(),
+        before,
+        "drain/hand-off lost or duplicated samples"
+    );
+    assert_eq!(
+        stats
+            .loaders_per_source()
+            .iter()
+            .find(|(s, _)| *s == dual_source)
+            .map(|(_, count)| *count),
+        Some(1),
+        "retirement did not shrink the source"
     );
     p.shutdown();
 }

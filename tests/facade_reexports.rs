@@ -8,6 +8,7 @@ use megascale_data::actor::ActorSystem;
 use megascale_data::balance::{balance, BalanceMethod};
 use megascale_data::baselines::fig12_systems;
 use megascale_data::core::dgraph::DGraph;
+use megascale_data::core::{LoopbackTransport, RemotePlacement, Transport, WireFrame};
 use megascale_data::data::SampleMeta;
 use megascale_data::mesh::DeviceMesh;
 use megascale_data::sim::SimRng;
@@ -30,4 +31,9 @@ fn every_subsystem_is_reachable_through_the_facade() {
     let _store = MemStore::new();
     let _gpu = GpuSpec::l20();
     let _metas: HashMap<u64, SampleMeta> = HashMap::new();
+    // Distributed serving plane surface.
+    let _placement = RemotePlacement { client: 0, rank: 0 };
+    let transport: &dyn Transport = &LoopbackTransport;
+    assert_eq!(transport.name(), "loopback");
+    let _frame = WireFrame::Close { client: 0 };
 }
