@@ -22,6 +22,23 @@
 #                                 reports carry >= 0.80: loopback protocol
 #                                 overhead is a few percent; the gap to the
 #                                 floor is noise headroom)
+#   distributed sim_vs_loopback   must stay >= 0.50 absolute (committed
+#                                 reports carry ~0.9: the binary batch
+#                                 codec costs a memcpy-bound encode/decode
+#                                 per wire hop, pre-encoded on the
+#                                 constructor actors to overlap with
+#                                 loader fetches. On a single-core runner
+#                                 that overlap is scheduling-dependent,
+#                                 so runs land ~0.87-0.94; the gap to the
+#                                 floor is noise headroom)
+#   wire_bytes_per_sample         may grow at most 1.5x vs the committed
+#                                 report. The committed figure is ~1x the
+#                                 payload bytes (binary batch codec); the
+#                                 old shim-JSON rendering paid ~10x, which
+#                                 this ceiling keeps out. The 1.5x slack
+#                                 absorbs timing-dependent resend traffic
+#                                 (window resends re-count their samples),
+#                                 not encoding regressions.
 #
 # scaling_efficiency is the *clamped* metric: the bench caps the raw
 # serve@8/serve@1 ratio at the client count (8), because super-linear
@@ -91,12 +108,15 @@ if [[ -n "${OLD_JSON}" ]]; then
   new_rec="$(json_metric "${OUT}" recovery_ratio)"
   old_dist="$(json_metric "${OLD_JSON}" vs_local_serve8)"
   new_dist="$(json_metric "${OUT}" vs_local_serve8)"
+  old_wps="$(json_metric "${OLD_JSON}" wire_bytes_per_sample)"
+  new_wps="$(json_metric "${OUT}" wire_bytes_per_sample)"
+  new_simr="$(json_metric "${OUT}" sim_vs_loopback)"
   delta="n/a"
   if [[ "${old_s8}" != "n/a" && "${new_s8}" != "n/a" ]]; then
     delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
       'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
   fi
-  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}"
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}"
   if [[ "${CHECK}" == 1 ]]; then
     check_ratio "serve@8 delivered samples/s" "${old_s8}" "${new_s8}" 0.50
     check_ratio "scaling_efficiency" "${old_eff}" "${new_eff}" 0.50
@@ -108,6 +128,16 @@ if [[ -n "${OLD_JSON}" ]]; then
     if [[ "${new_dist}" != "n/a" ]] && \
        awk -v r="${new_dist}" 'BEGIN { exit !(r < 0.50) }'; then
       echo "CHECK FAIL: distributed vs_local_serve8 ${new_dist} < 0.50 — the serving plane's protocol overhead exploded"
+      FAILED=1
+    fi
+    if [[ "${new_simr}" != "n/a" ]] && \
+       awk -v r="${new_simr}" 'BEGIN { exit !(r < 0.50) }'; then
+      echo "CHECK FAIL: distributed sim_vs_loopback ${new_simr} < 0.50 — the batch wire codec got expensive"
+      FAILED=1
+    fi
+    if [[ "${old_wps}" != "n/a" && "${new_wps}" != "n/a" ]] && \
+       awk -v o="${old_wps}" -v n="${new_wps}" 'BEGIN { exit !(o > 0 && n > o * 1.5) }'; then
+      echo "CHECK FAIL: wire_bytes_per_sample grew past tolerance: ${old_wps} -> ${new_wps} (ceiling 1.5x committed) — batch frames got fat again"
       FAILED=1
     fi
   fi

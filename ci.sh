@@ -57,6 +57,11 @@ cargo test --test elastic_runtime -q
 echo "==> cargo test --test distributed_serve -q"
 cargo test --test distributed_serve -q
 
+# The cross-transport conformance + TCP adversarial suite: real
+# sockets, frame reassembly at every split point, kill-and-reconnect.
+echo "==> cargo test --test tcp_transport -q"
+cargo test --test tcp_transport -q
+
 # Second property-test leg: an independent sampling of every property
 # suite. MSD_PROPTEST_SEED salts the shim's deterministic RNG labels
 # (so the cases differ from the default leg's), and PROPTEST_CASES
@@ -78,6 +83,13 @@ cargo run --example elastic_serve
 # gap-free client streams internally.
 echo "==> cargo run --example distributed_serve"
 cargo run --example distributed_serve
+
+# Smoke-run the two-process TCP demo: the serve session exposed on a
+# real listener, one OS process per client dialing in over the socket —
+# every child asserts a gap-free stream and the parent checks exit
+# codes.
+echo "==> cargo run --example tcp_serve"
+cargo run --example tcp_serve
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

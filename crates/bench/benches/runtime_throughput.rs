@@ -35,13 +35,14 @@ use msd_core::planner::{Planner, PlannerConfig, Strategy};
 use msd_core::schedule::MixSchedule;
 use msd_core::system::controller::ControllerConfig;
 use msd_core::system::core::PipelineCore;
-use msd_core::system::net::LoopbackTransport;
+use msd_core::system::net::{LoopbackTransport, SimTransport, Transport};
 use msd_core::system::runtime::{ServeOptions, ThreadedPipeline};
 use msd_core::system::server::RemotePlacement;
 use msd_data::catalog::coyo700m_like;
 use msd_data::{Catalog, SourceSpec};
 use msd_mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
-use msd_sim::SimRng;
+use msd_sim::{NetModel, SimDuration, SimRng};
+use std::sync::Arc;
 
 const STEPS: u64 = 24;
 const SAMPLES_PER_STEP: usize = 128;
@@ -264,13 +265,16 @@ fn run_serve(clients: u32) -> Delivered {
     }
 }
 
-/// Deployment 5: the distributed serving plane over loopback — the same
-/// serve drive as deployment 3, but consumers are `RemoteClient`s
-/// reaching the pipeline through the `DataServer` actor and the MSDB
-/// wire protocol (Hello/Subscribe/Batch/Ack/Credit/Close with
-/// credit-based flow control). Loopback keeps batch payloads
-/// `Arc`-shared, so the delta vs `run_serve` is pure protocol overhead.
-fn run_distributed(clients: u32) -> Delivered {
+/// Deployment 5: the distributed serving plane — the same serve drive
+/// as deployment 3, but consumers are `RemoteClient`s reaching the
+/// pipeline through the `DataServer` actor and the MSDB wire protocol
+/// (Hello/Subscribe/Batch/Ack/Credit/Close with credit-based flow
+/// control), over the given transport. Loopback keeps batch payloads
+/// `Arc`-shared, so its delta vs `run_serve` is pure protocol overhead;
+/// the sim transport additionally serializes every frame through the
+/// binary batch codec, so *its* delta vs loopback is pure encoding
+/// cost.
+fn run_distributed(clients: u32, transport: Arc<dyn Transport>) -> Delivered {
     let catalog = catalog();
     let mut pipeline =
         ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
@@ -294,7 +298,7 @@ fn run_distributed(clients: u32) -> Delivered {
             pull_timeout: Duration::from_millis(500),
             ..ServeOptions::default()
         },
-        std::sync::Arc::new(LoopbackTransport),
+        transport,
         &placements,
     );
     let handles: Vec<_> = (0..clients)
@@ -477,10 +481,23 @@ fn main() {
     let scaling_efficiency =
         scaling_efficiency_raw.min(f64::from(client_counts[client_counts.len() - 1]));
     let distributed_clients = client_counts[client_counts.len() - 1];
-    let distributed = run_distributed(distributed_clients);
+    let distributed = run_distributed(distributed_clients, Arc::new(LoopbackTransport));
     // Protocol overhead of the distributed plane: delivered throughput
     // relative to the same serve drive with in-process clients.
     let distributed_vs_local = distributed.samples_per_sec() / serve[3].samples_per_sec();
+    // The same serve over a wire-speed, loss-free sim link: every batch
+    // crosses the wire through the binary MSDB batch codec, so the
+    // delta vs loopback isolates pure encode/decode cost, and the sim's
+    // traffic counters yield the wire bytes paid per delivered sample.
+    let wire_speed = NetModel {
+        base_latency: SimDuration::from_micros(0),
+        bandwidth_bps: 1e12,
+        ..NetModel::default()
+    };
+    let sim = Arc::new(SimTransport::new(wire_speed, 0.0, 5));
+    let distributed_sim = run_distributed(distributed_clients, sim.clone());
+    let sim_vs_loopback = distributed_sim.samples_per_sec() / distributed.samples_per_sec();
+    let wire_bytes_per_sample = sim.stats().wire_bytes_per_sample();
     let elastic = run_elastic();
 
     table_header(&[
@@ -507,6 +524,7 @@ fn main() {
         row("serve+prefetch", *c, d);
     }
     row("distributed(loopback)", distributed_clients, &distributed);
+    row("distributed(sim)", distributed_clients, &distributed_sim);
     println!("\n[steps={STEPS}, samples/step={SAMPLES_PER_STEP}; delivered throughput sums over");
     println!(" consumers: serve clients share each constructed batch zero-copy, so fan-out");
     println!(
@@ -514,8 +532,13 @@ fn main() {
          (raw {scaling_efficiency_raw:.2}, clamped at the client count);"
     );
     println!(
-        " distributed loopback serve delivers {distributed_vs_local:.2}x of local serve@{distributed_clients}]"
+        " distributed loopback serve delivers {distributed_vs_local:.2}x of local serve@{distributed_clients};"
     );
+    println!(
+        " over a wire-speed sim link (binary batch codec on every frame) it holds \
+         {sim_vs_loopback:.2}x"
+    );
+    println!(" of loopback at {wire_bytes_per_sample:.0} wire bytes per delivered sample]");
 
     println!("\nelastic scenario (drifting mixture, controller live, 2 clients):");
     table_header(&[
@@ -572,7 +595,10 @@ fn main() {
              \"distributed\": {{\n    \"clients\": {},\n    \
              \"samples_per_sec\": {:.2},\n    \
              \"payload_mb_per_sec\": {:.2},\n    \
-             \"vs_local_serve8\": {:.2}\n  }},\n  \
+             \"vs_local_serve8\": {:.2},\n    \
+             \"sim_samples_per_sec\": {:.2},\n    \
+             \"sim_vs_loopback\": {:.2},\n    \
+             \"wire_bytes_per_sample\": {:.1}\n  }},\n  \
              \"elastic\": {{\n    \"steady_samples_per_sec\": {:.2},\n    \
              \"scaling_samples_per_sec\": {:.2},\n    \
              \"recovered_samples_per_sec\": {:.2},\n    \
@@ -590,6 +616,9 @@ fn main() {
             distributed.samples_per_sec(),
             distributed.payload_mb_per_sec(),
             distributed_vs_local,
+            distributed_sim.samples_per_sec(),
+            sim_vs_loopback,
+            wire_bytes_per_sample,
             elastic.before,
             elastic.during,
             elastic.after,

@@ -38,6 +38,7 @@ pub mod core;
 pub mod net;
 pub mod runtime;
 pub mod server;
+pub mod tcp;
 
 /// Feature toggles for the component ablation (Fig 16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

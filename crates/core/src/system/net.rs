@@ -43,6 +43,12 @@ pub enum NetError {
     Closed,
     /// No frame arrived within the timeout.
     Timeout,
+    /// The byte stream is unrecoverably desynchronized (e.g. a corrupt
+    /// length prefix on a stream transport). Unlike a corrupt frame
+    /// *body* — which is self-delimiting and skipped like a lost
+    /// datagram — a corrupt frame *boundary* poisons everything after
+    /// it, so the connection must be torn down and redialed.
+    Corrupt,
 }
 
 impl std::fmt::Display for NetError {
@@ -50,6 +56,7 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Closed => write!(f, "connection closed"),
             NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Corrupt => write!(f, "byte stream desynchronized"),
         }
     }
 }
@@ -79,15 +86,31 @@ impl SharedBatch {
         Arc::clone(&self.batch)
     }
 
-    /// The serialized wire form, computed once per batch.
+    /// Forces the memoized wire encoding now, off the send path.
+    /// Constructor actors call this (when the session's transport
+    /// serializes) so a multi-megabyte batch is serialized on the
+    /// construct thread — overlapped with loader fetches and client
+    /// consumption — instead of stalling the serve loop's first send.
+    pub fn warm(&self) {
+        let _ = self.encoded();
+    }
+
+    /// The serialized wire form (the binary MSDB batch frame), computed
+    /// once per batch.
     fn encoded(&self) -> Bytes {
         self.wire
-            .get_or_init(|| {
-                Bytes::from(
-                    serde_json::to_vec(self.batch.as_ref()).expect("constructed batches serialize"),
-                )
-            })
+            .get_or_init(|| Bytes::from(codec::encode_batch(self.batch.as_ref())))
             .clone()
+    }
+
+    /// Number of sample payloads the batch carries (for per-sample wire
+    /// accounting).
+    fn samples(&self) -> u64 {
+        self.batch
+            .microbatches
+            .iter()
+            .map(|mb| mb.payloads.len() as u64)
+            .sum()
     }
 }
 
@@ -119,13 +142,13 @@ impl BatchPayload {
         BatchPayload::Shared(SharedBatch::new(batch))
     }
 
-    /// The carried batch, parsing encoded payloads on demand.
+    /// The carried batch, parsing encoded payloads on demand. Errors
+    /// carry the frame length and offending byte offset (see
+    /// [`CodecError::frame_len`] and [`CodecError::offset`]).
     pub fn batch(&self) -> Result<Arc<ConstructedBatch>, CodecError> {
         match self {
             BatchPayload::Shared(shared) => Ok(shared.batch()),
-            BatchPayload::Encoded(bytes) => serde_json::from_slice::<ConstructedBatch>(bytes)
-                .map(Arc::new)
-                .map_err(|e| CodecError::new(format!("batch payload does not parse: {e}"))),
+            BatchPayload::Encoded(bytes) => codec::decode_batch_shared(bytes).map(Arc::new),
         }
     }
 
@@ -257,6 +280,15 @@ pub trait Transport: Send + Sync {
 
     /// Short transport label for logs and reports.
     fn name(&self) -> &'static str;
+
+    /// Whether frames crossing this transport are serialized to wire
+    /// bytes. Constructor actors use this to pre-encode batches at
+    /// construct time (overlapping the encode with loader fetches)
+    /// instead of paying for it lazily on the serve loop's first send.
+    /// Loopback hands batches over by `Arc` and never serializes.
+    fn serializes(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -307,6 +339,10 @@ impl Transport for LoopbackTransport {
     fn name(&self) -> &'static str {
         "loopback"
     }
+
+    fn serializes(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -322,6 +358,23 @@ pub struct SimNetStats {
     pub dropped: u64,
     /// Serialized bytes of every delivered frame.
     pub delivered_bytes: u64,
+    /// Serialized bytes of every delivered `Batch` frame.
+    pub batch_wire_bytes: u64,
+    /// Sample payloads carried by delivered `Batch` frames (resends
+    /// count again — the metric tracks actual wire traffic).
+    pub batch_samples: u64,
+}
+
+impl SimNetStats {
+    /// Wire bytes spent per delivered sample payload — the encoding-
+    /// efficiency headline (shim-JSON paid ~10× the payload bytes here;
+    /// the binary batch frame pays ~1×).
+    pub fn wire_bytes_per_sample(&self) -> f64 {
+        if self.batch_samples == 0 {
+            return 0.0;
+        }
+        self.batch_wire_bytes as f64 / self.batch_samples as f64
+    }
 }
 
 /// A simulated network path: frames are MSDB-serialized, then pushed
@@ -356,7 +409,7 @@ impl SimTransport {
         *self.stats.lock()
     }
 
-    fn lane(&self, tx: Sender<(Instant, Vec<u8>)>) -> SimTx {
+    fn lane(&self, tx: Sender<SimPacket>) -> SimTx {
         let lane = self.next_lane.fetch_add(1, Ordering::SeqCst);
         SimTx {
             link: Mutex::new(LossyLink::new(
@@ -370,21 +423,49 @@ impl SimTransport {
     }
 }
 
+/// One simulated in-flight frame: its modeled delivery time plus the
+/// scatter-gather wire parts from [`codec::encode_wire_frame_parts`] —
+/// the sealed head, and for batch frames the payload [`Bytes`] handed
+/// through by refcount. The simulated link charges for (and can drop)
+/// the full serialized size, but never copies the payload: exactly the
+/// scatter-gather send a real NIC path would do.
+struct SimPacket {
+    due: Instant,
+    head: Vec<u8>,
+    payload: Option<Bytes>,
+}
+
 struct SimTx {
     link: Mutex<LossyLink>,
-    tx: Sender<(Instant, Vec<u8>)>,
+    tx: Sender<SimPacket>,
     stats: Arc<Mutex<SimNetStats>>,
 }
 
 impl FrameTx for SimTx {
     fn send(&self, frame: WireFrame) -> Result<(), NetError> {
-        let bytes = codec::encode_wire_frame(&frame);
-        let admitted = self.link.lock().admit(bytes.len() as u64);
+        let samples = match &frame {
+            WireFrame::Batch {
+                payload: BatchPayload::Shared(shared),
+                ..
+            } => Some(shared.samples()),
+            WireFrame::Batch { .. } => Some(0),
+            _ => None,
+        };
+        let mut head = Vec::new();
+        let payload = codec::encode_wire_frame_parts(&frame, &mut head);
+        let wire_len = (head.len() + payload.as_ref().map_or(0, Bytes::len)) as u64;
+        let admitted = self.link.lock().admit(wire_len);
         {
             let mut stats = self.stats.lock();
             stats.offered += 1;
             match admitted {
-                Some(_) => stats.delivered_bytes += bytes.len() as u64,
+                Some(_) => {
+                    stats.delivered_bytes += wire_len;
+                    if let Some(samples) = samples {
+                        stats.batch_wire_bytes += wire_len;
+                        stats.batch_samples += samples;
+                    }
+                }
                 None => stats.dropped += 1,
             }
         }
@@ -393,25 +474,27 @@ impl FrameTx for SimTx {
             None => Ok(()),
             Some(delay) => {
                 let due = Instant::now() + Duration::from_nanos(delay.as_nanos());
-                self.tx.send((due, bytes)).map_err(|_| NetError::Closed)
+                self.tx
+                    .send(SimPacket { due, head, payload })
+                    .map_err(|_| NetError::Closed)
             }
         }
     }
 }
 
 struct SimRx {
-    rx: Receiver<(Instant, Vec<u8>)>,
+    rx: Receiver<SimPacket>,
     /// A dequeued frame whose modeled delivery time lies beyond a past
     /// `recv` call's deadline — parked so the timeout contract holds
     /// without losing the frame.
-    pending: Option<(Instant, Vec<u8>)>,
+    pending: Option<SimPacket>,
 }
 
 impl FrameRx for SimRx {
     fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let (due, bytes) = match self.pending.take() {
+            let packet = match self.pending.take() {
                 Some(parked) => parked,
                 None => {
                     let remaining = deadline.saturating_duration_since(Instant::now());
@@ -422,17 +505,26 @@ impl FrameRx for SimRx {
                 }
             };
             // Model the link latency: the frame is not observable before
-            // its delivery time — but never sleep past the caller's
-            // deadline; park the frame for the next call instead.
+            // its delivery time — but never wait past the caller's
+            // deadline; park the frame for the next call instead. OS
+            // sleep granularity (hrtimer slack) is ~50µs, far coarser
+            // than wire-speed delivery times, so sub-resolution waits
+            // spin instead of inflating every microsecond-scale frame
+            // to a scheduler quantum.
             let now = Instant::now();
-            if due > now {
-                if due > deadline {
-                    self.pending = Some((due, bytes));
+            if packet.due > now {
+                if packet.due > deadline {
+                    self.pending = Some(packet);
                     return Err(NetError::Timeout);
                 }
-                std::thread::sleep(due - now);
+                if packet.due - now > Duration::from_micros(200) {
+                    std::thread::sleep(packet.due - now);
+                }
+                while Instant::now() < packet.due {
+                    std::hint::spin_loop();
+                }
             }
-            match codec::decode_wire_frame(&bytes) {
+            match codec::decode_wire_frame_split(&packet.head, packet.payload) {
                 Ok(frame) => return Ok(frame),
                 Err(_) => continue, // Corrupted in transit: same as lost.
             }
@@ -565,6 +657,26 @@ mod tests {
             got2 += 1;
         }
         assert_eq!(got, got2, "sim loss is not deterministic");
+    }
+
+    #[test]
+    fn encoded_payload_decode_errors_carry_frame_context() {
+        let batch = ConstructedBatch {
+            bucket: 2,
+            microbatches: vec![],
+            deliveries: vec![],
+        };
+        let wire = codec::encode_batch(&batch);
+        // Truncated mid-frame: the error names the frame length instead
+        // of dropping all context.
+        let cut = wire.len() - 3;
+        let payload = BatchPayload::Encoded(Bytes::from(wire[..cut].to_vec()));
+        let err = payload.batch().unwrap_err();
+        assert_eq!(err.frame_len(), Some(cut));
+        assert!(
+            err.to_string().contains(&format!("{cut}-byte frame")),
+            "frame length missing from: {err}"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ use crate::system::controller::{
     ControllerActor, ControllerConfig, ControllerMsg, ControllerStatus,
 };
 use crate::system::core::{PipelineCore, PlanOutcome};
-use crate::system::net::Transport;
+use crate::system::net::{SharedBatch, Transport};
 use crate::system::server::{DataServer, DataServerHandle, RemotePlacement, ServerMsg};
 
 /// GCS key holding the planner actor's restart checkpoint.
@@ -427,16 +427,17 @@ pub enum ConstructorMsg {
     /// A trainer client requests the batch for exactly `step`. The reply
     /// is parked until that step is constructed. The client carries its
     /// own cursor, so a restarted constructor cannot double-serve it.
-    /// The reply shares the queued batch (`Arc`): N pulling clients and
-    /// every re-broadcast replay read the *same* constructed buffers — a
-    /// pull is a refcount bump, never a payload copy.
+    /// The reply shares the queued batch ([`SharedBatch`]): N pulling
+    /// clients and every re-broadcast replay read the *same* constructed
+    /// buffers — and, on serializing transports, the same memoized wire
+    /// encoding — a pull is a refcount bump, never a payload copy.
     Pull {
         /// Pulling client id.
         client: u32,
         /// The serve step the client needs next.
         step: u64,
         /// Reply channel.
-        reply: ReplyTo<(u64, Arc<ConstructedBatch>)>,
+        reply: ReplyTo<(u64, SharedBatch)>,
     },
     /// Install the clients this constructor serves, each with the lowest
     /// serve step it could still need (0 at session start; the driver's
@@ -454,11 +455,17 @@ pub enum ConstructorMsg {
     /// Start a fresh serve session: drop queued batches, cursors, parked
     /// pulls, and the roster left over from a previous session (serve
     /// step numbering restarts at 0 each session).
-    Reset,
+    Reset {
+        /// When true (serializing transports), each constructed batch is
+        /// wire-encoded eagerly on the construct thread — overlapping the
+        /// serialization with loader fetches — instead of lazily on the
+        /// serve loop's first send of that batch.
+        pre_encode: bool,
+    },
 }
 
 /// The shared-batch reply a [`ConstructorMsg::Pull`] resolves to.
-type PullReply = ReplyTo<(u64, Arc<ConstructedBatch>)>;
+type PullReply = ReplyTo<(u64, SharedBatch)>;
 
 /// A Data Constructor hosted in a supervised actor, serving one bucket's
 /// batches to its rostered trainer clients.
@@ -469,12 +476,17 @@ type PullReply = ReplyTo<(u64, Arc<ConstructedBatch>)>;
 /// a crash mid-serve costs latency, never correctness.
 pub struct ConstructorActor {
     inner: DataConstructor,
-    /// Constructed batches queued for pulling clients. `Arc`-held so every
-    /// client of a step is handed the same batch — fan-out is refcounting.
-    ready: BTreeMap<u64, Arc<ConstructedBatch>>,
+    /// Constructed batches queued for pulling clients, each wrapped with
+    /// its memoized wire form. Every client of a step is handed the same
+    /// wrapper — fan-out is refcounting, and on serializing transports
+    /// bucket-mates share one encoding.
+    ready: BTreeMap<u64, SharedBatch>,
     cursors: HashMap<u32, u64>,
     waiting: HashMap<u32, (u64, PullReply)>,
     roster_known: bool,
+    /// Eagerly wire-encode each batch at construct time (set per session
+    /// by [`ConstructorMsg::Reset`] when the transport serializes).
+    pre_encode: bool,
 }
 
 impl ConstructorActor {
@@ -486,6 +498,7 @@ impl ConstructorActor {
             cursors: HashMap::new(),
             waiting: HashMap::new(),
             roster_known: false,
+            pre_encode: false,
         }
     }
 
@@ -528,11 +541,17 @@ impl Actor for ConstructorActor {
                 if duplicate {
                     return; // Idempotent re-broadcast.
                 }
-                let batch = Arc::new(
-                    self.inner
-                        .construct(&bucket_plan, &samples, &broadcast_axes),
-                );
-                self.ready.insert(step, batch);
+                let shared = SharedBatch::new(Arc::new(self.inner.construct(
+                    &bucket_plan,
+                    &samples,
+                    &broadcast_axes,
+                )));
+                if self.pre_encode {
+                    // Serialize here, on the construct thread, so the serve
+                    // loop sends memoized bytes instead of encoding inline.
+                    shared.warm();
+                }
+                self.ready.insert(step, shared);
                 // Wake clients parked on this step (each gets a shared
                 // handle to the one constructed batch).
                 let served: Vec<u32> = self
@@ -543,8 +562,8 @@ impl Actor for ConstructorActor {
                     .collect();
                 for client in served {
                     let (want, reply) = self.waiting.remove(&client).expect("just selected");
-                    let batch = Arc::clone(&self.ready[&want]);
-                    reply.send((want, batch));
+                    let shared = self.ready[&want].clone();
+                    reply.send((want, shared));
                 }
                 self.prune();
             }
@@ -555,8 +574,8 @@ impl Actor for ConstructorActor {
             } => {
                 self.cursors.insert(client, step);
                 match self.ready.get(&step) {
-                    Some(batch) => {
-                        reply.send((step, Arc::clone(batch)));
+                    Some(shared) => {
+                        reply.send((step, shared.clone()));
                     }
                     None => {
                         // Park; a retry from the same client replaces the
@@ -586,11 +605,12 @@ impl Actor for ConstructorActor {
                     cursors: self.cursors.iter().map(|(c, s)| (*c, *s)).collect(),
                 });
             }
-            ConstructorMsg::Reset => {
+            ConstructorMsg::Reset { pre_encode } => {
                 self.ready.clear();
                 self.cursors.clear();
                 self.waiting.clear();
                 self.roster_known = false;
+                self.pre_encode = pre_encode;
             }
         }
     }
@@ -1256,7 +1276,8 @@ impl ThreadedPipeline {
             })
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
-        self.spawn_driver(opts, roster, clients, stop)
+        // Local clients consume batches by `Arc`; nothing to pre-encode.
+        self.spawn_driver(opts, roster, clients, stop, false)
     }
 
     /// Starts a *distributed* serve session: the driver pumps exactly as
@@ -1344,6 +1365,7 @@ impl ThreadedPipeline {
             .expect("failed to spawn server pump thread");
         self.servers.push((actor.clone(), pipeline_stop));
 
+        let pre_encode = transport.serializes();
         let handle = DataServerHandle::new(
             actor,
             transport,
@@ -1352,7 +1374,7 @@ impl ThreadedPipeline {
             opts.pull_timeout,
             opts.queue_depth.min(u64::from(u32::MAX)) as u32,
         );
-        let session = self.spawn_driver(opts, roster, Vec::new(), session_stop);
+        let session = self.spawn_driver(opts, roster, Vec::new(), session_stop, pre_encode);
         (session, handle)
     }
 
@@ -1366,13 +1388,14 @@ impl ThreadedPipeline {
         roster: Vec<(u32, usize)>,
         clients: Vec<ServeClient>,
         stop: Arc<AtomicBool>,
+        pre_encode: bool,
     ) -> ServeSession {
         let fleet = self.fleet.clone();
         let driver_stop = stop.clone();
         let driver_opts = opts;
         let driver = std::thread::Builder::new()
             .name("msd/serve-driver".to_string())
-            .spawn(move || run_serve_driver(fleet, driver_opts, driver_stop, roster))
+            .spawn(move || run_serve_driver(fleet, driver_opts, driver_stop, roster, pre_encode))
             .expect("failed to spawn serve driver");
         ServeSession {
             driver: Some(driver),
@@ -1547,7 +1570,7 @@ impl ServeClient {
                 },
                 self.pull_timeout,
             ) {
-                Ok((step, batch)) => {
+                Ok((step, shared)) => {
                     debug_assert_eq!(step, want);
                     self.next_step = want + 1;
                     if self.next_step == self.steps {
@@ -1557,7 +1580,7 @@ impl ServeClient {
                             next_step: self.steps,
                         });
                     }
-                    return Some((step, batch));
+                    return Some((step, shared.batch()));
                 }
                 Err(_) => continue, // Not constructed yet, or restarting.
             }
@@ -1603,6 +1626,7 @@ fn run_serve_driver(
     opts: ServeOptions,
     stop: Arc<AtomicBool>,
     roster: Vec<(u32, usize)>,
+    pre_encode: bool,
 ) -> u64 {
     // The driver caches every client's cursor (refreshed from watermark
     // polls) so a roster re-sent to a restarted constructor restores
@@ -1614,7 +1638,7 @@ fn run_serve_driver(
     for (idx, ctor) in fleet.constructors.iter().enumerate() {
         // A previous serve session may have left queued batches and
         // cursors behind; serve-step numbering restarts at 0.
-        ctor.tell(ConstructorMsg::Reset);
+        ctor.tell(ConstructorMsg::Reset { pre_encode });
         ctor.tell(ConstructorMsg::Roster(roster_of(&cursors[idx])));
     }
     let rostered: Vec<usize> = (0..fleet.constructors.len())

@@ -37,6 +37,8 @@
 //! [`ThreadedPipeline`]: crate::system::runtime::ThreadedPipeline
 
 use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,9 +49,10 @@ use msd_mesh::Rank;
 
 use crate::constructor::ConstructedBatch;
 use crate::system::net::{
-    BatchPayload, FrameTx, NetError, SharedBatch, Transport, WireConn, WireFrame,
+    BatchPayload, FrameRx, FrameTx, NetError, SharedBatch, Transport, WireConn, WireFrame,
 };
 use crate::system::runtime::ConstructorMsg;
+use crate::system::tcp;
 
 /// Where one remote client's trainer rank lives on the mesh (the input
 /// to [`ThreadedPipeline::serve_distributed`]).
@@ -125,7 +128,7 @@ pub struct ServerStatus {
 }
 
 /// The in-flight constructor pull of one client.
-type PendingPull = (u64, Instant, PendingReply<(u64, Arc<ConstructedBatch>)>);
+type PendingPull = (u64, Instant, PendingReply<(u64, SharedBatch)>);
 
 /// Binds `state` to `session` unless a *newer* session already owns the
 /// client (ids are monotone per server). Returns whether `session` is
@@ -394,9 +397,13 @@ impl DataServer {
             // Resolve the in-flight pull, if any.
             if let Some((step, issued, reply)) = state.pending.take() {
                 match reply.try_wait() {
-                    Ok((got, batch)) => {
+                    Ok((got, shared)) => {
                         debug_assert_eq!(got, step);
-                        state.unacked.insert(step, SharedBatch::new(batch));
+                        // The constructor hands every bucket-mate the
+                        // same wrapper, so the memoized wire encoding is
+                        // shared (and, on serializing transports,
+                        // already warmed at construct time).
+                        state.unacked.insert(step, shared);
                         self.send_batch(client, step);
                         continue; // A send may open room for the next pull.
                     }
@@ -557,7 +564,7 @@ impl DataServerHandle {
         RemoteClient {
             id: client,
             rank,
-            dialer: self.clone(),
+            dialer: Box::new(HandleDialer(self.clone())),
             conn: None,
             ever_connected: false,
             next_step: 0,
@@ -573,42 +580,124 @@ impl DataServerHandle {
     /// actor, and spawns the reader thread that forwards inbound frames.
     fn dial(&self) -> WireConn {
         let (client_end, server_end) = self.transport.pair();
+        self.register(server_end);
+        client_end
+    }
+
+    /// Registers the server end of an established connection: assigns a
+    /// session id, hands the sender to the actor, and spawns the reader
+    /// thread. The TCP accept loop and the in-process `dial` path both
+    /// funnel through here.
+    fn register(&self, server_end: WireConn) -> u64 {
         let session = self.next_session.fetch_add(1, Ordering::SeqCst);
-        let (tx, mut rx) = server_end.split();
+        let (tx, rx) = server_end.split();
         self.actor.tell(ServerMsg::Session { session, tx });
-        let actor = self.actor.clone();
+        spawn_server_reader(self.actor.clone(), session, rx);
+        session
+    }
+
+    /// Serves this session's wire protocol on a real TCP listener so
+    /// clients in *other OS processes* can dial in with
+    /// [`RemoteClient::over_tcp`]. Returns the bound address (pass
+    /// port 0 to let the OS pick). The accept loop runs until the
+    /// server actor stops at session shutdown.
+    pub fn serve_tcp<A: ToSocketAddrs>(&self, addr: A) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let handle = self.clone();
         std::thread::Builder::new()
-            .name(format!("msd/server-rx-{session}"))
-            .spawn(move || {
-                // The thread lives as long as the connection: the client
-                // dropping its endpoint closes the channel and ends the
-                // loop. The liveness check only reaps readers of
-                // connections leaked past server shutdown.
-                let mut seen_alive = false;
-                loop {
-                    match rx.recv(Duration::from_millis(200)) {
-                        Ok(frame) => {
-                            seen_alive = true;
-                            if !actor.tell(ServerMsg::Frame { session, frame }) {
-                                break; // Server stopped.
-                            }
+            .name("msd/tcp-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Accepted sockets inherit non-blocking on some
+                        // platforms; the frame threads want blocking IO.
+                        let conn = stream
+                            .set_nonblocking(false)
+                            .and_then(|()| tcp::wire_conn(stream));
+                        let Ok(conn) = conn else { continue };
+                        if !handle.actor.is_alive() {
+                            return;
                         }
-                        Err(NetError::Timeout) => {
-                            if actor.is_alive() {
-                                seen_alive = true;
-                            } else if seen_alive {
-                                break; // Server stopped after serving us.
-                            }
+                        handle.register(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if !handle.actor.is_alive() {
+                            return; // Session shut down; stop accepting.
                         }
-                        Err(NetError::Closed) => {
-                            actor.tell(ServerMsg::Gone { session });
-                            break;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            })?;
+        Ok(local)
+    }
+}
+
+/// Drains one session's inbound frames into the server actor. The
+/// thread lives as long as the connection: the client dropping its
+/// endpoint closes the channel and ends the loop. The liveness check
+/// only reaps readers of connections leaked past server shutdown.
+fn spawn_server_reader(actor: ActorRef<ServerMsg>, session: u64, mut rx: Box<dyn FrameRx>) {
+    std::thread::Builder::new()
+        .name(format!("msd/server-rx-{session}"))
+        .spawn(move || {
+            let mut seen_alive = false;
+            loop {
+                match rx.recv(Duration::from_millis(200)) {
+                    Ok(frame) => {
+                        seen_alive = true;
+                        if !actor.tell(ServerMsg::Frame { session, frame }) {
+                            break; // Server stopped.
                         }
                     }
+                    Err(NetError::Timeout) => {
+                        if actor.is_alive() {
+                            seen_alive = true;
+                        } else if seen_alive {
+                            break; // Server stopped after serving us.
+                        }
+                    }
+                    // A desynchronized stream (`Corrupt`) is fatal to
+                    // the connection just like a hang-up: the client
+                    // redials and resumes from its cursor.
+                    Err(NetError::Closed | NetError::Corrupt) => {
+                        actor.tell(ServerMsg::Gone { session });
+                        break;
+                    }
                 }
-            })
-            .expect("failed to spawn server reader thread");
-        client_end
+            }
+        })
+        .expect("failed to spawn server reader thread");
+}
+
+/// How a [`RemoteClient`] opens (and re-opens) its connection: through
+/// the in-process [`DataServerHandle`] or by dialing a TCP address in
+/// another process. Redial-on-failure lives in the client; a dialer
+/// just produces connections.
+trait Dial: Send {
+    /// Attempts one connection; `None` means the server is currently
+    /// unreachable (the client retries with backoff).
+    fn dial(&self) -> Option<WireConn>;
+}
+
+/// Dials through the serve session's own [`Transport`] factory.
+struct HandleDialer(DataServerHandle);
+
+impl Dial for HandleDialer {
+    fn dial(&self) -> Option<WireConn> {
+        Some(self.0.dial())
+    }
+}
+
+/// Dials a [`DataServerHandle::serve_tcp`] listener, typically from a
+/// different OS process.
+struct TcpDialer(SocketAddr);
+
+impl Dial for TcpDialer {
+    fn dial(&self) -> Option<WireConn> {
+        tcp::connect(self.0).ok()
     }
 }
 
@@ -623,7 +712,7 @@ pub struct RemoteClient {
     /// Client id (also its roster entry on the serve driver).
     pub id: u32,
     rank: Rank,
-    dialer: DataServerHandle,
+    dialer: Box<dyn Dial>,
     conn: Option<WireConn>,
     ever_connected: bool,
     next_step: u64,
@@ -635,6 +724,36 @@ pub struct RemoteClient {
 }
 
 impl RemoteClient {
+    /// Connects to a serve session listening at `addr` (see
+    /// [`DataServerHandle::serve_tcp`]) — the cross-process sibling of
+    /// [`DataServerHandle::connect`]. The caller supplies what the
+    /// in-process path reads off the handle: its placed rank, the
+    /// session's step count, the per-pull timeout, and the initial
+    /// credit window. The connection is dialed lazily on the first
+    /// [`RemoteClient::next`] call and redialed as needed.
+    pub fn over_tcp(
+        addr: SocketAddr,
+        client: u32,
+        rank: Rank,
+        steps: u64,
+        pull_timeout: Duration,
+        credits: u32,
+    ) -> RemoteClient {
+        RemoteClient {
+            id: client,
+            rank,
+            dialer: Box::new(TcpDialer(addr)),
+            conn: None,
+            ever_connected: false,
+            next_step: 0,
+            steps,
+            credits: credits.max(1),
+            pull_timeout,
+            reconnects: 0,
+            closed: false,
+        }
+    }
+
     /// The trainer rank this client feeds.
     pub fn rank(&self) -> Rank {
         self.rank
@@ -661,7 +780,9 @@ impl RemoteClient {
         if self.conn.is_some() {
             return;
         }
-        let conn = self.dialer.dial();
+        let Some(conn) = self.dialer.dial() else {
+            return; // Unreachable (e.g. TCP listener not up yet); retry.
+        };
         let hello = conn.tx.send(WireFrame::Hello {
             client: self.id,
             rank: self.rank,
@@ -721,7 +842,7 @@ impl RemoteClient {
                 }
                 Ok(_) => {}
                 Err(NetError::Timeout) => {} // Close lost: retry.
-                Err(NetError::Closed) => break,
+                Err(NetError::Closed | NetError::Corrupt) => break,
             }
         }
         self.closed = true; // Best effort exhausted.
@@ -811,7 +932,10 @@ impl RemoteClient {
                         self.resubscribe();
                     }
                 }
-                Err(NetError::Closed) => {
+                // A hang-up or a desynchronized stream both mean this
+                // connection is done for; redial and resume from the
+                // cursor.
+                Err(NetError::Closed | NetError::Corrupt) => {
                     self.conn = None;
                 }
             }

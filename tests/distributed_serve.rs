@@ -7,185 +7,22 @@
 //! session, a dropped connection resumes gap-free and duplicate-free
 //! from the client's cursor, and credit-based flow control keeps
 //! constructor queues bounded even when a client vanishes mid-serve.
+//!
+//! The pipeline recipe and stream assertions live in `harness/`, shared
+//! with the cross-transport conformance suite in `tcp_transport.rs`.
+
+mod harness;
 
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Duration;
 
-use megascale_data::balance::BalanceMethod;
-use megascale_data::core::constructor::{ConstructedBatch, DataConstructor};
-use megascale_data::core::loader::LoaderConfig;
-use megascale_data::core::planner::{Planner, PlannerConfig, Strategy};
-use megascale_data::core::schedule::MixSchedule;
-use megascale_data::core::system::net::{LoopbackTransport, SimTransport, Transport};
-use megascale_data::core::system::runtime::{ServeOptions, ThreadedPipeline};
-use megascale_data::core::system::server::RemotePlacement;
-use megascale_data::data::catalog::coyo700m_like;
-use megascale_data::data::SourceSpec;
-use megascale_data::mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
-use megascale_data::sim::{NetModel, SimRng};
-
-/// Per-sample modeled fetch latency: keeps steps slow enough that the
-/// serving plane's pipelining actually overlaps with loader work.
-const FETCH_LATENCY_NS: u64 = 200_000;
-
-fn small_backbone() -> megascale_data::balance::BackboneShape {
-    megascale_data::balance::BackboneShape {
-        layers: 2,
-        hidden: 128,
-        mlp_ratio: 4.0,
-        heads: 2,
-        vocab: 1000,
-        experts_per_token: 1,
-    }
-}
-
-/// A 5-source, DP=2 pipeline (2 constructor buckets); identical seeds
-/// produce identical plan and batch streams, which is what lets these
-/// tests compare local and distributed serving byte for byte.
-fn pipeline(seed: u64) -> ThreadedPipeline {
-    let mut rng = SimRng::seed(2);
-    let catalog = coyo700m_like(&mut rng);
-    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
-    let tree = ClientPlaceTree::from_device_mesh(&mesh);
-    let planner = Planner::new(
-        PlannerConfig {
-            axis: DistributeAxis::DP,
-            group_size: None,
-            microbatches: 2,
-            broadcast_axes: vec![Axis::TP],
-            samples_per_step: 16,
-            schedule: MixSchedule::uniform(catalog.len()),
-        },
-        Strategy::BackboneBalance {
-            method: BalanceMethod::Greedy,
-            backbone: small_backbone(),
-        },
-        tree,
-        catalog.sources().iter().map(|s| s.id).collect(),
-        3,
-    );
-    let sources: Vec<(SourceSpec, LoaderConfig)> = catalog
-        .sources()
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            (
-                s.clone(),
-                LoaderConfig::solo_with_fetch_latency(i as u32, FETCH_LATENCY_NS),
-            )
-        })
-        .collect();
-    let constructors = (0..2)
-        .map(|_| DataConstructor::new(mesh.clone(), 4096))
-        .collect();
-    ThreadedPipeline::new(sources, planner, constructors, seed)
-}
-
-fn opts(clients: u32, steps: u64) -> ServeOptions {
-    ServeOptions {
-        clients,
-        steps,
-        refill_target: 32,
-        queue_depth: 3,
-        prefetch: true,
-        pull_timeout: Duration::from_millis(300),
-        control_interval: 0,
-    }
-}
-
-/// Placements whose constructor mapping matches local client ids: in the
-/// 1×2×1×2 mesh, DP bucket 0 holds ranks {0, 1} and bucket 1 holds
-/// {2, 3}, so client `c` lands on bucket `c % 2` — exactly where a local
-/// `ServeClient` with the same id pulls from.
-fn placements(n: u32) -> Vec<RemotePlacement> {
-    (0..n)
-        .map(|c| RemotePlacement {
-            client: c,
-            rank: (c % 2) * 2 + (c / 2) % 2,
-        })
-        .collect()
-}
-
-type Stream = Vec<(u64, Arc<ConstructedBatch>)>;
-
-/// Serves locally and collects every client's full stream.
-fn local_streams(seed: u64, clients: u32, steps: u64) -> Vec<(u32, Stream)> {
-    let mut p = pipeline(seed);
-    let mut session = p.serve(opts(clients, steps));
-    let handles: Vec<_> = session
-        .take_clients()
-        .into_iter()
-        .map(|mut c| {
-            std::thread::spawn(move || {
-                let mut stream = Stream::new();
-                while let Some(item) = c.next() {
-                    stream.push(item);
-                }
-                (c.id, stream)
-            })
-        })
-        .collect();
-    let mut streams: Vec<_> = handles
-        .into_iter()
-        .map(|h| h.join().expect("client thread"))
-        .collect();
-    assert_eq!(session.join(), steps, "local driver fell short");
-    p.shutdown();
-    streams.sort_by_key(|(id, _)| *id);
-    streams
-}
-
-/// Serves over `transport` and collects every remote client's stream.
-fn remote_streams(
-    transport: Arc<dyn Transport>,
-    seed: u64,
-    clients: u32,
-    steps: u64,
-) -> Vec<(u32, Stream)> {
-    let mut p = pipeline(seed);
-    let (session, handle) =
-        p.serve_distributed(opts(clients, steps), transport, &placements(clients));
-    let handles: Vec<_> = (0..clients)
-        .map(|c| {
-            let mut rc = handle.connect(c);
-            std::thread::spawn(move || {
-                let mut stream = Stream::new();
-                while let Some(item) = rc.next() {
-                    stream.push(item);
-                }
-                (rc.id, stream)
-            })
-        })
-        .collect();
-    let mut streams: Vec<_> = handles
-        .into_iter()
-        .map(|h| h.join().expect("remote client thread"))
-        .collect();
-    assert_eq!(session.join(), steps, "distributed driver fell short");
-    p.shutdown();
-    streams.sort_by_key(|(id, _)| *id);
-    streams
-}
-
-fn assert_ordered_full(streams: &[(u32, Stream)], steps: u64) {
-    for (id, stream) in streams {
-        assert_eq!(stream.len(), steps as usize, "client {id} missed steps");
-        for (i, (step, _)) in stream.iter().enumerate() {
-            assert_eq!(*step, i as u64, "client {id} stream out of order");
-        }
-    }
-}
-
-fn sample_ids(batch: &ConstructedBatch) -> Vec<u64> {
-    batch
-        .microbatches
-        .iter()
-        .flat_map(|m| &m.sequences)
-        .flat_map(|s| &s.segments)
-        .map(|seg| seg.sample_id)
-        .collect()
-}
+use harness::{
+    assert_byte_identical, assert_ordered_full, local_streams, opts, pipeline, placements,
+    remote_streams, sample_ids, Stream,
+};
+use megascale_data::core::system::net::{LoopbackTransport, SimTransport};
+use megascale_data::core::system::runtime::ServeOptions;
+use megascale_data::sim::NetModel;
 
 #[test]
 fn loopback_distributed_serve_is_byte_identical_to_local() {
@@ -194,23 +31,7 @@ fn loopback_distributed_serve_is_byte_identical_to_local() {
     let remote = remote_streams(Arc::new(LoopbackTransport), 77, clients, steps);
     assert_ordered_full(&local, steps);
     assert_ordered_full(&remote, steps);
-    for ((lid, lstream), (rid, rstream)) in local.iter().zip(&remote) {
-        assert_eq!(lid, rid);
-        for ((lstep, lbatch), (rstep, rbatch)) in lstream.iter().zip(rstream) {
-            assert_eq!(lstep, rstep);
-            assert_eq!(
-                **lbatch, **rbatch,
-                "client {lid} step {lstep}: distributed batch diverged from local"
-            );
-            // Byte-identical includes the payload bytes themselves.
-            for (lmb, rmb) in lbatch.microbatches.iter().zip(&rbatch.microbatches) {
-                for ((lid_, lp), (rid_, rp)) in lmb.payloads.iter().zip(&rmb.payloads) {
-                    assert_eq!(lid_, rid_);
-                    assert_eq!(lp.as_ref(), rp.as_ref());
-                }
-            }
-        }
-    }
+    assert_byte_identical(&local, &remote, "loopback");
     // Loopback is zero-copy end to end: clients sharing a constructor
     // bucket hold the *same* constructed batch allocation.
     let (_, s0) = &remote[0];
@@ -290,15 +111,7 @@ fn lossy_sim_transport_stays_correct() {
     let lossy = remote_streams(sim.clone(), 55, clients, steps);
 
     assert_ordered_full(&lossy, steps);
-    for ((_, want), (id, got)) in reference.iter().zip(&lossy) {
-        for ((ws, wb), (gs, gb)) in want.iter().zip(got) {
-            assert_eq!(ws, gs);
-            assert_eq!(
-                **wb, **gb,
-                "client {id} step {ws}: lossy transport corrupted the stream"
-            );
-        }
-    }
+    assert_byte_identical(&reference, &lossy, "lossy sim");
     let stats = sim.stats();
     assert!(
         stats.dropped > 0,
@@ -306,6 +119,12 @@ fn lossy_sim_transport_stays_correct() {
         stats.offered
     );
     assert!(stats.delivered_bytes > 0);
+    // The binary batch codec is on the wire: batch frames pay ~payload
+    // bytes, not the old ~10× JSON rendering.
+    assert!(
+        stats.batch_samples > 0,
+        "no batch samples crossed the sim wire"
+    );
 }
 
 #[test]

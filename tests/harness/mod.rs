@@ -1,0 +1,213 @@
+//! Shared harness for the distributed-serving integration suites.
+//!
+//! `tests/distributed_serve.rs` and `tests/tcp_transport.rs` exercise
+//! the same contract — serving trainer clients over the MSDB wire
+//! protocol is *invisible* to them, whatever the transport — so they
+//! share one pipeline recipe, one placement scheme, and one set of
+//! stream-collection/assertion helpers. Keeping these in one place is
+//! what makes the conformance suite *conformance*: every transport runs
+//! through literally the same assertions.
+
+#![allow(dead_code)] // Each test crate uses a subset of the harness.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use megascale_data::balance::BalanceMethod;
+use megascale_data::core::constructor::{ConstructedBatch, DataConstructor};
+use megascale_data::core::loader::LoaderConfig;
+use megascale_data::core::planner::{Planner, PlannerConfig, Strategy};
+use megascale_data::core::schedule::MixSchedule;
+use megascale_data::core::system::net::Transport;
+use megascale_data::core::system::runtime::{ServeOptions, ThreadedPipeline};
+use megascale_data::core::system::server::RemotePlacement;
+use megascale_data::data::catalog::coyo700m_like;
+use megascale_data::data::SourceSpec;
+use megascale_data::mesh::{Axis, ClientPlaceTree, DeviceMesh, DistributeAxis};
+use megascale_data::sim::SimRng;
+
+/// Per-sample modeled fetch latency: keeps steps slow enough that the
+/// serving plane's pipelining actually overlaps with loader work.
+pub const FETCH_LATENCY_NS: u64 = 200_000;
+
+pub fn small_backbone() -> megascale_data::balance::BackboneShape {
+    megascale_data::balance::BackboneShape {
+        layers: 2,
+        hidden: 128,
+        mlp_ratio: 4.0,
+        heads: 2,
+        vocab: 1000,
+        experts_per_token: 1,
+    }
+}
+
+/// A 5-source, DP=2 pipeline (2 constructor buckets); identical seeds
+/// produce identical plan and batch streams, which is what lets these
+/// tests compare local and distributed serving byte for byte.
+pub fn pipeline(seed: u64) -> ThreadedPipeline {
+    let mut rng = SimRng::seed(2);
+    let catalog = coyo700m_like(&mut rng);
+    let mesh = DeviceMesh::pp_dp_cp_tp(1, 2, 1, 2).unwrap();
+    let tree = ClientPlaceTree::from_device_mesh(&mesh);
+    let planner = Planner::new(
+        PlannerConfig {
+            axis: DistributeAxis::DP,
+            group_size: None,
+            microbatches: 2,
+            broadcast_axes: vec![Axis::TP],
+            samples_per_step: 16,
+            schedule: MixSchedule::uniform(catalog.len()),
+        },
+        Strategy::BackboneBalance {
+            method: BalanceMethod::Greedy,
+            backbone: small_backbone(),
+        },
+        tree,
+        catalog.sources().iter().map(|s| s.id).collect(),
+        3,
+    );
+    let sources: Vec<(SourceSpec, LoaderConfig)> = catalog
+        .sources()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                s.clone(),
+                LoaderConfig::solo_with_fetch_latency(i as u32, FETCH_LATENCY_NS),
+            )
+        })
+        .collect();
+    let constructors = (0..2)
+        .map(|_| DataConstructor::new(mesh.clone(), 4096))
+        .collect();
+    ThreadedPipeline::new(sources, planner, constructors, seed)
+}
+
+pub fn opts(clients: u32, steps: u64) -> ServeOptions {
+    ServeOptions {
+        clients,
+        steps,
+        refill_target: 32,
+        queue_depth: 3,
+        prefetch: true,
+        pull_timeout: Duration::from_millis(300),
+        control_interval: 0,
+    }
+}
+
+/// Placements whose constructor mapping matches local client ids: in the
+/// 1×2×1×2 mesh, DP bucket 0 holds ranks {0, 1} and bucket 1 holds
+/// {2, 3}, so client `c` lands on bucket `c % 2` — exactly where a local
+/// `ServeClient` with the same id pulls from.
+pub fn placements(n: u32) -> Vec<RemotePlacement> {
+    (0..n)
+        .map(|c| RemotePlacement {
+            client: c,
+            rank: (c % 2) * 2 + (c / 2) % 2,
+        })
+        .collect()
+}
+
+pub type Stream = Vec<(u64, Arc<ConstructedBatch>)>;
+
+/// Serves locally and collects every client's full stream.
+pub fn local_streams(seed: u64, clients: u32, steps: u64) -> Vec<(u32, Stream)> {
+    let mut p = pipeline(seed);
+    let mut session = p.serve(opts(clients, steps));
+    let handles: Vec<_> = session
+        .take_clients()
+        .into_iter()
+        .map(|mut c| {
+            std::thread::spawn(move || {
+                let mut stream = Stream::new();
+                while let Some(item) = c.next() {
+                    stream.push(item);
+                }
+                (c.id, stream)
+            })
+        })
+        .collect();
+    let mut streams: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    assert_eq!(session.join(), steps, "local driver fell short");
+    p.shutdown();
+    streams.sort_by_key(|(id, _)| *id);
+    streams
+}
+
+/// Serves over `transport` and collects every remote client's stream.
+pub fn remote_streams(
+    transport: Arc<dyn Transport>,
+    seed: u64,
+    clients: u32,
+    steps: u64,
+) -> Vec<(u32, Stream)> {
+    let mut p = pipeline(seed);
+    let (session, handle) =
+        p.serve_distributed(opts(clients, steps), transport, &placements(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut rc = handle.connect(c);
+            std::thread::spawn(move || {
+                let mut stream = Stream::new();
+                while let Some(item) = rc.next() {
+                    stream.push(item);
+                }
+                (rc.id, stream)
+            })
+        })
+        .collect();
+    let mut streams: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("remote client thread"))
+        .collect();
+    assert_eq!(session.join(), steps, "distributed driver fell short");
+    p.shutdown();
+    streams.sort_by_key(|(id, _)| *id);
+    streams
+}
+
+/// Every client saw every step, in order.
+pub fn assert_ordered_full(streams: &[(u32, Stream)], steps: u64) {
+    for (id, stream) in streams {
+        assert_eq!(stream.len(), steps as usize, "client {id} missed steps");
+        for (i, (step, _)) in stream.iter().enumerate() {
+            assert_eq!(*step, i as u64, "client {id} stream out of order");
+        }
+    }
+}
+
+/// `streams` matches `reference` batch for batch, down to the payload
+/// bytes themselves — the byte-identical half of the conformance
+/// contract (`label` names the transport under test in failures).
+pub fn assert_byte_identical(reference: &[(u32, Stream)], streams: &[(u32, Stream)], label: &str) {
+    for ((lid, lstream), (rid, rstream)) in reference.iter().zip(streams) {
+        assert_eq!(lid, rid);
+        for ((lstep, lbatch), (rstep, rbatch)) in lstream.iter().zip(rstream) {
+            assert_eq!(lstep, rstep);
+            assert_eq!(
+                **lbatch, **rbatch,
+                "client {lid} step {lstep}: {label} batch diverged from reference"
+            );
+            for (lmb, rmb) in lbatch.microbatches.iter().zip(&rbatch.microbatches) {
+                for ((lid_, lp), (rid_, rp)) in lmb.payloads.iter().zip(&rmb.payloads) {
+                    assert_eq!(lid_, rid_);
+                    assert_eq!(lp.as_ref(), rp.as_ref());
+                }
+            }
+        }
+    }
+}
+
+/// Every sample id a batch carries, in segment order.
+pub fn sample_ids(batch: &ConstructedBatch) -> Vec<u64> {
+    batch
+        .microbatches
+        .iter()
+        .flat_map(|m| &m.sequences)
+        .flat_map(|s| &s.segments)
+        .map(|seg| seg.sample_id)
+        .collect()
+}

@@ -1,32 +1,43 @@
 //! Property fuzz for the full MSDB codec.
 //!
-//! Every frame kind — the four GCS checkpoint kinds (1–4) and the six
-//! distributed-serving wire kinds (5–10) — must satisfy three
-//! properties under adversarial bytes:
+//! Every frame kind — the four GCS checkpoint kinds (1–4), the six
+//! distributed-serving wire kinds (5–10), and the binary batch payload
+//! frame (kind 11) — must satisfy three properties under adversarial
+//! bytes:
 //!
 //! 1. **Round-trip**: `decode(encode(x)) == x`.
 //! 2. **Truncation**: every strict prefix of a valid frame decodes to
 //!    `Err` through *every* decoder — never a panic, never an `Ok`.
-//! 3. **Bit flips**: any single-bit corruption anywhere in a frame
-//!    decodes to `Err` through every decoder. This is a *guarantee*,
-//!    not a likelihood: the trailing FNV-1a frame checksum is injective
-//!    per byte position, so one flipped byte can never collide.
+//! 3. **Bit flips**: any single-bit corruption anywhere in a frame is
+//!    caught before any decoded data is consumed. This is a
+//!    *guarantee*, not a likelihood: the FNV-1a checksums are injective
+//!    per byte position, so one flipped byte can never collide. The
+//!    one subtlety is the v3 wire `Batch` frame: its head checksum
+//!    deliberately excludes the payload region (scatter-gather send
+//!    never re-hashes a multi-megabyte payload per client), so a
+//!    payload flip decodes `Ok` at the wire layer and is caught by the
+//!    payload's own kind-11 wide seal when the batch is opened —
+//!    `flip_caught` encodes exactly that two-layer contract.
 //!
 //! Arbitrary garbage additionally must never panic any decoder.
 
 use proptest::prelude::*;
 
 use megascale_data::core::codec::{
-    decode_controller_checkpoint, decode_loader_checkpoint, decode_plan_log,
-    decode_planner_checkpoint, decode_wire_frame, encode_controller_checkpoint,
+    decode_batch, decode_controller_checkpoint, decode_loader_checkpoint, decode_plan_log,
+    decode_planner_checkpoint, decode_wire_frame, encode_batch, encode_controller_checkpoint,
     encode_loader_checkpoint, encode_plan_log, encode_planner_checkpoint, encode_wire_frame,
     is_binary,
+};
+use megascale_data::core::constructor::{
+    ClientDelivery, ConstructedBatch, Microbatch, PackedSequence, Segment,
 };
 use megascale_data::core::loader::LoaderCheckpoint;
 use megascale_data::core::planner::PlannerCheckpoint;
 use megascale_data::core::system::controller::{ControllerCheckpoint, SlotRecord};
 use megascale_data::core::system::core::CoreCheckpoint;
 use megascale_data::core::system::net::{BatchPayload, WireFrame};
+use megascale_data::mesh::DeliveryKind;
 
 use std::collections::BTreeMap;
 
@@ -121,6 +132,91 @@ fn wire_frame() -> impl Strategy<Value = WireFrame> {
     ]
 }
 
+fn delivery_kind() -> impl Strategy<Value = DeliveryKind> {
+    prop_oneof![
+        Just(DeliveryKind::Payload),
+        Just(DeliveryKind::MetadataOnly),
+        Just(DeliveryKind::Elided),
+    ]
+}
+
+fn packed_sequence() -> impl Strategy<Value = PackedSequence> {
+    (
+        proptest::collection::vec(
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(sample_id, tokens)| Segment { sample_id, tokens }),
+            0..4,
+        ),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u32>(), 0..8),
+    )
+        .prop_map(|(segments, tokens, padding, position_ids)| PackedSequence {
+            segments,
+            tokens,
+            padding,
+            position_ids,
+        })
+}
+
+/// Microbatches with arbitrary payload byte runs, 0-byte runs included
+/// (`0..max_payload` sizes; the multi-MB end is a dedicated test —
+/// too slow for every proptest case).
+fn microbatch(max_payload: usize) -> impl Strategy<Value = Microbatch> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(packed_sequence(), 0..3),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 0..max_payload),
+            ),
+            0..3,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(bin, sequences, payloads, payload_bytes)| Microbatch {
+            bin,
+            sequences,
+            payloads: payloads
+                .into_iter()
+                .map(|(id, bytes)| (id, bytes::Bytes::from(bytes)))
+                .collect(),
+            payload_bytes,
+        })
+}
+
+fn client_delivery() -> impl Strategy<Value = ClientDelivery> {
+    (
+        any::<u32>(),
+        delivery_kind(),
+        proptest::collection::vec(
+            proptest::collection::vec((any::<u64>(), any::<u64>()), 0..3),
+            0..3,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(rank, kind, cp_slices, bytes)| ClientDelivery {
+            rank,
+            kind,
+            cp_slices,
+            bytes,
+        })
+}
+
+fn constructed_batch() -> impl Strategy<Value = ConstructedBatch> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(microbatch(96), 0..3),
+        proptest::collection::vec(client_delivery(), 0..3),
+    )
+        .prop_map(|(bucket, microbatches, deliveries)| ConstructedBatch {
+            bucket,
+            microbatches,
+            deliveries,
+        })
+}
+
 /// Any valid frame of any kind, as its encoded bytes.
 fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
@@ -129,6 +225,7 @@ fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
         loader_cp().prop_map(|cp| encode_loader_checkpoint(&cp)),
         controller_cp().prop_map(|cp| encode_controller_checkpoint(&cp)),
         wire_frame().prop_map(|f| encode_wire_frame(&f)),
+        constructed_batch().prop_map(|b| encode_batch(&b)),
     ]
 }
 
@@ -140,6 +237,26 @@ fn all_decoders_err(data: &[u8]) -> bool {
         && decode_loader_checkpoint(data).is_err()
         && decode_controller_checkpoint(data).is_err()
         && decode_wire_frame(data).is_err()
+        && decode_batch(data).is_err()
+}
+
+/// Whether a corrupted frame is caught before any decoded data is
+/// consumed. Every decoder must err outright, except `decode_wire_frame`
+/// on a v3 batch frame whose *payload region* was hit: the head seal
+/// excludes the payload by design, so the wire layer decodes `Ok` and
+/// the corruption must instead trip the payload's own kind-11 seal in
+/// `BatchPayload::batch()`.
+fn flip_caught(data: &[u8]) -> bool {
+    decode_planner_checkpoint(data).is_err()
+        && decode_plan_log(data).is_err()
+        && decode_loader_checkpoint(data).is_err()
+        && decode_controller_checkpoint(data).is_err()
+        && decode_batch(data).is_err()
+        && match decode_wire_frame(data) {
+            Err(_) => true,
+            Ok(WireFrame::Batch { payload, .. }) => payload.batch().is_err(),
+            Ok(_) => false,
+        }
 }
 
 proptest! {
@@ -187,9 +304,10 @@ proptest! {
         }
     }
 
-    /// Any single-bit flip errors through every decoder — the checksum
-    /// guarantee (sampled bit positions; the checksum argument covers
-    /// all of them uniformly).
+    /// Any single-bit flip is caught before decoded data is consumed —
+    /// the checksum guarantee (sampled bit positions; the checksum
+    /// argument covers all of them uniformly). See [`flip_caught`] for
+    /// the v3 wire-batch payload subtlety.
     #[test]
     fn single_bit_flips_always_error(frame in arb_frame(), picks in proptest::collection::vec(any::<u32>(), 8)) {
         for pick in picks {
@@ -197,11 +315,59 @@ proptest! {
             let mut flipped = frame.clone();
             flipped[bit / 8] ^= 1 << (bit % 8);
             prop_assert!(
-                all_decoders_err(&flipped),
+                flip_caught(&flipped),
                 "flipping bit {} of a {}-byte frame still decoded",
                 bit,
                 frame.len()
             );
+        }
+    }
+
+    /// The deferred-detection path, exercised end-to-end: a wire batch
+    /// frame carrying a *valid* kind-11 payload. A flip in the head
+    /// region errors at the wire layer (head checksum); a flip in the
+    /// payload region decodes at the wire layer but must then fail the
+    /// payload's own wide seal — corruption is never consumable either
+    /// way.
+    #[test]
+    fn wire_batch_payload_flips_defer_to_the_batch_seal(
+        batch in constructed_batch(),
+        client in any::<u32>(),
+        step in any::<u64>(),
+        picks in proptest::collection::vec(any::<u32>(), 8),
+    ) {
+        let payload = encode_batch(&batch);
+        let frame = encode_wire_frame(&WireFrame::Batch {
+            client,
+            step,
+            payload: BatchPayload::Encoded(bytes::Bytes::from(payload.clone())),
+        });
+        let head_len = frame.len() - payload.len();
+        prop_assert_eq!(&frame[head_len..], &payload[..]);
+        for pick in picks {
+            let bit = pick as usize % (frame.len() * 8);
+            let mut flipped = frame.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            if bit / 8 < head_len {
+                prop_assert!(
+                    decode_wire_frame(&flipped).is_err(),
+                    "flipping head bit {} still decoded at the wire layer",
+                    bit
+                );
+            } else {
+                match decode_wire_frame(&flipped) {
+                    Ok(WireFrame::Batch { payload, .. }) => prop_assert!(
+                        payload.batch().is_err(),
+                        "payload bit {} flipped, batch still opened",
+                        bit
+                    ),
+                    other => prop_assert!(
+                        false,
+                        "payload flip changed the wire-layer outcome: {:?}",
+                        other
+                    ),
+                }
+            }
         }
     }
 
@@ -217,6 +383,7 @@ proptest! {
         let _ = decode_loader_checkpoint(&bytes);
         let _ = decode_controller_checkpoint(&bytes);
         let _ = decode_wire_frame(&bytes);
+        let _ = decode_batch(&bytes);
         if is_binary(&bytes) {
             prop_assert!(all_decoders_err(&bytes), "random framed bytes decoded");
         }
@@ -225,16 +392,74 @@ proptest! {
     /// A valid frame of one kind errors through every *other* kind's
     /// decoder (kind confusion is caught even with a valid checksum).
     #[test]
-    fn kind_confusion_always_errors(cp in loader_cp(), frame in wire_frame()) {
+    fn kind_confusion_always_errors(cp in loader_cp(), frame in wire_frame(), batch in constructed_batch()) {
         let loader = encode_loader_checkpoint(&cp);
         prop_assert!(decode_planner_checkpoint(&loader).is_err());
         prop_assert!(decode_plan_log(&loader).is_err());
         prop_assert!(decode_controller_checkpoint(&loader).is_err());
         prop_assert!(decode_wire_frame(&loader).is_err());
+        prop_assert!(decode_batch(&loader).is_err());
         let wire = encode_wire_frame(&frame);
         prop_assert!(decode_loader_checkpoint(&wire).is_err());
         prop_assert!(decode_planner_checkpoint(&wire).is_err());
         prop_assert!(decode_plan_log(&wire).is_err());
         prop_assert!(decode_controller_checkpoint(&wire).is_err());
+        prop_assert!(decode_batch(&wire).is_err());
+        // The batch frame errors through the other nine kinds' decoders.
+        let bin = encode_batch(&batch);
+        prop_assert!(decode_loader_checkpoint(&bin).is_err());
+        prop_assert!(decode_planner_checkpoint(&bin).is_err());
+        prop_assert!(decode_plan_log(&bin).is_err());
+        prop_assert!(decode_controller_checkpoint(&bin).is_err());
+        prop_assert!(decode_wire_frame(&bin).is_err());
+    }
+
+    /// The binary batch frame round-trips over arbitrary batches —
+    /// payload runs of every size in range, 0 bytes included.
+    #[test]
+    fn batch_frames_roundtrip(batch in constructed_batch()) {
+        let encoded = encode_batch(&batch);
+        prop_assert!(is_binary(&encoded));
+        prop_assert_eq!(decode_batch(&encoded).unwrap(), batch);
+    }
+
+    /// Legacy fallback: a JSON-encoded `ConstructedBatch` payload (the
+    /// pre-binary wire format) still decodes through `decode_batch`.
+    #[test]
+    fn batch_legacy_json_fallback_roundtrips(batch in constructed_batch()) {
+        let json = serde_json::to_vec(&batch).unwrap();
+        prop_assert!(!is_binary(&json));
+        prop_assert_eq!(decode_batch(&json).unwrap(), batch);
+    }
+}
+
+/// Multi-MB payload runs round-trip too — one deterministic case rather
+/// than a proptest dimension, because encoding megabytes per case would
+/// dominate the suite's runtime.
+#[test]
+fn multi_mb_batch_payloads_roundtrip() {
+    let payload: Vec<u8> = (0..3 * 1024 * 1024u32).map(|i| (i % 253) as u8).collect();
+    let batch = ConstructedBatch {
+        bucket: 1,
+        microbatches: vec![Microbatch {
+            bin: 0,
+            sequences: vec![],
+            payloads: vec![
+                (7, bytes::Bytes::from(payload.clone())),
+                (8, bytes::Bytes::new()),
+            ],
+            payload_bytes: payload.len() as u64,
+        }],
+        deliveries: vec![],
+    };
+    let encoded = encode_batch(&batch);
+    // Framing overhead stays fixed-size: header + fields + checksum,
+    // no per-payload-byte expansion.
+    assert!(encoded.len() < payload.len() + 256);
+    assert_eq!(decode_batch(&encoded).unwrap(), batch);
+    // Truncating a multi-MB frame anywhere still errors (sampled cuts;
+    // the exhaustive sweep runs on small frames in `truncation_always_errors`).
+    for cut in [0, 1, 5, encoded.len() / 2, encoded.len() - 1] {
+        assert!(decode_batch(&encoded[..cut]).is_err());
     }
 }
