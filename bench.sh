@@ -39,6 +39,19 @@
 #                                 absorbs timing-dependent resend traffic
 #                                 (window resends re-count their samples),
 #                                 not encoding regressions.
+#   memory pool_hit_rate          must stay >= 0.80 absolute: at steady
+#                                 state the buffer pool serves the serve@8
+#                                 hot path's backing buffers from recycled
+#                                 storage (committed reports carry ~1.0;
+#                                 the slack is warmup/timing headroom)
+#   memory allocs_per_sample      may grow to at most committed*1.5 + 0.25
+#                                 absolute. The committed figure is ~0
+#                                 (steady state allocates nothing), which
+#                                 makes a pure ratio ceiling degenerate —
+#                                 the +0.25 absolute slack absorbs a few
+#                                 cold-window misses per step, while a
+#                                 pool bypass (1+ alloc per sample) still
+#                                 fails loudly.
 #
 # scaling_efficiency is the *clamped* metric: the bench caps the raw
 # serve@8/serve@1 ratio at the client count (8), because super-linear
@@ -111,12 +124,15 @@ if [[ -n "${OLD_JSON}" ]]; then
   old_wps="$(json_metric "${OLD_JSON}" wire_bytes_per_sample)"
   new_wps="$(json_metric "${OUT}" wire_bytes_per_sample)"
   new_simr="$(json_metric "${OUT}" sim_vs_loopback)"
+  old_aps="$(json_metric "${OLD_JSON}" allocs_per_sample)"
+  new_aps="$(json_metric "${OUT}" allocs_per_sample)"
+  new_phr="$(json_metric "${OUT}" pool_hit_rate)"
   delta="n/a"
   if [[ "${old_s8}" != "n/a" && "${new_s8}" != "n/a" ]]; then
     delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
       'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
   fi
-  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}"
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}; pool_hit_rate ${new_phr}; allocs_per_sample ${old_aps} -> ${new_aps}"
   if [[ "${CHECK}" == 1 ]]; then
     check_ratio "serve@8 delivered samples/s" "${old_s8}" "${new_s8}" 0.50
     check_ratio "scaling_efficiency" "${old_eff}" "${new_eff}" 0.50
@@ -138,6 +154,16 @@ if [[ -n "${OLD_JSON}" ]]; then
     if [[ "${old_wps}" != "n/a" && "${new_wps}" != "n/a" ]] && \
        awk -v o="${old_wps}" -v n="${new_wps}" 'BEGIN { exit !(o > 0 && n > o * 1.5) }'; then
       echo "CHECK FAIL: wire_bytes_per_sample grew past tolerance: ${old_wps} -> ${new_wps} (ceiling 1.5x committed) — batch frames got fat again"
+      FAILED=1
+    fi
+    if [[ "${new_phr}" != "n/a" ]] && \
+       awk -v r="${new_phr}" 'BEGIN { exit !(r < 0.80) }'; then
+      echo "CHECK FAIL: memory pool_hit_rate ${new_phr} < 0.80 — the serve hot path stopped recycling backing buffers"
+      FAILED=1
+    fi
+    if [[ "${old_aps}" != "n/a" && "${new_aps}" != "n/a" ]] && \
+       awk -v o="${old_aps}" -v n="${new_aps}" 'BEGIN { exit !(n > o * 1.5 + 0.25) }'; then
+      echo "CHECK FAIL: memory allocs_per_sample grew past tolerance: ${old_aps} -> ${new_aps} (ceiling committed*1.5 + 0.25) — steady-state serving is allocating per sample again"
       FAILED=1
     fi
   fi

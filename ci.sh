@@ -62,6 +62,12 @@ cargo test --test distributed_serve -q
 echo "==> cargo test --test tcp_transport -q"
 cargo test --test tcp_transport -q
 
+# The buffer-pool contract suite: concurrent lease/reclaim safety,
+# no-early-recycle under live views, exhaustion fallback, size-class
+# boundary proptest, and pooled serving vs the byte-identity harness.
+echo "==> cargo test --test buffer_pool -q"
+cargo test --test buffer_pool -q
+
 # Second property-test leg: an independent sampling of every property
 # suite. MSD_PROPTEST_SEED salts the shim's deterministic RNG labels
 # (so the cases differ from the default leg's), and PROPTEST_CASES

@@ -469,7 +469,34 @@ fn main() {
     let inline = run_inline();
     let actorized = run_actorized();
     let client_counts = [1u32, 2, 4, 8];
-    let serve: Vec<Delivered> = client_counts.iter().map(|c| run_serve(*c)).collect();
+    let mut serve: Vec<Delivered> = client_counts[..client_counts.len() - 1]
+        .iter()
+        .map(|c| run_serve(*c))
+        .collect();
+    // Memory scenario: bracket the serve@8 run with buffer-pool counter
+    // and stage-latency snapshots. Every lease is one would-be backing
+    // allocation of the pre-pool hot path, so leases/misses is exactly
+    // the allocation-reduction factor the pool delivers; by this point
+    // the pool is warm (inline/actorized/serve@{1,2,4} ran first), so
+    // this window is the steady state the gates in bench.sh guard.
+    let pool_before = msd_core::pool::global().counters();
+    let stages_before = msd_core::metrics::snapshot();
+    serve.push(run_serve(client_counts[client_counts.len() - 1]));
+    let pool_mem = msd_core::pool::global().counters().since(&pool_before);
+    let stages_after = msd_core::metrics::snapshot();
+    let mem_samples = (STEPS * SAMPLES_PER_STEP as u64) as f64;
+    let leases_per_sample = pool_mem.leases as f64 / mem_samples;
+    let allocs_per_sample = pool_mem.misses as f64 / mem_samples;
+    let pool_hit_rate = pool_mem.hit_rate();
+    let alloc_reduction = pool_mem.leases as f64 / pool_mem.misses.max(1) as f64;
+    let stage_delta = |stage: msd_core::metrics::Stage| {
+        stages_after
+            .stage(stage)
+            .histogram
+            .since(&stages_before.stage(stage).histogram)
+    };
+    let decode_h = stage_delta(msd_core::metrics::Stage::Decode);
+    let construct_h = stage_delta(msd_core::metrics::Stage::Construct);
     // Raw serve@8 ÷ serve@1 routinely lands *above* 8.0: serve@1 pays
     // the full per-step driver latency for one consumer while serve@8
     // amortizes it over eight Arc-shared pulls, and wall-clock noise on
@@ -540,6 +567,33 @@ fn main() {
     );
     println!(" of loopback at {wire_bytes_per_sample:.0} wire bytes per delivered sample]");
 
+    println!("\nmemory (pooled buffers, measured across the serve@8 run):");
+    table_header(&[
+        "pool_hit_rate",
+        "leases/sample",
+        "allocs/sample",
+        "alloc_reduction",
+        "alloc_MB",
+        "recycled_MB",
+    ]);
+    table_row(&[
+        format!("{pool_hit_rate:.3}"),
+        format!("{leases_per_sample:.2}"),
+        format!("{allocs_per_sample:.3}"),
+        format!("{alloc_reduction:.1}x"),
+        f(pool_mem.bytes_allocated as f64 / (1 << 20) as f64),
+        f(pool_mem.bytes_recycled as f64 / (1 << 20) as f64),
+    ]);
+    println!(
+        "[leases = backing-buffer allocations the pre-pool hot path would have made; \
+         misses = actual heap allocations now. stage latency p50/p99: decode {:.0}/{:.0}us, \
+         construct {:.0}/{:.0}us]",
+        decode_h.quantile(0.50) as f64 / 1000.0,
+        decode_h.quantile(0.99) as f64 / 1000.0,
+        construct_h.quantile(0.50) as f64 / 1000.0,
+        construct_h.quantile(0.99) as f64 / 1000.0,
+    );
+
     println!("\nelastic scenario (drifting mixture, controller live, 2 clients):");
     table_header(&[
         "window",
@@ -599,6 +653,14 @@ fn main() {
              \"sim_samples_per_sec\": {:.2},\n    \
              \"sim_vs_loopback\": {:.2},\n    \
              \"wire_bytes_per_sample\": {:.1}\n  }},\n  \
+             \"memory\": {{\n    \"pool_hit_rate\": {:.3},\n    \
+             \"leases_per_sample\": {:.2},\n    \
+             \"allocs_per_sample\": {:.3},\n    \
+             \"alloc_reduction\": {:.1},\n    \
+             \"pool_bytes_allocated_mb\": {:.2},\n    \
+             \"pool_bytes_recycled_mb\": {:.2},\n    \
+             \"decode_p99_us\": {:.1},\n    \
+             \"construct_p99_us\": {:.1}\n  }},\n  \
              \"elastic\": {{\n    \"steady_samples_per_sec\": {:.2},\n    \
              \"scaling_samples_per_sec\": {:.2},\n    \
              \"recovered_samples_per_sec\": {:.2},\n    \
@@ -619,6 +681,14 @@ fn main() {
             distributed_sim.samples_per_sec(),
             sim_vs_loopback,
             wire_bytes_per_sample,
+            pool_hit_rate,
+            leases_per_sample,
+            allocs_per_sample,
+            alloc_reduction,
+            pool_mem.bytes_allocated as f64 / (1 << 20) as f64,
+            pool_mem.bytes_recycled as f64 / (1 << 20) as f64,
+            decode_h.quantile(0.99) as f64 / 1000.0,
+            construct_h.quantile(0.99) as f64 / 1000.0,
             elastic.before,
             elastic.during,
             elastic.after,

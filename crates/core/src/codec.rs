@@ -578,13 +578,31 @@ pub fn decode_controller_checkpoint(data: &[u8]) -> Result<ControllerCheckpoint,
 /// payload bytes follow immediately after.
 const WIRE_BATCH_HEAD_LEN: usize = MAGIC.len() + 2 + 4 + 8 + 4 + CHECKSUM_LEN;
 
+/// Exact encoded length of a wire frame, from the same per-variant field
+/// walk as [`encode_wire_frame_parts`]. Lets encoders presize scratch
+/// (or lease a pooled buffer of the right class) instead of growing a
+/// `Vec` by doubling. For a batch frame this memoizes the payload
+/// encoding, so calling it right before encoding costs nothing extra.
+pub fn encoded_wire_frame_len(frame_in: &WireFrame) -> usize {
+    let base = MAGIC.len() + 2 + CHECKSUM_LEN; // magic, version, kind, seal
+    match frame_in {
+        WireFrame::Hello { .. } => base + 4 + 4,
+        WireFrame::Subscribe { .. } => base + 4 + 8 + 4,
+        WireFrame::Batch { payload, .. } => WIRE_BATCH_HEAD_LEN + payload.encoded().len(),
+        WireFrame::Ack { .. } => base + 4 + 8,
+        WireFrame::Credit { .. } => base + 4 + 4,
+        WireFrame::Close { .. } => base + 4,
+    }
+}
+
 /// Encodes one wire frame of the distributed serving plane's MSDB
 /// protocol. A [`WireFrame::Batch`] carrying a shared in-process payload
 /// is serialized here — encoding is exactly the point where a batch
 /// leaves shared memory.
 pub fn encode_wire_frame(frame_in: &WireFrame) -> Vec<u8> {
-    let mut buf = Vec::new();
+    let mut buf = Vec::with_capacity(encoded_wire_frame_len(frame_in));
     encode_wire_frame_into(frame_in, &mut buf);
+    debug_assert_eq!(buf.len(), encoded_wire_frame_len(frame_in));
     buf
 }
 

@@ -21,6 +21,12 @@
 //! - [`planner`]: the Planner — plan synthesis with phase instrumentation.
 //! - [`autoscale`]: offline multi-level source auto-partitioning and online
 //!   mixture-driven scaling.
+//! - [`pool`]: the size-classed [`pool::BufferPool`] that keeps the hot
+//!   fetch→decode→construct→serve path off the allocator by recycling
+//!   backing buffers once their `Bytes` views drop.
+//! - [`metrics`]: the lock-light observability plane — pool counters,
+//!   per-stage latency histograms, and queue-depth gauges snapshotted
+//!   through `RuntimeStats`.
 //! - [`fault`]: shadow loaders, differential checkpointing, replay.
 //! - [`reshard`]: elastic resharding on trainer-topology changes.
 //! - [`system`]: the assembled `MegaScaleData` simulation pipeline and
@@ -53,10 +59,12 @@ pub mod constructor;
 pub mod dgraph;
 pub mod fault;
 pub mod loader;
+pub mod metrics;
 pub mod optimizer;
 pub mod overlap;
 pub mod plan;
 pub mod planner;
+pub mod pool;
 pub mod replay;
 pub mod reshard;
 pub mod schedule;
@@ -67,9 +75,11 @@ pub use buffer::{BufferInfo, BufferSummary};
 pub use constructor::DataConstructor;
 pub use dgraph::{BalanceOpts, DGraph, DGraphError, MetaView, NodeState};
 pub use loader::SourceLoader;
+pub use metrics::{MetricsSnapshot, Stage, StageSnapshot};
 pub use optimizer::{CostExpr, OptimizeReport, StrategyOp, StrategyProgram};
 pub use plan::{BinPlan, BucketPlan, LoadingPlan};
 pub use planner::{Planner, Strategy};
+pub use pool::{BufferPool, PoolConfig, PoolCounters, PooledBuf};
 pub use replay::{PlanStore, ReplayOutcome, ReplayPlanner};
 pub use schedule::MixSchedule;
 pub use system::core::{PipelineCore, PlanOutcome};

@@ -248,6 +248,10 @@ impl SourceLoader {
             std::thread::sleep(std::time::Duration::from_nanos(wait));
             self.fetch_stall_ns_total += wait;
             spent_ns += wait;
+            crate::metrics::record_stage(
+                crate::metrics::Stage::Fetch,
+                std::time::Duration::from_nanos(wait),
+            );
         }
         Ok(spent_ns)
     }
@@ -259,14 +263,25 @@ impl SourceLoader {
     /// enters the buffer (refill) or is discarded (directive replay).
     fn produce_one(&mut self) -> Result<Option<(Sample, u64)>, StorageError> {
         let ordinal = self.cursor * u64::from(self.config.shards) + u64::from(self.config.shard);
+        let decode_start = std::time::Instant::now();
         let mut sample = match &self.ingest {
             Ingest::Synthetic => {
                 let meta = self.spec.sample_meta(&mut self.rng, ordinal);
-                Sample::synthesize(SampleMeta {
+                let meta = SampleMeta {
                     sample_id: self.make_id(self.cursor),
                     raw_bytes: meta.raw_bytes.min(8192),
                     ..meta
-                })
+                };
+                // Synthesize into a pooled lease instead of a fresh vec:
+                // at steady state the payload's backing buffer is one the
+                // pipeline already finished serving, reclaimed once every
+                // downstream `Bytes` view of it dropped.
+                let mut lease = crate::pool::global().lease(Sample::synthesized_len(&meta));
+                Sample::synthesize_payload_into(&meta, &mut lease);
+                Sample {
+                    meta,
+                    payload: lease.freeze(),
+                }
             }
             Ingest::Stored { store, path } => {
                 match self.read_stored_row(store, path, ordinal)? {
@@ -278,6 +293,7 @@ impl SourceLoader {
                 }
             }
         };
+        crate::metrics::record_stage(crate::metrics::Stage::Decode, decode_start.elapsed());
         // Sample-level transformations happen inside the loader —
         // all of them by default, or just the pre-split head when
         // transformation reordering defers the rest (Sec 6.2).

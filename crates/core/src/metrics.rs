@@ -1,0 +1,419 @@
+//! Lock-light runtime metrics: the pipeline's observability plane.
+//!
+//! Every perf claim this reproduction makes should be checkable from a
+//! running deployment, not re-derived from ad-hoc prints. This module
+//! provides the primitives — relaxed [`Counter`]s, [`Gauge`]s, and
+//! fixed-bucket power-of-two [`Histogram`]s — plus one process-wide
+//! registry covering the serve path's stages:
+//!
+//! - per-stage latencies ([`Stage`]: fetch, decode, construct, encode,
+//!   send), recorded where the work happens (loader refill, storage /
+//!   synthetic decode, constructor actors, batch serialization, the
+//!   transport send threads);
+//! - buffer-pool traffic (hit/miss/steal/resize counters and allocated
+//!   vs recycled byte totals, fed by [`crate::pool`]);
+//! - queue-depth gauges sampled by `ThreadedPipeline::stats()`.
+//!
+//! Everything is a plain atomic: recording is wait-free and costs a few
+//! nanoseconds, so the instrumentation can stay on permanently — the
+//! MegaScale "always-on diagnostics" stance. [`snapshot`] folds the
+//! registry (and the global pool's counters) into a [`MetricsSnapshot`],
+//! which rides along on `RuntimeStats` and is emitted into
+//! `BENCH_runtime.json` by the `runtime_throughput` bench. Deltas
+//! between two snapshots isolate one workload's traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter (relaxed atomics; per-call cost is one
+/// uncontended fetch-add).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value gauge (queue depths, occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of a [`Histogram`]: bucket `i` holds values in
+/// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0), so 40 buckets span
+/// 1 ns to ~18 minutes — every latency the pipeline can produce.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket power-of-two histogram. Recording is one atomic add
+/// into the value's bucket; percentiles are estimated from bucket lower
+/// bounds at snapshot time (≤2× error by construction, which is exactly
+/// the resolution a regression gate needs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        // `[AtomicU64::new(0); N]` needs Copy; build by hand.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds by convention for latencies).
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - u64::leading_zeros(value.max(1)) - 1) as usize;
+        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen [`Histogram`]: bucket counts plus totals, with percentile
+/// estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Events per power-of-two bucket (`buckets[i]` counts values in
+    /// `[2^i, 2^(i+1))`).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total events recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]` (lower bound of the
+    /// bucket containing the q-th event; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The delta distribution since an earlier snapshot of the same
+    /// histogram (isolates one workload's recordings).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *slot = now.saturating_sub(*then);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+/// The serve path's instrumented stages, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Loader refill: modeled storage-fetch latency actually waited out.
+    Fetch = 0,
+    /// Producing one sample's bytes (storage row decode or synthesis).
+    Decode = 1,
+    /// Microbatch assembly on a constructor actor.
+    Construct = 2,
+    /// Batch wire serialization (`SharedBatch` memoized encode).
+    Encode = 3,
+    /// Transport send-path work (frame encode + socket/link hand-off).
+    Send = 4,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Construct,
+        Stage::Encode,
+        Stage::Send,
+    ];
+
+    /// Stable label (snapshot maps and bench JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Fetch => "fetch",
+            Stage::Decode => "decode",
+            Stage::Construct => "construct",
+            Stage::Encode => "encode",
+            Stage::Send => "send",
+        }
+    }
+}
+
+/// The process-wide metric registry.
+struct Registry {
+    stages: [Histogram; 5],
+    planner_mailbox_depth: Gauge,
+    constructor_mailbox_depth: Gauge,
+    loader_buffered: Gauge,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        stages: [
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+        ],
+        planner_mailbox_depth: Gauge::new(),
+        constructor_mailbox_depth: Gauge::new(),
+        loader_buffered: Gauge::new(),
+    })
+}
+
+/// Records one stage latency into the global registry.
+pub fn record_stage(stage: Stage, elapsed: std::time::Duration) {
+    registry().stages[stage as usize].record(elapsed.as_nanos() as u64);
+}
+
+/// Updates the queue-depth gauges (sampled by
+/// `ThreadedPipeline::stats()` so operator snapshots and the bench see
+/// the same numbers).
+pub fn set_queue_depths(planner_mailbox: u64, constructor_mailbox: u64, loader_buffered: u64) {
+    let r = registry();
+    r.planner_mailbox_depth.set(planner_mailbox);
+    r.constructor_mailbox_depth.set(constructor_mailbox);
+    r.loader_buffered.set(loader_buffered);
+}
+
+/// One stage's latency summary inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageSnapshot {
+    /// The full delta-capable distribution.
+    pub histogram: HistogramSnapshot,
+    /// Estimated p50 latency in nanoseconds.
+    pub p50_ns: u64,
+    /// Estimated p90 latency in nanoseconds.
+    pub p90_ns: u64,
+    /// Estimated p99 latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl StageSnapshot {
+    fn from_histogram(histogram: HistogramSnapshot) -> Self {
+        StageSnapshot {
+            histogram,
+            p50_ns: histogram.quantile(0.50),
+            p90_ns: histogram.quantile(0.90),
+            p99_ns: histogram.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of the whole metrics plane: buffer-pool counters,
+/// per-stage latency distributions, and queue-depth gauges. Carried on
+/// `RuntimeStats` and serialized (field by field) into the bench JSON.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Global buffer-pool counters (see [`crate::pool::PoolCounters`]).
+    pub pool: crate::pool::PoolCounters,
+    /// Per-stage latency summaries, indexed like [`Stage::ALL`].
+    pub stages: Vec<(&'static str, StageSnapshot)>,
+    /// Planner actor mailbox depth at the last `stats()` sample.
+    pub planner_mailbox_depth: u64,
+    /// Deepest constructor mailbox at the last `stats()` sample.
+    pub constructor_mailbox_depth: u64,
+    /// Total loader-buffered samples at the last `stats()` sample.
+    pub loader_buffered: u64,
+}
+
+impl MetricsSnapshot {
+    /// The summary for one stage.
+    pub fn stage(&self, stage: Stage) -> StageSnapshot {
+        self.stages
+            .iter()
+            .find(|(label, _)| *label == stage.label())
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+}
+
+/// Snapshots the global registry plus the global buffer pool.
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        pool: crate::pool::global().counters(),
+        stages: Stage::ALL
+            .iter()
+            .map(|&s| {
+                (
+                    s.label(),
+                    StageSnapshot::from_histogram(r.stages[s as usize].snapshot()),
+                )
+            })
+            .collect(),
+        planner_mailbox_depth: r.planner_mailbox_depth.get(),
+        constructor_mailbox_depth: r.constructor_mailbox_depth.get(),
+        loader_buffered: r.loader_buffered.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_recorded_values() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000); // bucket 9 (512..1024): lower bound 512.
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 19: lower bound 524288.
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.quantile(0.5), 512);
+        assert_eq!(s.quantile(0.99), 1 << 19);
+        assert!(s.mean() > 90_000.0 && s.mean() < 120_000.0);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_deltas_isolate_a_window() {
+        let h = Histogram::new();
+        h.record(100);
+        let before = h.snapshot();
+        h.record(100);
+        h.record(200);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 300);
+    }
+
+    #[test]
+    fn global_stage_recording_shows_up_in_snapshots() {
+        let before = snapshot();
+        record_stage(Stage::Construct, std::time::Duration::from_micros(5));
+        let after = snapshot();
+        let delta = after
+            .stage(Stage::Construct)
+            .histogram
+            .since(&before.stage(Stage::Construct).histogram);
+        assert_eq!(delta.count, 1);
+        assert_eq!(Stage::Send.label(), "send");
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        set_queue_depths(3, 7, 11);
+        let s = snapshot();
+        assert_eq!(
+            (
+                s.planner_mailbox_depth,
+                s.constructor_mailbox_depth,
+                s.loader_buffered
+            ),
+            (3, 7, 11)
+        );
+    }
+}

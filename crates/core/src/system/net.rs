@@ -96,10 +96,21 @@ impl SharedBatch {
     }
 
     /// The serialized wire form (the binary MSDB batch frame), computed
-    /// once per batch.
+    /// once per batch. The encode scratch is leased from the global
+    /// buffer pool and frozen in place: once the batch has been acked by
+    /// every client and pruned from resend windows, the backing buffer's
+    /// views all drop and the pool steals it back for a later batch.
     fn encoded(&self) -> Bytes {
         self.wire
-            .get_or_init(|| Bytes::from(codec::encode_batch(self.batch.as_ref())))
+            .get_or_init(|| {
+                let start = std::time::Instant::now();
+                let mut lease =
+                    crate::pool::global().lease(codec::encoded_batch_len(self.batch.as_ref()));
+                codec::encode_batch_into(self.batch.as_ref(), &mut lease);
+                let bytes = lease.freeze();
+                crate::metrics::record_stage(crate::metrics::Stage::Encode, start.elapsed());
+                bytes
+            })
             .clone()
     }
 
@@ -451,7 +462,10 @@ impl FrameTx for SimTx {
             WireFrame::Batch { .. } => Some(0),
             _ => None,
         };
-        let mut head = Vec::new();
+        // Frame heads are small and constantly churning: lease from the
+        // pool here, recycle on the receive side once decoded.
+        let send_start = Instant::now();
+        let mut head = crate::pool::global().lease_vec(codec::encoded_wire_frame_len(&frame));
         let payload = codec::encode_wire_frame_parts(&frame, &mut head);
         let wire_len = (head.len() + payload.as_ref().map_or(0, Bytes::len)) as u64;
         let admitted = self.link.lock().admit(wire_len);
@@ -469,16 +483,22 @@ impl FrameTx for SimTx {
                 None => stats.dropped += 1,
             }
         }
-        match admitted {
-            // Dropped in flight: success from the sender's perspective.
-            None => Ok(()),
+        let outcome = match admitted {
+            // Dropped in flight: success from the sender's perspective
+            // (and the head buffer goes straight back to the pool).
+            None => {
+                crate::pool::global().recycle_vec(head);
+                Ok(())
+            }
             Some(delay) => {
                 let due = Instant::now() + Duration::from_nanos(delay.as_nanos());
                 self.tx
                     .send(SimPacket { due, head, payload })
                     .map_err(|_| NetError::Closed)
             }
-        }
+        };
+        crate::metrics::record_stage(crate::metrics::Stage::Send, send_start.elapsed());
+        outcome
     }
 }
 
@@ -524,7 +544,12 @@ impl FrameRx for SimRx {
                     std::hint::spin_loop();
                 }
             }
-            match codec::decode_wire_frame_split(&packet.head, packet.payload) {
+            let SimPacket { head, payload, .. } = packet;
+            let decoded = codec::decode_wire_frame_split(&head, payload);
+            // The head's bytes are fully consumed by the decode; the
+            // buffer completes its pool round trip here.
+            crate::pool::global().recycle_vec(head);
+            match decoded {
                 Ok(frame) => return Ok(frame),
                 Err(_) => continue, // Corrupted in transit: same as lost.
             }

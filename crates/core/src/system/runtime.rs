@@ -541,11 +541,16 @@ impl Actor for ConstructorActor {
                 if duplicate {
                     return; // Idempotent re-broadcast.
                 }
+                let construct_start = std::time::Instant::now();
                 let shared = SharedBatch::new(Arc::new(self.inner.construct(
                     &bucket_plan,
                     &samples,
                     &broadcast_axes,
                 )));
+                crate::metrics::record_stage(
+                    crate::metrics::Stage::Construct,
+                    construct_start.elapsed(),
+                );
                 if self.pre_encode {
                     // Serialize here, on the construct thread, so the serve
                     // loop sends memoized bytes instead of encoding inline.
@@ -758,6 +763,9 @@ pub struct RuntimeStats {
     pub planner_mailbox_depth: usize,
     /// Per-constructor stats (unreachable constructors skipped).
     pub constructors: Vec<ConstructorStat>,
+    /// The metrics plane at snapshot time: buffer-pool counters,
+    /// per-stage latency percentiles, queue-depth gauges.
+    pub metrics: crate::metrics::MetricsSnapshot,
 }
 
 impl RuntimeStats {
@@ -1186,10 +1194,27 @@ impl ThreadedPipeline {
                     })
             })
             .collect();
-        RuntimeStats {
+        let stats = RuntimeStats {
             loaders,
             planner_mailbox_depth: self.fleet.planner.mailbox_depth(),
             constructors,
+            metrics: crate::metrics::MetricsSnapshot::default(),
+        };
+        // Publish queue depths as gauges, then take the metrics snapshot
+        // so it reflects exactly this sampling instant.
+        crate::metrics::set_queue_depths(
+            stats.planner_mailbox_depth as u64,
+            stats
+                .constructors
+                .iter()
+                .map(|c| c.mailbox_depth as u64)
+                .max()
+                .unwrap_or(0),
+            stats.total_buffered() as u64,
+        );
+        RuntimeStats {
+            metrics: crate::metrics::snapshot(),
+            ..stats
         }
     }
 

@@ -91,10 +91,14 @@ fn spawn_writer(stream: TcpStream, rx: Receiver<WireFrame>) {
         .name("msd/tcp-tx".into())
         .spawn(move || {
             let mut out = BufWriter::with_capacity(256 << 10, stream);
-            let mut scratch = Vec::new();
+            // One pooled head scratch for the whole connection: every
+            // frame of the session encodes into it allocation-free, and
+            // it returns to the pool when the connection dies.
+            let mut scratch = crate::pool::global().lease_vec(64);
             'conn: while let Ok(first) = rx.recv() {
                 let mut frame = first;
                 loop {
+                    let send_start = std::time::Instant::now();
                     let payload = codec::encode_wire_frame_parts(&frame, &mut scratch);
                     let payload = payload.as_deref().unwrap_or(&[]);
                     let len = (scratch.len() + payload.len()) as u32;
@@ -104,6 +108,7 @@ fn spawn_writer(stream: TcpStream, rx: Receiver<WireFrame>) {
                     {
                         break 'conn;
                     }
+                    crate::metrics::record_stage(crate::metrics::Stage::Send, send_start.elapsed());
                     match rx.try_recv() {
                         Ok(next) => frame = next, // Keep coalescing.
                         Err(_) => break,          // Queue idle: flush below.
@@ -113,6 +118,7 @@ fn spawn_writer(stream: TcpStream, rx: Receiver<WireFrame>) {
                     break;
                 }
             }
+            crate::pool::global().recycle_vec(scratch);
             // All senders gone (endpoint dropped) or the socket died:
             // shut the socket down so the peer's reader sees EOF
             // promptly instead of waiting out a timeout.
@@ -144,14 +150,20 @@ fn spawn_reader(stream: TcpStream, tx: Sender<Result<WireFrame, NetError>>) {
                     let _ = input.get_ref().shutdown(Shutdown::Both);
                     break;
                 }
-                // Fresh buffer per frame: a batch frame's payload is
+                // Pooled buffer per frame: a batch frame's payload is
                 // sliced zero-copy out of it by the decoder, so the
-                // allocation lives exactly as long as the batch does.
-                let mut body = vec![0u8; len];
+                // buffer's views live exactly as long as the batch does —
+                // and freezing through the pool parks a reclaim handle,
+                // so the next frame of this connection steals the same
+                // backing storage once the previous batch is consumed.
+                // This is the per-connection decode scratch: steady-state
+                // receive runs without touching the allocator.
+                let mut body = crate::pool::global().lease(len);
+                body.resize(len, 0);
                 if input.read_exact(&mut body).is_err() {
                     break;
                 }
-                match codec::decode_wire_frame_shared(&bytes::Bytes::from(body)) {
+                match codec::decode_wire_frame_shared(&body.freeze()) {
                     // A corrupt body inside an intact frame boundary is
                     // a lost datagram: skip it, stay in sync.
                     Err(_) => continue,

@@ -102,18 +102,34 @@ impl Sample {
     /// Creates a sample whose payload is deterministically derived from its
     /// id, sized to `meta.raw_bytes` (capped to keep tests fast).
     pub fn synthesize(meta: SampleMeta) -> Self {
-        let len = meta.raw_bytes.min(1 << 16) as usize;
-        let mut payload = Vec::with_capacity(len);
+        let mut payload = Vec::with_capacity(Self::synthesized_len(&meta));
+        Self::synthesize_payload_into(&meta, &mut payload);
+        Sample {
+            meta,
+            payload: payload.into(),
+        }
+    }
+
+    /// Payload length [`Sample::synthesize`] produces for `meta` — lets
+    /// callers lease a right-sized buffer before filling it.
+    pub fn synthesized_len(meta: &SampleMeta) -> usize {
+        meta.raw_bytes.min(1 << 16) as usize
+    }
+
+    /// Appends the deterministic synthetic payload for `meta` into a
+    /// caller-owned buffer. Loaders on the hot synthetic path lease the
+    /// buffer from a pool and freeze it themselves, so the fill logic
+    /// stays here while the allocation policy stays with the caller.
+    /// Byte-for-byte identical to what [`Sample::synthesize`] produces.
+    pub fn synthesize_payload_into(meta: &SampleMeta, payload: &mut Vec<u8>) {
+        let len = Self::synthesized_len(meta);
+        payload.reserve(len);
         let mut x = meta.sample_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         for _ in 0..len {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
             payload.push(x as u8);
-        }
-        Sample {
-            meta,
-            payload: payload.into(),
         }
     }
 }

@@ -76,16 +76,71 @@ impl Footer {
     }
 }
 
+/// Supplies the backing buffers block encoders write into. The storage
+/// layer only needs "give me a buffer with this much room" and "seal it
+/// into shareable bytes"; *where* that storage comes from — the heap, or
+/// a recycling pool that reclaims buffers once their views drop — is the
+/// caller's policy. `msd_core`'s buffer pool implements this trait, so
+/// the write path can run allocation-free at steady state without the
+/// storage crate depending on the pool.
+pub trait BlockAlloc: Send + Sync {
+    /// Hands out a writable buffer with room for at least `capacity`
+    /// bytes.
+    fn lease_block(&self, capacity: usize) -> BytesMut;
+
+    /// Seals a filled buffer into immutable shareable bytes (a pooled
+    /// allocator parks a reclaim handle here).
+    fn seal_block(&self, buf: BytesMut) -> Bytes;
+}
+
+/// The default [`BlockAlloc`]: plain presized heap allocation, one per
+/// block, exactly the pre-pool behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapAlloc;
+
+impl BlockAlloc for HeapAlloc {
+    fn lease_block(&self, capacity: usize) -> BytesMut {
+        BytesMut::with_capacity(capacity)
+    }
+
+    fn seal_block(&self, buf: BytesMut) -> Bytes {
+        buf.freeze()
+    }
+}
+
+/// Exact encoded length of a row group — the same per-value walk as
+/// [`encode_row_group`], without writing a byte. Used to lease a
+/// right-sized block up front so encoding never regrows the buffer.
+pub fn encoded_row_group_len(rows: &[Row]) -> usize {
+    rows.iter()
+        .flat_map(|row| row.iter())
+        .map(|value| match value {
+            Value::Int64(_) | Value::Float64(_) => 8,
+            Value::Utf8(s) => 4 + s.len(),
+            Value::Bytes(b) => 4 + b.len(),
+        })
+        .sum()
+}
+
 /// Encodes one row group (columns of `rows`, validated against `schema`)
 /// and returns `(bytes, per-column metadata)`.
 pub fn encode_row_group(
     schema: &Schema,
     rows: &[Row],
 ) -> Result<(Bytes, Vec<ChunkMeta>), StorageError> {
+    encode_row_group_with(&HeapAlloc, schema, rows)
+}
+
+/// Like [`encode_row_group`], drawing the block buffer from `alloc`.
+pub fn encode_row_group_with(
+    alloc: &dyn BlockAlloc,
+    schema: &Schema,
+    rows: &[Row],
+) -> Result<(Bytes, Vec<ChunkMeta>), StorageError> {
     for row in rows {
         schema.check_row(row)?;
     }
-    let mut buf = BytesMut::new();
+    let mut buf = alloc.lease_block(encoded_row_group_len(rows));
     let mut metas = Vec::with_capacity(schema.len());
     for (col_idx, field) in schema.fields().iter().enumerate() {
         let start = buf.len();
@@ -121,7 +176,8 @@ pub fn encode_row_group(
             stats,
         });
     }
-    Ok((buf.freeze(), metas))
+    debug_assert_eq!(buf.len(), encoded_row_group_len(rows));
+    Ok((alloc.seal_block(buf), metas))
 }
 
 /// Decodes a row group back into rows.
@@ -223,9 +279,38 @@ impl RowGroupMeta {
     }
 }
 
+/// Exact encoded length of a footer (same walk as [`encode_footer`]).
+pub fn encoded_footer_len(footer: &Footer) -> usize {
+    let fields: usize = footer
+        .schema
+        .fields()
+        .iter()
+        .map(|f| 2 + f.name.len() + 1)
+        .sum();
+    let groups: usize = footer
+        .row_groups
+        .iter()
+        .map(|rg| {
+            8 + 8
+                + 8
+                + 2
+                + rg.columns
+                    .iter()
+                    .map(|c| 8 + 1 + if c.stats.is_some() { 16 } else { 0 })
+                    .sum::<usize>()
+        })
+        .sum();
+    2 + fields + 4 + groups
+}
+
 /// Encodes the footer.
 pub fn encode_footer(footer: &Footer) -> Bytes {
-    let mut buf = BytesMut::new();
+    encode_footer_with(&HeapAlloc, footer)
+}
+
+/// Like [`encode_footer`], drawing the buffer from `alloc`.
+pub fn encode_footer_with(alloc: &dyn BlockAlloc, footer: &Footer) -> Bytes {
+    let mut buf = alloc.lease_block(encoded_footer_len(footer));
     buf.put_u16_le(footer.schema.len() as u16);
     for field in footer.schema.fields() {
         buf.put_u16_le(field.name.len() as u16);
@@ -250,7 +335,8 @@ pub fn encode_footer(footer: &Footer) -> Bytes {
             }
         }
     }
-    buf.freeze()
+    debug_assert_eq!(buf.len(), encoded_footer_len(footer));
+    alloc.seal_block(buf)
 }
 
 /// Decodes the footer.

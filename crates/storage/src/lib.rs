@@ -34,6 +34,7 @@ pub mod store;
 pub mod writer;
 
 pub use error::StorageError;
+pub use format::{BlockAlloc, HeapAlloc};
 pub use handle::AccessState;
 pub use reader::ColumnarReader;
 pub use schema::{DataType, Field, Row, Schema, Value};

@@ -141,7 +141,10 @@ impl<'s> ColumnarReader<'s> {
     /// Projects the named columns across **all** row groups, concatenated in
     /// file order. Returns one `Vec<Value>` per requested column.
     pub fn scan_columns(&mut self, cols: &[usize]) -> Result<Vec<Vec<Value>>, StorageError> {
-        let mut out: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
+        // Every column collects one Value per row in the file; size the
+        // accumulators up front so the per-group extends never regrow.
+        let rows = self.total_rows() as usize;
+        let mut out: Vec<Vec<Value>> = (0..cols.len()).map(|_| Vec::with_capacity(rows)).collect();
         for g in 0..self.group_count() {
             for (slot, col) in self.read_columns(g, cols)?.into_iter().enumerate() {
                 out[slot].extend(col);

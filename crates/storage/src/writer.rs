@@ -2,8 +2,12 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+use std::sync::Arc;
+
 use crate::error::StorageError;
-use crate::format::{encode_footer, encode_row_group, Footer, RowGroupMeta, MAGIC};
+use crate::format::{
+    encode_footer_with, encode_row_group_with, BlockAlloc, Footer, HeapAlloc, RowGroupMeta, MAGIC,
+};
 use crate::schema::{Row, Schema};
 
 /// Writes rows into the `MSDCOL01` format, cutting row groups at a target
@@ -17,6 +21,7 @@ pub struct ColumnarWriter {
     pending_bytes: usize,
     body: BytesMut,
     groups: Vec<RowGroupMeta>,
+    alloc: Arc<dyn BlockAlloc>,
 }
 
 impl ColumnarWriter {
@@ -27,6 +32,16 @@ impl ColumnarWriter {
 
     /// Creates a writer with an explicit row-group size target in bytes.
     pub fn with_group_size(schema: Schema, target_group_bytes: usize) -> Self {
+        Self::with_alloc(schema, target_group_bytes, Arc::new(HeapAlloc))
+    }
+
+    /// Creates a writer whose row-group and footer buffers are leased
+    /// from `alloc` (e.g. a recycling buffer pool) instead of the heap.
+    pub fn with_alloc(
+        schema: Schema,
+        target_group_bytes: usize,
+        alloc: Arc<dyn BlockAlloc>,
+    ) -> Self {
         let mut body = BytesMut::new();
         body.put_slice(MAGIC);
         ColumnarWriter {
@@ -36,6 +51,7 @@ impl ColumnarWriter {
             pending_bytes: 0,
             body,
             groups: Vec::new(),
+            alloc,
         }
     }
 
@@ -75,7 +91,7 @@ impl ColumnarWriter {
         let rows = std::mem::take(&mut self.pending);
         self.pending_bytes = 0;
         let offset = self.body.len() as u64;
-        let (bytes, columns) = encode_row_group(&self.schema, &rows)?;
+        let (bytes, columns) = encode_row_group_with(&*self.alloc, &self.schema, &rows)?;
         self.groups.push(RowGroupMeta {
             offset,
             byte_len: bytes.len() as u64,
@@ -93,7 +109,7 @@ impl ColumnarWriter {
             schema: self.schema.clone(),
             row_groups: std::mem::take(&mut self.groups),
         };
-        let footer_bytes = encode_footer(&footer);
+        let footer_bytes = encode_footer_with(&*self.alloc, &footer);
         self.body.put_slice(&footer_bytes);
         self.body.put_u64_le(footer_bytes.len() as u64);
         self.body.put_slice(MAGIC);

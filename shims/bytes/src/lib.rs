@@ -97,6 +97,30 @@ impl Bytes {
         Arc::ptr_eq(&a.data, &b.data)
     }
 
+    /// Whether this is the only live view of the backing allocation.
+    ///
+    /// A `true` here is stable for a holder that never shares the view:
+    /// no other handle exists, so no concurrent clone can appear. Buffer
+    /// pools use this to find parked buffers whose consumers are all
+    /// done. (The real crate exposes the equivalent check through
+    /// `BytesMut::try_reclaim` / `Bytes::try_into_mut`.)
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Recovers the backing `Vec<u8>` if this is the only live view
+    /// (timely-allocator style reclaim): the whole original allocation
+    /// comes back — full capacity, regardless of this view's range — so
+    /// a pool can hand it out again without touching the allocator. When
+    /// other views are still alive, returns `self` unchanged.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(vec) => Ok(vec),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -205,6 +229,12 @@ impl BytesMut {
         }
     }
 
+    /// Wraps an existing `Vec<u8>` without copying (pool reuse: a
+    /// reclaimed backing vector becomes writable again).
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+
     /// Current length in bytes.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -215,6 +245,21 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Appends `src` to the buffer.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
@@ -223,6 +268,11 @@ impl BytesMut {
     /// Converts the accumulated bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Unwraps the backing `Vec<u8>` without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
     }
 }
 
@@ -443,6 +493,40 @@ mod tests {
         let tail = frozen.slice(10..);
         assert!(Bytes::ptr_eq(&frozen, &tail));
         assert_eq!(&tail[..], b"abcdef");
+    }
+
+    #[test]
+    fn reclaim_recovers_the_backing_vec_only_when_unique() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"reclaim me");
+        let b = Bytes::from(v);
+        assert!(b.is_unique());
+        let view = b.slice(2..6);
+        assert!(!b.is_unique());
+        // A live sub-view blocks reclaim; the original comes back intact.
+        let b = b.try_reclaim().unwrap_err();
+        assert_eq!(&b[..], b"reclaim me");
+        drop(view);
+        assert!(b.is_unique());
+        let vec = b.try_reclaim().unwrap();
+        assert_eq!(&vec[..], b"reclaim me");
+        assert!(vec.capacity() >= 64, "reclaim lost the allocation");
+        // Reclaiming through a sub-view still returns the whole vec.
+        let sub = Bytes::from(vec).slice(3..5);
+        assert_eq!(sub.try_reclaim().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn bytes_mut_vec_roundtrip_keeps_capacity() {
+        let mut m = BytesMut::from_vec(Vec::with_capacity(128));
+        assert_eq!(m.capacity(), 128);
+        m.extend_from_slice(b"abc");
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 128);
+        m.reserve(256);
+        assert!(m.capacity() >= 256);
+        assert!(m.into_vec().capacity() >= 256);
     }
 
     #[test]
