@@ -18,6 +18,13 @@
 #   elastic recovery_ratio        must stay >= 0.70 absolute (committed
 #                                 reports carry >= 0.90; the slack is noise
 #                                 headroom, not a quality target)
+#   degraded_recovery_ratio       must stay >= 0.70 absolute: the chaos
+#                                 scenario (serve@8 with one flapping
+#                                 client and two full-fabric partitions)
+#                                 must recover to at least 0.70x of its
+#                                 own fault-free steady window once the
+#                                 faults stop (committed reports carry
+#                                 >= 1.0; the slack is noise headroom)
 #   distributed vs_local_serve8   must stay >= 0.50 absolute (committed
 #                                 reports carry >= 0.80: loopback protocol
 #                                 overhead is a few percent; the gap to the
@@ -119,6 +126,8 @@ if [[ -n "${OLD_JSON}" ]]; then
   new_eff="$(json_metric "${OUT}" scaling_efficiency)"
   old_rec="$(json_metric "${OLD_JSON}" recovery_ratio)"
   new_rec="$(json_metric "${OUT}" recovery_ratio)"
+  old_deg="$(json_metric "${OLD_JSON}" degraded_recovery_ratio)"
+  new_deg="$(json_metric "${OUT}" degraded_recovery_ratio)"
   old_dist="$(json_metric "${OLD_JSON}" vs_local_serve8)"
   new_dist="$(json_metric "${OUT}" vs_local_serve8)"
   old_wps="$(json_metric "${OLD_JSON}" wire_bytes_per_sample)"
@@ -132,13 +141,18 @@ if [[ -n "${OLD_JSON}" ]]; then
     delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
       'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
   fi
-  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}; pool_hit_rate ${new_phr}; allocs_per_sample ${old_aps} -> ${new_aps}"
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; degraded_recovery_ratio ${old_deg} -> ${new_deg}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}; pool_hit_rate ${new_phr}; allocs_per_sample ${old_aps} -> ${new_aps}"
   if [[ "${CHECK}" == 1 ]]; then
     check_ratio "serve@8 delivered samples/s" "${old_s8}" "${new_s8}" 0.50
     check_ratio "scaling_efficiency" "${old_eff}" "${new_eff}" 0.50
     if [[ "${new_rec}" != "n/a" ]] && \
        awk -v r="${new_rec}" 'BEGIN { exit !(r < 0.70) }'; then
       echo "CHECK FAIL: elastic recovery_ratio ${new_rec} < 0.70 — post-rebalance throughput did not recover"
+      FAILED=1
+    fi
+    if [[ "${new_deg}" != "n/a" ]] && \
+       awk -v r="${new_deg}" 'BEGIN { exit !(r < 0.70) }'; then
+      echo "CHECK FAIL: degraded_recovery_ratio ${new_deg} < 0.70 — the serving plane did not recover from the chaos scenario's faults"
       FAILED=1
     fi
     if [[ "${new_dist}" != "n/a" ]] && \

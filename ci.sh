@@ -68,6 +68,12 @@ cargo test --test tcp_transport -q
 echo "==> cargo test --test buffer_pool -q"
 cargo test --test buffer_pool -q
 
+# The seeded chaos soak: drops/dups/reorders + partitions + a full
+# server crash-restart + a silently-dead client, over loopback, sim,
+# and TCP; plus admission Reject/backoff and lease-then-late-return.
+echo "==> cargo test --test chaos_serve -q"
+cargo test --test chaos_serve -q
+
 # Second property-test leg: an independent sampling of every property
 # suite. MSD_PROPTEST_SEED salts the shim's deterministic RNG labels
 # (so the cases differ from the default leg's), and PROPTEST_CASES

@@ -33,6 +33,7 @@ use msd_core::constructor::DataConstructor;
 use msd_core::loader::{LoaderConfig, SourceLoader};
 use msd_core::planner::{Planner, PlannerConfig, Strategy};
 use msd_core::schedule::MixSchedule;
+use msd_core::system::chaos::{ChaosPlan, ChaosTransport};
 use msd_core::system::controller::ControllerConfig;
 use msd_core::system::core::PipelineCore;
 use msd_core::system::net::{LoopbackTransport, SimTransport, Transport};
@@ -404,6 +405,7 @@ fn run_elastic() -> ElasticReport {
         prefetch: true,
         pull_timeout: Duration::from_millis(500),
         control_interval: 1,
+        ..ServeOptions::default()
     });
     // Each client records (step, delivered samples, pull completion time).
     let handles: Vec<_> = session
@@ -457,6 +459,193 @@ fn run_elastic() -> ElasticReport {
         after: rate(ELASTIC_COOL_AT + 2, ELASTIC_STEPS),
         scale_ups: status.scale_ups,
         scale_downs: status.scale_downs,
+    }
+}
+
+/// The degraded scenario's phase boundaries (serve steps): a clean
+/// steady window, a fault window riding out one flapping client and two
+/// full-fabric partitions, and a recovered tail after the last fault
+/// clears. Windowed delivered rates come from client pull timestamps,
+/// exactly like the elastic scenario.
+const DEGRADED_CLIENTS: u32 = 8;
+const DEGRADED_STEPS: u64 = 28;
+const DEGRADED_STEADY_END: u64 = 8;
+const DEGRADED_RECOVER_AT: u64 = 20;
+/// The flapping client, and the consumed counts at which it silently
+/// drops its connection mid-stream (no `Close`); each flap redials
+/// under seeded exponential backoff and resumes from the cursor.
+const FLAPPER: u32 = 7;
+const FLAP_AT: [u64; 3] = [9, 12, 15];
+/// Observed server progress (the *slowest* client's pull cursor, so
+/// every client has cleared the previous fault) at which the harness
+/// blocks every chaos link for one beat — a short full-fabric
+/// partition the protocol must ride out with retransmits + redials.
+const PARTITION_AT: [u64; 2] = [10, 13];
+
+/// Measured delivery of the degraded serve session, windowed around
+/// the injected faults.
+struct DegradedReport {
+    /// Delivered samples/s before any fault (warmup steps excluded).
+    steady: f64,
+    /// Delivered samples/s across the flap + partition window.
+    faulted: f64,
+    /// Delivered samples/s after the last fault clears.
+    recovered: f64,
+    /// Redials the flapping client performed.
+    flapper_reconnects: u64,
+    /// Backoff sleeps the flapping client served before redialing.
+    flapper_backoffs: u64,
+}
+
+impl DegradedReport {
+    /// `recovered ÷ steady`: how much of fault-free throughput the
+    /// fleet regains once the faults stop — `bench.sh --check` gates
+    /// this at ≥ 0.70. The steady window sits early in the run while
+    /// production is still ramping, so a healthy run lands well above
+    /// 1.0; what the floor catches is residual fault damage — a client
+    /// that never resumed spends the recovered window in 300 ms
+    /// pull-timeout stalls, which stretches the window span and drags
+    /// the ratio under the gate.
+    fn recovery_ratio(&self) -> f64 {
+        self.recovered / self.steady
+    }
+}
+
+/// Deployment 6: the distributed serve@8 of deployment 5, degraded on
+/// purpose — loopback wrapped in a seeded `ChaosTransport` (2% frame
+/// duplicate/reorder noise), one client flapping its connection
+/// three times mid-run, and two scheduled full-fabric partitions. The
+/// serving plane's hardening (retransmit buffers, cursor resume,
+/// seeded redial backoff) is what keeps every client gap-free; the
+/// report measures what the faults cost and how fully throughput
+/// recovers.
+fn run_degraded() -> DegradedReport {
+    let catalog = catalog();
+    let mut pipeline =
+        ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
+    let placements: Vec<RemotePlacement> = (0..DEGRADED_CLIENTS)
+        .map(|c| RemotePlacement {
+            client: c,
+            rank: (c % 4) * 2 + (c / 4) % 2,
+        })
+        .collect();
+    // Frame-level noise replays from the seed. Duplicates and
+    // adjacent-swap reorders only — their delay is bounded, so the
+    // recovered window is genuinely fault-free once the partitions and
+    // flaps stop; probability *drops* each cost a pull-timeout stall
+    // and belong to `tests/chaos_serve.rs`, not a windowed rate gate.
+    // The partitions are driven from the harness loop below so they
+    // land in the faulted window regardless of frame volume.
+    let plan = ChaosPlan::seeded(0xDE64_ADED)
+        .with_duplicates(0.02)
+        .with_reorders(0.02);
+    let chaos = Arc::new(ChaosTransport::new(Arc::new(LoopbackTransport), plan));
+    let (session, handle) = pipeline.serve_distributed(
+        ServeOptions {
+            clients: DEGRADED_CLIENTS,
+            steps: DEGRADED_STEPS,
+            refill_target: REFILL_TARGET,
+            queue_depth: 4,
+            prefetch: true,
+            pull_timeout: Duration::from_millis(300),
+            ..ServeOptions::default()
+        },
+        chaos.clone(),
+        &placements,
+    );
+    let handles: Vec<_> = (0..DEGRADED_CLIENTS)
+        .map(|c| {
+            let mut rc = handle.connect(c);
+            std::thread::spawn(move || {
+                let mut timeline: Vec<(u64, u64, Instant)> = Vec::new();
+                while let Some((step, batch)) = rc.next() {
+                    let (s, _) = batch_delivery(&batch);
+                    timeline.push((step, s, Instant::now()));
+                    if rc.id == FLAPPER && FLAP_AT.contains(&rc.consumed()) {
+                        rc.disconnect(); // Silent flap; next() redials.
+                    }
+                }
+                (timeline, rc.stats())
+            })
+        })
+        .collect();
+
+    // Harness half of the fault schedule: watch server-side progress
+    // and cut every link for one beat at each partition threshold.
+    let mut partitions: Vec<u64> = PARTITION_AT.to_vec();
+    let fault_deadline = Instant::now() + Duration::from_secs(30);
+    while !partitions.is_empty() && Instant::now() < fault_deadline {
+        if let Some(status) = handle.status() {
+            let progress = status
+                .clients
+                .iter()
+                .map(|c| c.next_pull)
+                .min()
+                .unwrap_or(0);
+            if progress >= partitions[0] {
+                partitions.remove(0);
+                let links = chaos.links();
+                for l in &links {
+                    l.block();
+                }
+                std::thread::sleep(Duration::from_millis(250));
+                for l in &links {
+                    l.unblock();
+                }
+                continue;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(partitions.is_empty(), "degraded partitions never fired");
+
+    let mut timelines: Vec<Vec<(u64, u64, Instant)>> = Vec::new();
+    let mut flapper_stats = None;
+    for (c, h) in handles.into_iter().enumerate() {
+        let (timeline, stats) = h.join().expect("degraded client thread");
+        assert_eq!(
+            timeline.len() as u64,
+            DEGRADED_STEPS,
+            "degraded client {c} missed steps"
+        );
+        if c as u32 == FLAPPER {
+            flapper_stats = Some(stats);
+        }
+        timelines.push(timeline);
+    }
+    let served = session.join();
+    assert_eq!(served, DEGRADED_STEPS, "degraded driver fell short");
+    pipeline.shutdown();
+    let flapper_stats = flapper_stats.expect("flapper stats");
+    assert!(
+        flapper_stats.reconnects >= FLAP_AT.len() as u64,
+        "flapper never flapped: {flapper_stats:?}"
+    );
+
+    let rate = |a: u64, b: u64| -> f64 {
+        let mut samples = 0u64;
+        let mut t0: Option<Instant> = None;
+        let mut t1: Option<Instant> = None;
+        for timeline in &timelines {
+            for (step, s, t) in timeline {
+                if *step >= a && *step < b {
+                    samples += s;
+                    t0 = Some(t0.map_or(*t, |x: Instant| x.min(*t)));
+                    t1 = Some(t1.map_or(*t, |x: Instant| x.max(*t)));
+                }
+            }
+        }
+        match (t0, t1) {
+            (Some(t0), Some(t1)) if t1 > t0 => samples as f64 / (t1 - t0).as_secs_f64(),
+            _ => 0.0,
+        }
+    };
+    DegradedReport {
+        steady: rate(2, DEGRADED_STEADY_END),
+        faulted: rate(DEGRADED_STEADY_END, DEGRADED_RECOVER_AT),
+        recovered: rate(DEGRADED_RECOVER_AT, DEGRADED_STEPS),
+        flapper_reconnects: flapper_stats.reconnects,
+        flapper_backoffs: flapper_stats.backoffs,
     }
 }
 
@@ -526,6 +715,7 @@ fn main() {
     let sim_vs_loopback = distributed_sim.samples_per_sec() / distributed.samples_per_sec();
     let wire_bytes_per_sample = sim.stats().wire_bytes_per_sample();
     let elastic = run_elastic();
+    let degraded = run_degraded();
 
     table_header(&[
         "deployment",
@@ -628,6 +818,35 @@ fn main() {
         elastic.recovery_ratio()
     );
 
+    println!(
+        "\ndegraded scenario (distributed serve@{DEGRADED_CLIENTS}, chaos transport, \
+         one flapping client, {} partitions):",
+        PARTITION_AT.len()
+    );
+    table_header(&["window", "steps", "delivered_samples/s"]);
+    table_row(&[
+        "steady".into(),
+        format!("2..{DEGRADED_STEADY_END}"),
+        f(degraded.steady),
+    ]);
+    table_row(&[
+        "faulted".into(),
+        format!("{DEGRADED_STEADY_END}..{DEGRADED_RECOVER_AT}"),
+        f(degraded.faulted),
+    ]);
+    table_row(&[
+        "recovered".into(),
+        format!("{DEGRADED_RECOVER_AT}..{DEGRADED_STEPS}"),
+        f(degraded.recovered),
+    ]);
+    println!(
+        "[degraded_recovery_ratio (recovered / steady) = {:.2}; flapper redialed {} times \
+         over {} backoff sleeps, every stream gap-free]",
+        degraded.recovery_ratio(),
+        degraded.flapper_reconnects,
+        degraded.flapper_backoffs,
+    );
+
     if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
         let by_clients = |metric: &dyn Fn(&Delivered) -> f64| -> String {
             client_counts
@@ -665,7 +884,12 @@ fn main() {
              \"scaling_samples_per_sec\": {:.2},\n    \
              \"recovered_samples_per_sec\": {:.2},\n    \
              \"recovery_ratio\": {:.2},\n    \
-             \"scale_ups\": {},\n    \"scale_downs\": {}\n  }}\n}}\n",
+             \"scale_ups\": {},\n    \"scale_downs\": {}\n  }},\n  \
+             \"degraded\": {{\n    \"steady_samples_per_sec\": {:.2},\n    \
+             \"faulted_samples_per_sec\": {:.2},\n    \
+             \"recovered_samples_per_sec\": {:.2},\n    \
+             \"degraded_recovery_ratio\": {:.2},\n    \
+             \"flapper_reconnects\": {},\n    \"flapper_backoffs\": {}\n  }}\n}}\n",
             inline.samples_per_sec(),
             actorized.samples_per_sec(),
             by_clients(&Delivered::samples_per_sec),
@@ -695,6 +919,12 @@ fn main() {
             elastic.recovery_ratio(),
             elastic.scale_ups,
             elastic.scale_downs,
+            degraded.steady,
+            degraded.faulted,
+            degraded.recovered,
+            degraded.recovery_ratio(),
+            degraded.flapper_reconnects,
+            degraded.flapper_backoffs,
         );
         std::fs::write(&path, json).expect("write BENCH_JSON_OUT");
         println!("[json report written to {path}]");

@@ -60,7 +60,7 @@ use crate::loader::LoaderCheckpoint;
 use crate::planner::PlannerCheckpoint;
 use crate::system::controller::{ControllerCheckpoint, SlotRecord};
 use crate::system::core::CoreCheckpoint;
-use crate::system::net::{BatchPayload, WireFrame};
+use crate::system::net::{BatchPayload, RejectReason, WireFrame};
 use msd_mesh::DeliveryKind;
 
 /// Frame magic for all binary GCS blobs.
@@ -94,6 +94,8 @@ const KIND_WIRE_CLOSE: u8 = 10;
 /// Wire kind: binary batch payload (a serialized
 /// [`ConstructedBatch`] — the body of a [`WireFrame::Batch`]).
 const KIND_BATCH: u8 = 11;
+/// Wire kind: admission refusal ([`WireFrame::Reject`]).
+const KIND_WIRE_REJECT: u8 = 12;
 
 /// Why a blob failed to decode (through both the binary and the JSON
 /// fallback paths). Errors raised while walking a binary frame carry
@@ -592,6 +594,7 @@ pub fn encoded_wire_frame_len(frame_in: &WireFrame) -> usize {
         WireFrame::Ack { .. } => base + 4 + 8,
         WireFrame::Credit { .. } => base + 4 + 4,
         WireFrame::Close { .. } => base + 4,
+        WireFrame::Reject { .. } => base + 4 + 1,
     }
 }
 
@@ -671,6 +674,11 @@ pub fn encode_wire_frame_parts(frame_in: &WireFrame, head: &mut Vec<u8>) -> Opti
         WireFrame::Close { client } => {
             head.put_u8(KIND_WIRE_CLOSE);
             head.put_u32_le(*client);
+        }
+        WireFrame::Reject { client, reason } => {
+            head.put_u8(KIND_WIRE_REJECT);
+            head.put_u32_le(*client);
+            head.put_u8(reason.code());
         }
     }
     let sum = fnv1a(head);
@@ -840,6 +848,15 @@ fn decode_sealed_wire_frame(data: &[u8]) -> Result<WireFrame, CodecError> {
             grant: r.u32()?,
         },
         KIND_WIRE_CLOSE => WireFrame::Close { client: r.u32()? },
+        KIND_WIRE_REJECT => {
+            let client = r.u32()?;
+            let code = r.u8()?;
+            let reason = RejectReason::from_code(code).ok_or_else(|| {
+                CodecError::new(format!("unknown reject reason code {code}"))
+                    .with_frame_len(data.len())
+            })?;
+            WireFrame::Reject { client, reason }
+        }
         other => {
             return Err(CodecError::new(format!("not a wire frame kind: {other}"))
                 .with_frame_len(data.len()));
@@ -1457,6 +1474,10 @@ mod tests {
                 payload: BatchPayload::Encoded(Bytes::from(vec![5u8; 64])),
             },
             WireFrame::Close { client: 1 },
+            WireFrame::Reject {
+                client: 4,
+                reason: RejectReason::SessionLimit,
+            },
         ];
         let mut scratch = Vec::new();
         for f in &frames {
@@ -1470,5 +1491,35 @@ mod tests {
             encode_wire_frame_into(f, &mut scratch);
         }
         assert_eq!(scratch.capacity(), cap, "scratch buffer was reallocated");
+    }
+
+    #[test]
+    fn reject_frames_round_trip_and_validate_reason_codes() {
+        for reason in [RejectReason::SessionLimit, RejectReason::RetransmitCap] {
+            let frame = WireFrame::Reject { client: 42, reason };
+            let wire = encode_wire_frame(&frame);
+            assert_eq!(wire.len(), encoded_wire_frame_len(&frame));
+            assert_eq!(decode_wire_frame(&wire).unwrap(), frame);
+            // A flipped checksum bit is caught like any other frame.
+            let mut flipped = wire.clone();
+            let last = flipped.len() - 1;
+            flipped[last] ^= 0x01;
+            assert!(decode_wire_frame(&flipped).is_err());
+        }
+        // An unknown reason code is a decode error even under a valid
+        // checksum — fuzzed frames can't smuggle an unclassifiable
+        // refusal through.
+        let mut bad = encode_wire_frame(&WireFrame::Reject {
+            client: 42,
+            reason: RejectReason::SessionLimit,
+        });
+        let reason_at = MAGIC.len() + 2 + 4;
+        bad[reason_at] = 0xEE;
+        let bad = reseal(bad);
+        let err = decode_wire_frame(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("reject reason"),
+            "unexpected error: {err}"
+        );
     }
 }

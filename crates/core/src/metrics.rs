@@ -241,6 +241,9 @@ struct Registry {
     planner_mailbox_depth: Gauge,
     constructor_mailbox_depth: Gauge,
     loader_buffered: Gauge,
+    sessions_evicted: Counter,
+    dials_rejected: Counter,
+    redial_backoffs: Counter,
 }
 
 fn registry() -> &'static Registry {
@@ -256,6 +259,9 @@ fn registry() -> &'static Registry {
         planner_mailbox_depth: Gauge::new(),
         constructor_mailbox_depth: Gauge::new(),
         loader_buffered: Gauge::new(),
+        sessions_evicted: Counter::new(),
+        dials_rejected: Counter::new(),
+        redial_backoffs: Counter::new(),
     })
 }
 
@@ -272,6 +278,26 @@ pub fn set_queue_depths(planner_mailbox: u64, constructor_mailbox: u64, loader_b
     r.planner_mailbox_depth.set(planner_mailbox);
     r.constructor_mailbox_depth.set(constructor_mailbox);
     r.loader_buffered.set(loader_buffered);
+}
+
+/// Counts one session eviction (a client's liveness lease expired and
+/// the server reaped its retransmit buffer; see
+/// `ServerConfig::lease`).
+pub fn record_session_evicted() {
+    registry().sessions_evicted.inc();
+}
+
+/// Counts one admission rejection (a dial refused with a wire `Reject`
+/// frame; see `ServerConfig::max_sessions` and the per-client
+/// retransmit-byte cap).
+pub fn record_dial_rejected() {
+    registry().dials_rejected.inc();
+}
+
+/// Counts one client-side redial backoff sleep (exponential backoff
+/// with jitter between reconnect attempts).
+pub fn record_redial_backoff() {
+    registry().redial_backoffs.inc();
 }
 
 /// One stage's latency summary inside a [`MetricsSnapshot`].
@@ -313,6 +339,12 @@ pub struct MetricsSnapshot {
     pub constructor_mailbox_depth: u64,
     /// Total loader-buffered samples at the last `stats()` sample.
     pub loader_buffered: u64,
+    /// Sessions evicted after lease expiry, since process start.
+    pub sessions_evicted: u64,
+    /// Dials refused with a wire `Reject`, since process start.
+    pub dials_rejected: u64,
+    /// Client redial backoff sleeps, since process start.
+    pub redial_backoffs: u64,
 }
 
 impl MetricsSnapshot {
@@ -343,6 +375,9 @@ pub fn snapshot() -> MetricsSnapshot {
         planner_mailbox_depth: r.planner_mailbox_depth.get(),
         constructor_mailbox_depth: r.constructor_mailbox_depth.get(),
         loader_buffered: r.loader_buffered.get(),
+        sessions_evicted: r.sessions_evicted.get(),
+        dials_rejected: r.dials_rejected.get(),
+        redial_backoffs: r.redial_backoffs.get(),
     }
 }
 
@@ -401,6 +436,19 @@ mod tests {
             .since(&before.stage(Stage::Construct).histogram);
         assert_eq!(delta.count, 1);
         assert_eq!(Stage::Send.label(), "send");
+    }
+
+    #[test]
+    fn robustness_counters_are_monotone_and_snapshotted() {
+        let before = snapshot();
+        record_session_evicted();
+        record_dial_rejected();
+        record_dial_rejected();
+        record_redial_backoff();
+        let after = snapshot();
+        assert_eq!(after.sessions_evicted - before.sessions_evicted, 1);
+        assert_eq!(after.dials_rejected - before.dials_rejected, 2);
+        assert_eq!(after.redial_backoffs - before.redial_backoffs, 1);
     }
 
     #[test]

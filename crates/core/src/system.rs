@@ -33,6 +33,7 @@ use crate::plan::LoadingPlan;
 use crate::planner::{PhaseBreakdown, Planner, PlannerConfig, Strategy};
 use crate::system::core::PipelineCore;
 
+pub mod chaos;
 pub mod controller;
 pub mod core;
 pub mod net;

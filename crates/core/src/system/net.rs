@@ -4,8 +4,8 @@
 //! feed trainer ranks across a network, not across a function call. This
 //! module is the seam between those two worlds — a [`Transport`] opens
 //! bidirectional connections carrying [`WireFrame`]s of the MSDB wire
-//! protocol (kinds 5–10 of [`crate::codec`]), and two implementations
-//! bound the fidelity/cost trade:
+//! protocol (kinds 5–10 and 12 of [`crate::codec`]), and two
+//! implementations bound the fidelity/cost trade:
 //!
 //! - [`LoopbackTransport`]: in-process channels moving frames by value.
 //!   A [`WireFrame::Batch`] keeps its [`BatchPayload::Shared`] handle,
@@ -112,6 +112,17 @@ impl SharedBatch {
                 bytes
             })
             .clone()
+    }
+
+    /// Payload bytes the batch carries, from the microbatch byte
+    /// counters — cheap, and crucially it never forces the wire
+    /// encoding, so retransmit-buffer accounting works on loopback too.
+    pub(crate) fn payload_len(&self) -> u64 {
+        self.batch
+            .microbatches
+            .iter()
+            .map(|mb| mb.payload_bytes)
+            .sum()
     }
 
     /// Number of sample payloads the batch carries (for per-sample wire
@@ -238,6 +249,55 @@ pub enum WireFrame {
         /// Departing client id.
         client: u32,
     },
+    /// Admission refusal (server → client): the dial was understood but
+    /// the server will not host the session right now. Unlike a silent
+    /// drop, the client learns *why* and backs off before retrying
+    /// instead of hammering a full server.
+    Reject {
+        /// Refused client id.
+        client: u32,
+        /// Why admission was refused.
+        reason: RejectReason,
+    },
+}
+
+/// Why a [`WireFrame::Reject`] refused a dial. Carried on the wire as a
+/// single validated byte, so fuzzed frames with unknown codes fail to
+/// decode instead of smuggling an unclassifiable refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// The server is at `ServerConfig::max_sessions` live sessions.
+    SessionLimit = 0,
+    /// The client's retransmit buffer would exceed its per-client byte
+    /// cap (the client is consuming too far behind its window).
+    RetransmitCap = 1,
+}
+
+impl RejectReason {
+    /// The wire byte for this reason.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire byte back into a reason; unknown codes are a
+    /// decode error, not a default.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(RejectReason::SessionLimit),
+            1 => Some(RejectReason::RetransmitCap),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::SessionLimit => write!(f, "session limit reached"),
+            RejectReason::RetransmitCap => write!(f, "retransmit buffer over cap"),
+        }
+    }
 }
 
 impl WireFrame {
@@ -249,7 +309,8 @@ impl WireFrame {
             | WireFrame::Batch { client, .. }
             | WireFrame::Ack { client, .. }
             | WireFrame::Credit { client, .. }
-            | WireFrame::Close { client } => *client,
+            | WireFrame::Close { client }
+            | WireFrame::Reject { client, .. } => *client,
         }
     }
 }

@@ -49,7 +49,9 @@ use crate::system::controller::{
 };
 use crate::system::core::{PipelineCore, PlanOutcome};
 use crate::system::net::{SharedBatch, Transport};
-use crate::system::server::{DataServer, DataServerHandle, RemotePlacement, ServerMsg};
+use crate::system::server::{
+    DataServer, DataServerHandle, RemotePlacement, ServerConfig, ServerMsg,
+};
 
 /// GCS key holding the planner actor's restart checkpoint.
 const PLANNER_STATE_KEY: &str = "planner";
@@ -1164,6 +1166,15 @@ impl ThreadedPipeline {
             .ok()
     }
 
+    /// Chaos hook: stalls constructor `index`'s mailbox by `stall`,
+    /// modeling a storage fetch gone slow. No-op for an out-of-range
+    /// index.
+    pub fn inject_constructor_stall(&self, index: usize, stall: Duration) {
+        if let Some(c) = self.fleet.constructors.get(index) {
+            c.inject_delay(stall);
+        }
+    }
+
     /// Snapshots runtime health across the whole deployment: per-loader
     /// buffer occupancy / fetch stalls / mailbox depth, the planner's
     /// backlog, and per-constructor queue + client-cursor state. This is
@@ -1348,19 +1359,36 @@ impl ThreadedPipeline {
             .collect();
         let roster: Vec<(u32, usize)> = placed.iter().map(|(c, _, i)| (*c, *i)).collect();
 
-        let server = DataServer::new(
-            self.fleet.constructors.clone(),
-            placed.clone(),
-            opts.steps,
-            // Parked pulls are re-issued on this cadence after constructor
-            // restarts; bounded so loss recovery stays well inside the
-            // driver's per-step retry budget.
-            self.fleet.rpc_timeout.min(Duration::from_secs(2)),
-            self.gcs.clone(),
-        );
+        // Parked pulls are re-issued on this cadence after constructor
+        // restarts; bounded so loss recovery stays well inside the
+        // driver's per-step retry budget.
+        let pull_retry = self.fleet.rpc_timeout.min(Duration::from_secs(2));
+        let factory_ctors = self.fleet.constructors.clone();
+        let factory_placed = placed.clone();
+        let factory_steps = opts.steps;
+        let factory_config = opts.server;
+        let factory_gcs = self.gcs.clone();
         let name = format!("data-server/{}", self.servers.len());
         self.gcs.register(&name, "distributed serving plane");
-        let actor = self.system.spawn(&name, server);
+        // Supervised: a crashed (or chaos-killed) server actor restarts
+        // with fresh, empty session state. Clients quiet-timeout on
+        // their orphaned sessions, redial under backoff, and resume
+        // from their cursors — the constructors (and their prune
+        // floors) live outside the server and survive the crash.
+        let actor = self.system.spawn_supervised(
+            &name,
+            RestartPolicy::Restart { max_restarts: 4 },
+            move || {
+                DataServer::new(
+                    factory_ctors.clone(),
+                    factory_placed.clone(),
+                    factory_steps,
+                    pull_retry,
+                    factory_config,
+                    factory_gcs.clone(),
+                )
+            },
+        );
 
         // The pump thread resolves the server's pipelined constructor
         // pulls. Its lifetime is the *session's*: the driver's drain
@@ -1505,6 +1533,10 @@ pub struct ServeOptions {
     /// and loader health and may scale or rebalance the loader fleet
     /// live. `0` (the default) disables autoscaling during the session.
     pub control_interval: u64,
+    /// Distributed-plane hardening knobs: session admission caps and
+    /// the lease that reaps silently-dead clients. Ignored by local
+    /// (in-process) serving.
+    pub server: ServerConfig,
 }
 
 impl Default for ServeOptions {
@@ -1517,6 +1549,7 @@ impl Default for ServeOptions {
             prefetch: true,
             pull_timeout: Duration::from_millis(500),
             control_interval: 0,
+            server: ServerConfig::default(),
         }
     }
 }
@@ -1769,7 +1802,14 @@ fn run_serve_driver(
             let (all_acked, min_needed) =
                 poll_watermarks(&fleet, &rostered, &mut cursors, s, &window);
             if let Some(floor) = min_needed {
-                while window.front().is_some_and(|(step, _)| *step < floor) {
+                // Keep `queue_depth` steps of slack below the floor: a
+                // client resuming after a server crash-restart (or a
+                // lease eviction) re-subscribes from its *consumed*
+                // step, up to one credit window below its server-side
+                // cursor — those steps must stay re-sendable or the
+                // slowest client wedges below the retained window.
+                let keep_from = floor.saturating_sub(opts.queue_depth);
+                while window.front().is_some_and(|(step, _)| *step < keep_from) {
                     window.pop_front();
                 }
             }
@@ -1834,12 +1874,16 @@ fn poll_watermarks(
         let ctor = &fleet.constructors[idx];
         match ctor.ask(ConstructorMsg::Watermark, Duration::from_millis(200)) {
             Ok(w) => {
-                // Refresh the driver's cursor cache (cursors are monotone,
-                // and a freshly restarted constructor may report fewer
-                // clients than the cache knows — keep the cached floor).
+                // Refresh the driver's cursor cache from the report. A
+                // freshly restarted constructor may report fewer clients
+                // than the cache knows — keep those cached entries — but
+                // a *reported* cursor is authoritative even when it moves
+                // backwards: a lease-evicted client's cursor parks at
+                // `steps`, and its late re-`Subscribe` rewinds it so the
+                // missing-step diff below re-sends what it still needs.
                 for (c, cur) in &w.cursors {
                     if let Some(known) = cursors[idx].get_mut(c) {
-                        *known = (*known).max(*cur);
+                        *known = *cur;
                     }
                 }
                 if let Some(n) = w.needed {
@@ -2146,6 +2190,7 @@ mod tests {
                 prefetch: true,
                 pull_timeout: Duration::from_millis(500),
                 control_interval: 0,
+                server: ServerConfig::default(),
             });
             let handles: Vec<_> = session
                 .take_clients()
@@ -2180,6 +2225,7 @@ mod tests {
             prefetch: true,
             pull_timeout: Duration::from_millis(500),
             control_interval: 0,
+            server: ServerConfig::default(),
         });
         let clients = session.take_clients();
         let handles: Vec<_> = clients

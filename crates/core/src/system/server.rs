@@ -34,6 +34,29 @@
 //! window, and the client discards anything below its cursor — the
 //! resumed stream is gap-free and duplicate-free by construction.
 //!
+//! ## Failure domains
+//!
+//! Resume alone degrades badly when a client dies *silently*: its
+//! retransmit buffer and constructor cursor would otherwise freeze the
+//! prune floor forever, stalling every healthy client through the serve
+//! driver's bounded-queue backpressure. [`ServerConfig`] closes those
+//! gaps:
+//!
+//! - **Session leases** — any frame renews a client's lease; expiry
+//!   evicts the session (buffer freed, cursor released, GCS fault
+//!   logged, eviction metric bumped). A late-returning client still
+//!   resumes gap-free: its re-`Subscribe` rewinds its constructor
+//!   cursor and the serve driver re-broadcasts what was pruned.
+//! - **Admission control** — dials beyond
+//!   [`ServerConfig::max_sessions`], or resumes whose retained
+//!   retransmit bytes exceed [`ServerConfig::retransmit_cap_bytes`],
+//!   are refused with a wire [`WireFrame::Reject`] instead of being
+//!   stranded; rejected clients back off before retrying.
+//! - **Client backoff** — [`RemoteClient`] redials under seeded
+//!   exponential backoff with jitter ([`RedialBackoff`]) and a retry
+//!   budget surfaced in [`ClientStats`], so a server restart sees a
+//!   spread-out redial wave instead of a thundering herd.
+//!
 //! [`ThreadedPipeline`]: crate::system::runtime::ThreadedPipeline
 
 use std::collections::{BTreeMap, HashMap};
@@ -46,10 +69,12 @@ use std::time::{Duration, Instant};
 use msd_actor::actor::ReplyTo;
 use msd_actor::{Actor, ActorRef, Ctx, Gcs, PendingReply};
 use msd_mesh::Rank;
+use msd_sim::SimRng;
 
 use crate::constructor::ConstructedBatch;
 use crate::system::net::{
-    BatchPayload, FrameRx, FrameTx, NetError, SharedBatch, Transport, WireConn, WireFrame,
+    BatchPayload, FrameRx, FrameTx, NetError, RejectReason, SharedBatch, Transport, WireConn,
+    WireFrame,
 };
 use crate::system::runtime::ConstructorMsg;
 use crate::system::tcp;
@@ -64,6 +89,39 @@ pub struct RemotePlacement {
     pub client: u32,
     /// The trainer rank the client feeds.
     pub rank: Rank,
+}
+
+/// Robustness knobs of a [`DataServer`]: admission control, per-client
+/// memory caps, and session leases (ROADMAP item 2). Threaded through
+/// `ServeOptions::server`; the defaults are permissive enough that a
+/// healthy deployment never trips them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum concurrently bound sessions. A dial that would bind a
+    /// session beyond this is refused with
+    /// [`WireFrame::Reject`]`{`[`RejectReason::SessionLimit`]`}`.
+    pub max_sessions: usize,
+    /// Per-client cap on retained retransmit bytes. The pump stops
+    /// pulling new steps for a client at the cap (backpressure), and a
+    /// resuming dial whose retained buffer already exceeds it is
+    /// refused with
+    /// [`WireFrame::Reject`]`{`[`RejectReason::RetransmitCap`]`}`.
+    pub retransmit_cap_bytes: u64,
+    /// Session lease: a subscribed, unfinished client whose last frame
+    /// is older than this is evicted — its retransmit buffer is freed
+    /// and its constructor cursor released so the rest of the pipeline
+    /// keeps flowing. `None` disables leases.
+    pub lease: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 1024,
+            retransmit_cap_bytes: 256 << 20,
+            lease: Some(Duration::from_secs(30)),
+        }
+    }
 }
 
 /// Messages understood by the data-server actor.
@@ -114,6 +172,10 @@ pub struct ClientServeStat {
     pub resumes: u64,
     /// Whether the client's stream is finished (consumed or closed).
     pub done: bool,
+    /// Times this client's session was evicted on lease expiry.
+    pub evictions: u64,
+    /// Retained retransmit bytes (what eviction would free).
+    pub unacked_bytes: u64,
 }
 
 /// Point-in-time state of a [`DataServer`].
@@ -125,6 +187,10 @@ pub struct ServerStatus {
     pub frames_rx: u64,
     /// Batch frames sent (including window resends).
     pub batches_tx: u64,
+    /// Sessions evicted on lease expiry.
+    pub evictions: u64,
+    /// Dials refused with a wire `Reject`.
+    pub rejections: u64,
 }
 
 /// The in-flight constructor pull of one client.
@@ -167,8 +233,24 @@ struct ClientState {
     /// Sent-but-unacked batches, kept for window resends (the wire
     /// form memoizes inside `SharedBatch`, so resends serialize once).
     unacked: BTreeMap<u64, SharedBatch>,
+    /// Payload bytes retained in `unacked` (the per-client memory the
+    /// retransmit cap bounds).
+    unacked_bytes: u64,
+    /// Liveness lease: renewed by any frame from this client.
+    last_seen: Instant,
+    /// Latched by eviction so a client that stays silent is reaped
+    /// exactly once per silence period; cleared by its next frame.
+    reaped: bool,
     resumes: u64,
+    evictions: u64,
     done: bool,
+}
+
+/// Recomputes a client's retained retransmit bytes after its `unacked`
+/// map was trimmed (maps stay credit-window small, so the walk is
+/// cheap).
+fn recount_unacked(state: &mut ClientState) {
+    state.unacked_bytes = state.unacked.values().map(SharedBatch::payload_len).sum();
 }
 
 /// The serving-plane server actor. See the module docs for the
@@ -184,9 +266,12 @@ pub struct DataServer {
     pull_retry: Duration,
     sessions: HashMap<u64, Box<dyn FrameTx>>,
     clients: HashMap<u32, ClientState>,
+    config: ServerConfig,
     gcs: Gcs,
     frames_rx: u64,
     batches_tx: u64,
+    evictions: u64,
+    rejections: u64,
 }
 
 impl DataServer {
@@ -198,6 +283,7 @@ impl DataServer {
         placements: Vec<(u32, Rank, usize)>,
         steps: u64,
         pull_retry: Duration,
+        config: ServerConfig,
         gcs: Gcs,
     ) -> Self {
         let clients = placements
@@ -215,7 +301,11 @@ impl DataServer {
                         next_pull: 0,
                         pending: None,
                         unacked: BTreeMap::new(),
+                        unacked_bytes: 0,
+                        last_seen: Instant::now(),
+                        reaped: false,
                         resumes: 0,
+                        evictions: 0,
                         done: false,
                     },
                 )
@@ -227,9 +317,12 @@ impl DataServer {
             pull_retry,
             sessions: HashMap::new(),
             clients,
+            config,
             gcs,
             frames_rx: 0,
             batches_tx: 0,
+            evictions: 0,
+            rejections: 0,
         }
     }
 
@@ -274,6 +367,7 @@ impl DataServer {
         state.done = true;
         state.pending = None;
         state.unacked.clear();
+        state.unacked_bytes = 0;
         let steps = self.steps;
         self.constructors[state.ctor].tell(ConstructorMsg::Complete {
             client,
@@ -281,12 +375,113 @@ impl DataServer {
         });
     }
 
+    /// Evicts a client's session: frees its retransmit buffer, unbinds
+    /// the session, and releases its constructor cursor so the prune
+    /// floor (and with it every healthy client) stops waiting on a
+    /// client that went silent. Unlike [`DataServer::finish`] the
+    /// stream is *not* marked done — a late-returning client
+    /// re-`Subscribe`s from its cursor, which rewinds its constructor
+    /// cursor through the normal `Pull` path and resumes gap-free.
+    fn evict(&mut self, client: u32, reason: &str) {
+        let steps = self.steps;
+        let Some(state) = self.clients.get_mut(&client) else {
+            return;
+        };
+        let freed = state.unacked_bytes;
+        let session = state.session.take();
+        if let Some(session) = session {
+            self.sessions.remove(&session);
+        }
+        state.subscribed = false;
+        state.pending = None;
+        state.unacked.clear();
+        state.unacked_bytes = 0;
+        // The evicted window is gone; a re-subscribe must re-pull from
+        // its cursor instead of resuming past the freed batches.
+        state.next_pull = state.base;
+        state.reaped = true;
+        state.evictions += 1;
+        let (rank, ctor) = (state.rank, state.ctor);
+        self.evictions += 1;
+        crate::metrics::record_session_evicted();
+        let session = session.map_or_else(|| "none".to_string(), |s| s.to_string());
+        self.gcs.log_fault(
+            "data-server",
+            format!(
+                "evicted client {client} (rank {rank}, session {session}): {reason}; \
+                 freed {freed} retransmit bytes"
+            ),
+        );
+        self.constructors[ctor].tell(ConstructorMsg::Complete {
+            client,
+            next_step: steps,
+        });
+    }
+
+    /// Number of currently bound sessions (the admission-control
+    /// denominator).
+    fn bound_sessions(&self) -> usize {
+        self.clients
+            .values()
+            .filter(|s| s.session.is_some())
+            .count()
+    }
+
+    /// Admission check for a dial binding a *new* session. Returns the
+    /// refusal reason, or `None` to admit. Rebinds of a client's own
+    /// live session never grow the session count and are always
+    /// admitted.
+    fn admission_refusal(&self, client: u32, session: u64) -> Option<RejectReason> {
+        let state = self.clients.get(&client)?;
+        match state.session {
+            Some(current) if current >= session => None, // Rebind/stale: not a new binding.
+            Some(_) => {
+                // Replacing its own older session: no count growth.
+                (state.unacked_bytes > self.config.retransmit_cap_bytes)
+                    .then_some(RejectReason::RetransmitCap)
+            }
+            None => {
+                if self.bound_sessions() >= self.config.max_sessions {
+                    Some(RejectReason::SessionLimit)
+                } else if state.unacked_bytes > self.config.retransmit_cap_bytes {
+                    Some(RejectReason::RetransmitCap)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Refuses a dial: sends `Reject` on the dialing session, drops the
+    /// session, and leaves a post-mortem trail (GCS fault log entry
+    /// with session id, rank, and reason; rejection metric).
+    fn reject(&mut self, client: u32, session: u64, reason: RejectReason) {
+        if let Some(tx) = self.sessions.remove(&session) {
+            let _ = tx.send(WireFrame::Reject { client, reason });
+        }
+        self.rejections += 1;
+        crate::metrics::record_dial_rejected();
+        let rank = self
+            .clients
+            .get(&client)
+            .map_or_else(|| "unplaced".to_string(), |s| s.rank.to_string());
+        self.gcs.log_fault(
+            "data-server",
+            format!("rejected client {client} (rank {rank}, session {session}): {reason}"),
+        );
+    }
+
     fn handle_frame(&mut self, session: u64, frame: WireFrame) {
         self.frames_rx += 1;
         let client = frame.client();
+        // Any frame from a placed client renews its liveness lease.
+        if let Some(state) = self.clients.get_mut(&client) {
+            state.last_seen = Instant::now();
+            state.reaped = false;
+        }
         match frame {
             WireFrame::Hello { rank, .. } => {
-                let Some(state) = self.clients.get_mut(&client) else {
+                let Some(state) = self.clients.get(&client) else {
                     self.gcs.log_fault(
                         "data-server",
                         format!("unplaced client {client} dialed in; closing its session"),
@@ -306,20 +501,40 @@ impl DataServer {
                         ),
                     );
                 }
+                if !self.sessions.contains_key(&session) {
+                    // A session evicted mid-flight has no sender left;
+                    // binding it would wedge the client on a connection
+                    // the server can never answer. Stay quiet — the
+                    // client times out, tears down, and redials fresh.
+                    return;
+                }
+                if let Some(reason) = self.admission_refusal(client, session) {
+                    self.reject(client, session, reason);
+                    return;
+                }
+                let state = self.clients.get_mut(&client).expect("placed above");
                 rebind(&mut self.sessions, state, session);
             }
             WireFrame::Subscribe {
                 from_step, credits, ..
             } => {
-                let Some(state) = self.clients.get_mut(&client) else {
+                if !self.clients.contains_key(&client) {
                     return;
-                };
+                }
+                if !self.sessions.contains_key(&session) {
+                    return; // Evicted mid-flight; see the Hello guard.
+                }
                 // A Subscribe binds too: on a lossy transport the Hello
                 // may simply never have arrived, and ignoring the
                 // Subscribe would strand the client on an unbound
                 // session. Session ids are monotone, so a delayed frame
                 // from a pre-reconnect session can never rebind
                 // backwards.
+                if let Some(reason) = self.admission_refusal(client, session) {
+                    self.reject(client, session, reason);
+                    return;
+                }
+                let state = self.clients.get_mut(&client).expect("placed above");
                 if !rebind(&mut self.sessions, state, session) {
                     return; // Stale session; the client re-dialed since.
                 }
@@ -330,6 +545,7 @@ impl DataServer {
                 // Everything below the client's cursor is consumed.
                 state.base = from_step;
                 state.unacked.retain(|step, _| *step >= from_step);
+                recount_unacked(state);
                 state.high = from_step.saturating_add(u64::from(credits));
                 state.next_pull = state.next_pull.max(from_step);
                 // Resend the unacknowledged window (idempotent on the
@@ -351,6 +567,7 @@ impl DataServer {
                     // would pin its batch in the buffer forever (a
                     // smoothly consuming client never re-subscribes).
                     state.unacked.retain(|s, _| *s > step);
+                    recount_unacked(state);
                     if state.next_pull >= self.steps
                         && state.unacked.is_empty()
                         && state.pending.is_none()
@@ -378,8 +595,8 @@ impl DataServer {
                     }
                 }
             }
-            WireFrame::Batch { .. } => {
-                // Clients never send batches; ignore.
+            WireFrame::Batch { .. } | WireFrame::Reject { .. } => {
+                // Clients never send batches or rejections; ignore.
             }
         }
     }
@@ -403,6 +620,7 @@ impl DataServer {
                         // same wrapper, so the memoized wire encoding is
                         // shared (and, on serializing transports,
                         // already warmed at construct time).
+                        state.unacked_bytes += shared.payload_len();
                         state.unacked.insert(step, shared);
                         self.send_batch(client, step);
                         continue; // A send may open room for the next pull.
@@ -427,8 +645,14 @@ impl DataServer {
                     }
                 }
             }
-            // Issue the next pull while inside the granted window.
-            if state.next_pull < self.steps && state.next_pull < state.high {
+            // Issue the next pull while inside the granted window and
+            // under the retransmit-byte cap (at the cap the client must
+            // ack something before the buffer may grow — backpressure,
+            // not rejection, for an admitted session).
+            if state.next_pull < self.steps
+                && state.next_pull < state.high
+                && state.unacked_bytes < self.config.retransmit_cap_bytes
+            {
                 let step = state.next_pull;
                 let ctor = &self.constructors[state.ctor];
                 match ctor.ask_pipelined(move |tx| ConstructorMsg::Pull {
@@ -460,6 +684,8 @@ impl DataServer {
                 unacked: s.unacked.len(),
                 resumes: s.resumes,
                 done: s.done,
+                evictions: s.evictions,
+                unacked_bytes: s.unacked_bytes,
             })
             .collect();
         clients.sort_by_key(|c| c.client);
@@ -467,6 +693,33 @@ impl DataServer {
             clients,
             frames_rx: self.frames_rx,
             batches_tx: self.batches_tx,
+            evictions: self.evictions,
+            rejections: self.rejections,
+        }
+    }
+
+    /// Lease sweep, run on every pump tick: evict subscribed,
+    /// unfinished clients that have gone silent past the lease.
+    fn sweep_leases(&mut self) {
+        let Some(lease) = self.config.lease else {
+            return;
+        };
+        // Subscribed or not: even a client that never dialed (or whose
+        // session died with a server restart) pins its constructor
+        // cursor, so silence past the lease always reaps it. The
+        // `reaped` latch makes that a single eviction per silence
+        // period, not one per pump tick.
+        let expired: Vec<u32> = self
+            .clients
+            .iter()
+            .filter(|(_, s)| !s.done && !s.reaped && s.last_seen.elapsed() > lease)
+            .map(|(client, _)| *client)
+            .collect();
+        for client in expired {
+            self.evict(
+                client,
+                &format!("lease expired after {lease:?} without a frame"),
+            );
         }
     }
 }
@@ -489,6 +742,7 @@ impl Actor for DataServer {
                 }
             }
             ServerMsg::Pump => {
+                self.sweep_leases();
                 let ids: Vec<u32> = self.clients.keys().copied().collect();
                 for client in ids {
                     self.pump_client(client);
@@ -549,6 +803,14 @@ impl DataServerHandle {
             .ok()
     }
 
+    /// Chaos hook: panics the server actor. Its supervisor restarts it
+    /// with fresh, empty session state; clients quiet-timeout on their
+    /// orphaned sessions, redial under backoff, and resume from their
+    /// cursors.
+    pub fn inject_server_crash(&self, reason: &str) {
+        self.actor.inject_crash(reason);
+    }
+
     /// Connects a placed client and returns its pulling handle. The
     /// connection is dialed lazily on the first
     /// [`RemoteClient::next`] call.
@@ -571,7 +833,11 @@ impl DataServerHandle {
             steps: self.steps,
             credits: self.credits.max(1),
             pull_timeout: self.pull_timeout,
-            reconnects: 0,
+            backoff: default_backoff(client),
+            stats: ClientStats {
+                retry_budget: DEFAULT_RETRY_BUDGET,
+                ..ClientStats::default()
+            },
             closed: false,
         }
     }
@@ -701,11 +967,89 @@ impl Dial for TcpDialer {
     }
 }
 
+/// Seeded exponential backoff with jitter for [`RemoteClient`] redials.
+///
+/// The delay envelope doubles from `base` up to `cap`; each actual
+/// delay is drawn uniformly from the envelope's upper half (equal
+/// jitter), so a fleet of rejected or disconnected clients spreads its
+/// redial wave out instead of thundering back in lockstep. The RNG is
+/// seeded, so a given `(seed, attempt)` sequence replays exactly —
+/// tests pin the schedule.
+#[derive(Debug)]
+pub struct RedialBackoff {
+    rng: SimRng,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl RedialBackoff {
+    /// Creates a policy with the given seed and delay envelope.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        RedialBackoff {
+            rng: SimRng::seed(seed),
+            base: base.max(Duration::from_micros(1)),
+            cap: cap.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// The next delay to sleep before redialing; advances the attempt
+    /// counter (and with it the envelope).
+    pub fn next_delay(&mut self) -> Duration {
+        let base_ns = self.base.as_nanos() as u64;
+        let cap_ns = self.cap.as_nanos() as u64;
+        let ceil = base_ns
+            .saturating_mul(1u64 << self.attempt.min(32))
+            .min(cap_ns);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = ceil / 2;
+        let jitter = (self.rng.f64() * half as f64) as u64;
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Escalates as if extra attempts already failed (applied on an
+    /// admission `Reject`, so refused clients back off harder than
+    /// merely unlucky ones).
+    pub fn penalize(&mut self) {
+        self.attempt = self.attempt.saturating_add(2);
+    }
+
+    /// Resets the envelope after a healthy exchange.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Redial and backoff counters of a [`RemoteClient`]
+/// ([`RemoteClient::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Connections dialed beyond the first.
+    pub reconnects: u64,
+    /// Backoff sleeps taken before redials.
+    pub backoffs: u64,
+    /// Total time spent in backoff sleeps.
+    pub backoff_total: Duration,
+    /// Admission `Reject` frames received.
+    pub rejections: u64,
+    /// Remaining redial budget; at 0 the client gives up and
+    /// [`RemoteClient::next`] returns `None`.
+    pub retry_budget: u32,
+}
+
+/// Default per-client redial budget: generous enough to ride out a full
+/// server crash-restart under backoff, finite so a permanently dead
+/// server cannot spin a client forever.
+const DEFAULT_RETRY_BUDGET: u32 = 256;
+
 /// A remote trainer client of a distributed serve session. The
 /// network-facing sibling of [`ServeClient`]: pulls are strictly
 /// ordered, the client carries its own consumed cursor, and a lost
 /// connection (or lost frames, on a lossy transport) is survived by
-/// re-dialing and re-subscribing from that cursor.
+/// re-dialing and re-subscribing from that cursor — under the seeded
+/// exponential backoff of [`RedialBackoff`], with the retry budget and
+/// backoff counters surfaced in [`ClientStats`].
 ///
 /// [`ServeClient`]: crate::system::runtime::ServeClient
 pub struct RemoteClient {
@@ -719,8 +1063,25 @@ pub struct RemoteClient {
     steps: u64,
     credits: u32,
     pull_timeout: Duration,
-    reconnects: u64,
+    backoff: RedialBackoff,
+    stats: ClientStats,
     closed: bool,
+}
+
+/// Per-client backoff seed: a fixed odd constant XOR the client id, so
+/// every client in a fleet jitters on its own deterministic schedule.
+fn client_backoff_seed(client: u32) -> u64 {
+    0x9E37_79B9_7F4A_7C15 ^ u64::from(client)
+}
+
+/// Default redial backoff envelope: fast first retry, quarter-second
+/// ceiling.
+fn default_backoff(client: u32) -> RedialBackoff {
+    RedialBackoff::new(
+        client_backoff_seed(client),
+        Duration::from_millis(2),
+        Duration::from_millis(250),
+    )
 }
 
 impl RemoteClient {
@@ -749,7 +1110,11 @@ impl RemoteClient {
             steps,
             credits: credits.max(1),
             pull_timeout,
-            reconnects: 0,
+            backoff: default_backoff(client),
+            stats: ClientStats {
+                retry_budget: DEFAULT_RETRY_BUDGET,
+                ..ClientStats::default()
+            },
             closed: false,
         }
     }
@@ -766,7 +1131,20 @@ impl RemoteClient {
 
     /// Connections dialed beyond the first.
     pub fn reconnects(&self) -> u64 {
-        self.reconnects
+        self.stats.reconnects
+    }
+
+    /// Redial, backoff, and rejection counters, plus the remaining
+    /// retry budget.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Replaces the redial backoff policy (e.g. a test pinning the
+    /// schedule with a known seed, or a chaos harness tightening the
+    /// envelope).
+    pub fn set_backoff(&mut self, backoff: RedialBackoff) {
+        self.backoff = backoff;
     }
 
     /// Drops the current connection without telling the server —
@@ -774,6 +1152,16 @@ impl RemoteClient {
     /// [`RemoteClient::next`] call re-dials and resumes from the cursor.
     pub fn disconnect(&mut self) {
         self.conn = None;
+    }
+
+    /// One backoff sleep, with the counters and metric that make the
+    /// redial schedule observable.
+    fn sleep_backoff(&mut self) {
+        let delay = self.backoff.next_delay();
+        self.stats.backoffs += 1;
+        self.stats.backoff_total += delay;
+        crate::metrics::record_redial_backoff();
+        std::thread::sleep(delay);
     }
 
     fn redial(&mut self) {
@@ -866,11 +1254,29 @@ impl RemoteClient {
         for _ in 0..600 {
             if self.conn.is_none() {
                 if self.ever_connected {
-                    self.reconnects += 1;
+                    // Redial under exponential backoff with jitter, so
+                    // a fleet of clients orphaned by a server restart
+                    // does not stampede back in lockstep. Each redial
+                    // spends retry budget; when it runs dry the client
+                    // gives up rather than spinning forever.
+                    if self.stats.retry_budget == 0 {
+                        return None;
+                    }
+                    self.stats.retry_budget -= 1;
+                    self.stats.reconnects += 1;
+                    self.sleep_backoff();
                 }
                 self.redial();
                 if self.conn.is_none() {
-                    std::thread::sleep(Duration::from_millis(10));
+                    if !self.ever_connected {
+                        // First-ever dial failed (e.g. listener not up
+                        // yet): same backoff schedule, same budget.
+                        if self.stats.retry_budget == 0 {
+                            return None;
+                        }
+                        self.stats.retry_budget -= 1;
+                        self.sleep_backoff();
+                    }
                     continue;
                 }
                 self.ever_connected = true;
@@ -910,10 +1316,19 @@ impl RemoteClient {
                     if self.next_step == self.steps {
                         let _ = conn.tx.send(WireFrame::Close { client: self.id });
                     }
+                    self.backoff.reset();
                     return Some((step, batch));
                 }
                 Ok(WireFrame::Close { .. }) => {
                     self.conn = None; // Server shed us; re-dial.
+                }
+                Ok(WireFrame::Reject { .. }) => {
+                    // Admission refusal: the server is over its session
+                    // or retransmit-byte cap. Back off harder than a
+                    // plain disconnect before trying again.
+                    self.stats.rejections += 1;
+                    self.backoff.penalize();
+                    self.conn = None;
                 }
                 Ok(_) => {
                     quiet_timeouts = 0;
@@ -954,5 +1369,179 @@ impl Drop for RemoteClient {
                 let _ = conn.tx.send(WireFrame::Close { client: self.id });
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(2);
+    const CAP: Duration = Duration::from_millis(250);
+
+    fn schedule(seed: u64, n: usize) -> Vec<Duration> {
+        let mut b = RedialBackoff::new(seed, BASE, CAP);
+        (0..n).map(|_| b.next_delay()).collect()
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        assert_eq!(schedule(7, 12), schedule(7, 12));
+        assert_ne!(schedule(7, 12), schedule(8, 12));
+    }
+
+    #[test]
+    fn backoff_delays_grow_exponentially_within_the_envelope() {
+        let delays = schedule(42, 16);
+        for (attempt, d) in delays.iter().enumerate() {
+            // Envelope for attempt k is [ceil/2, ceil] with
+            // ceil = min(cap, base << k).
+            let ceil = BASE.saturating_mul(1u32 << attempt.min(20)).min(CAP);
+            assert!(*d >= ceil / 2, "attempt {attempt}: {d:?} below {ceil:?}/2");
+            assert!(*d <= ceil, "attempt {attempt}: {d:?} above {ceil:?}");
+        }
+        // The tail must have reached the cap's envelope, not stayed low.
+        assert!(delays[15] >= CAP / 2);
+    }
+
+    #[test]
+    fn backoff_reset_returns_to_the_initial_envelope() {
+        let mut b = RedialBackoff::new(3, BASE, CAP);
+        for _ in 0..10 {
+            b.next_delay();
+        }
+        b.reset();
+        let d = b.next_delay();
+        assert!(d <= BASE, "post-reset delay {d:?} exceeds base {BASE:?}");
+    }
+
+    fn test_server(config: ServerConfig) -> (msd_actor::ActorSystem, DataServer) {
+        let system = msd_actor::ActorSystem::new("server-test");
+        let mesh = msd_mesh::DeviceMesh::pp_dp_cp_tp(1, 1, 1, 1).unwrap();
+        let ctor = system.spawn(
+            "ctor",
+            crate::system::runtime::ConstructorActor::new(
+                crate::constructor::DataConstructor::new(mesh, 64),
+            ),
+        );
+        let server = DataServer::new(
+            vec![ctor],
+            vec![(0, 0, 0), (1, 1, 0)],
+            4,
+            Duration::from_millis(100),
+            config,
+            Gcs::new(),
+        );
+        (system, server)
+    }
+
+    /// Registers a live sender for `session`, as `ServerMsg::Session`
+    /// would before any frame of a real dial arrives.
+    fn open_session(server: &mut DataServer, session: u64) {
+        let (_, server_end) = crate::system::net::LoopbackTransport.pair();
+        let (tx, _rx) = server_end.split();
+        server.sessions.insert(session, tx);
+    }
+
+    #[test]
+    fn admission_rejects_dials_past_the_session_limit() {
+        let (_system, mut server) = test_server(ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        });
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        assert_eq!(server.clients[&0].session, Some(1));
+
+        // The fleet is full: client 1's dial is refused.
+        open_session(&mut server, 2);
+        server.handle_frame(2, WireFrame::Hello { client: 1, rank: 1 });
+        assert_eq!(server.rejections, 1);
+        assert_eq!(server.clients[&1].session, None);
+
+        // Client 0 rebinding its *own* connection is not a new session.
+        open_session(&mut server, 3);
+        server.handle_frame(3, WireFrame::Hello { client: 0, rank: 0 });
+        assert_eq!(server.clients[&0].session, Some(3));
+        assert_eq!(server.rejections, 1);
+
+        let log = server.gcs.fault_log("data-server");
+        assert!(
+            log.iter().any(|r| r
+                .detail
+                .contains("rejected client 1 (rank 1, session 2): session limit reached")),
+            "rejection must land in the GCS fault log with id, rank, and reason: {log:?}"
+        );
+    }
+
+    #[test]
+    fn lease_expiry_evicts_silent_clients_exactly_once() {
+        let (_system, mut server) = test_server(ServerConfig {
+            lease: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        });
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        server.handle_frame(
+            1,
+            WireFrame::Subscribe {
+                client: 0,
+                from_step: 0,
+                credits: 2,
+            },
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        server.sweep_leases();
+
+        // Both placed clients went silent past the lease — the bound one
+        // and the one that never dialed each pin a constructor cursor,
+        // so both are reaped.
+        assert_eq!(server.evictions, 2);
+        let state = &server.clients[&0];
+        assert!(!state.subscribed && state.session.is_none());
+        assert!(state.unacked.is_empty() && state.unacked_bytes == 0);
+        assert!(!state.done, "eviction must not finish the stream");
+
+        // Latched: staying silent does not re-evict every sweep.
+        std::thread::sleep(Duration::from_millis(30));
+        server.sweep_leases();
+        assert_eq!(server.evictions, 2);
+
+        let log = server.gcs.fault_log("data-server");
+        assert!(
+            log.iter().any(
+                |r| r.detail.contains("evicted client 0 (rank 0, session 1)")
+                    && r.detail.contains("lease expired")
+            ),
+            "eviction must land in the GCS fault log with id, rank, and reason: {log:?}"
+        );
+
+        // A late return re-subscribes from its cursor, gap-free.
+        open_session(&mut server, 5);
+        server.handle_frame(5, WireFrame::Hello { client: 0, rank: 0 });
+        server.handle_frame(
+            5,
+            WireFrame::Subscribe {
+                client: 0,
+                from_step: 2,
+                credits: 2,
+            },
+        );
+        let state = &server.clients[&0];
+        assert!(state.subscribed && !state.reaped);
+        assert_eq!(state.session, Some(5));
+        assert_eq!(state.base, 2);
+    }
+
+    #[test]
+    fn backoff_penalize_skips_ahead() {
+        let mut fresh = RedialBackoff::new(5, BASE, CAP);
+        let mut punished = RedialBackoff::new(5, BASE, CAP);
+        punished.penalize();
+        // Same seed, same draw sequence: the penalized envelope is 4x
+        // the fresh one until both saturate at the cap.
+        let f = fresh.next_delay();
+        let p = punished.next_delay();
+        assert!(p > f, "penalized {p:?} not above fresh {f:?}");
     }
 }

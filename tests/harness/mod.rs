@@ -92,6 +92,7 @@ pub fn opts(clients: u32, steps: u64) -> ServeOptions {
         prefetch: true,
         pull_timeout: Duration::from_millis(300),
         control_interval: 0,
+        ..ServeOptions::default()
     }
 }
 

@@ -1,9 +1,9 @@
 //! Property fuzz for the full MSDB codec.
 //!
-//! Every frame kind — the four GCS checkpoint kinds (1–4), the six
-//! distributed-serving wire kinds (5–10), and the binary batch payload
-//! frame (kind 11) — must satisfy three properties under adversarial
-//! bytes:
+//! Every frame kind — the four GCS checkpoint kinds (1–4), the
+//! distributed-serving wire kinds (5–10 and the kind-12 `Reject`), and
+//! the binary batch payload frame (kind 11) — must satisfy three
+//! properties under adversarial bytes:
 //!
 //! 1. **Round-trip**: `decode(encode(x)) == x`.
 //! 2. **Truncation**: every strict prefix of a valid frame decodes to
@@ -36,7 +36,7 @@ use megascale_data::core::loader::LoaderCheckpoint;
 use megascale_data::core::planner::PlannerCheckpoint;
 use megascale_data::core::system::controller::{ControllerCheckpoint, SlotRecord};
 use megascale_data::core::system::core::CoreCheckpoint;
-use megascale_data::core::system::net::{BatchPayload, WireFrame};
+use megascale_data::core::system::net::{BatchPayload, RejectReason, WireFrame};
 use megascale_data::mesh::DeliveryKind;
 
 use std::collections::BTreeMap;
@@ -129,6 +129,14 @@ fn wire_frame() -> impl Strategy<Value = WireFrame> {
         (any::<u32>(), any::<u32>())
             .prop_map(|(client, grant)| WireFrame::Credit { client, grant }),
         any::<u32>().prop_map(|client| WireFrame::Close { client }),
+        (
+            any::<u32>(),
+            prop_oneof![
+                Just(RejectReason::SessionLimit),
+                Just(RejectReason::RetransmitCap),
+            ],
+        )
+            .prop_map(|(client, reason)| WireFrame::Reject { client, reason }),
     ]
 }
 
