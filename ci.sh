@@ -74,6 +74,13 @@ cargo test --test buffer_pool -q
 echo "==> cargo test --test chaos_serve -q"
 cargo test --test chaos_serve -q
 
+# The massive fan-out soak: 256 loopback clients (64 streaming, 192
+# idle-attached) — byte-identical active streams, zero idle retention,
+# reader thread count pinned against /proc, and aggregate-cap shedding
+# of an idle laggard that must resume gap-free.
+echo "==> cargo test --test many_clients -q"
+cargo test --test many_clients -q
+
 # Second property-test leg: an independent sampling of every property
 # suite. MSD_PROPTEST_SEED salts the shim's deterministic RNG labels
 # (so the cases differ from the default leg's), and PROPTEST_CASES

@@ -649,6 +649,184 @@ fn run_degraded() -> DegradedReport {
     }
 }
 
+/// The massive fan-out scenario's shape: a small fixed active set
+/// streams the full run while the rest of the fleet sits attached and
+/// idle. The totals sweep 256 → 4k so the wall-cost slope across them
+/// measures what one *idle* client costs.
+const MANY_TOTALS: [u32; 3] = [256, 1024, 4096];
+const MANY_ACTIVE: u32 = 8;
+const MANY_STEPS: u64 = 24;
+
+/// Measured delivery of one `many_clients` total.
+struct ManyClientsReport {
+    /// Connected clients (active + idle).
+    total: u32,
+    /// Wall seconds of the active streaming window, measured with the
+    /// full idle fleet attached.
+    wall_s: f64,
+    /// Samples delivered to the active set in that window.
+    samples: u64,
+    /// Pump-tick p99 over the window (the per-tick cost the activity
+    /// ring + expiry wheel keep independent of session count).
+    pump_p99_us: f64,
+    /// Largest retained retransmit byte count across the idle fleet at
+    /// the end of the run (flat-cost idle clients retain nothing).
+    idle_retained_max_bytes: u64,
+    /// Reader-plane shard threads — fixed by core count, not sessions.
+    reader_threads: usize,
+}
+
+impl ManyClientsReport {
+    fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.wall_s
+    }
+}
+
+/// Fan-out scenario: the distributed serve of deployment 5 with
+/// `MANY_ACTIVE` streaming clients, run while `total - MANY_ACTIVE`
+/// idle clients hold bound sessions (Hello + an end-of-stream
+/// Subscribe: the idle-attach path, a registry entry on the sharded
+/// reader plane and nothing else). The active window's wall clock at
+/// 256 vs 4096 total clients is the per-idle-client cost slope
+/// `bench.sh --check` gates at ≤ 1.25.
+fn run_many_clients(total: u32) -> ManyClientsReport {
+    use msd_core::system::net::WireFrame;
+    use msd_core::system::server::ServerConfig;
+
+    let catalog = catalog();
+    let mut pipeline =
+        ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 99);
+    let placements: Vec<RemotePlacement> = (0..total)
+        .map(|c| RemotePlacement {
+            client: c,
+            rank: (c % 4) * 2 + (c / 4) % 2,
+        })
+        .collect();
+    let (session, handle) = pipeline.serve_distributed(
+        ServeOptions {
+            clients: MANY_ACTIVE,
+            steps: MANY_STEPS,
+            refill_target: REFILL_TARGET,
+            queue_depth: 4,
+            prefetch: true,
+            pull_timeout: Duration::from_millis(500),
+            server: ServerConfig {
+                max_sessions: total as usize + 16,
+                ..ServerConfig::default()
+            },
+            ..ServeOptions::default()
+        },
+        Arc::new(LoopbackTransport),
+        &placements,
+    );
+
+    // Attach the idle fleet before the measured window so the active
+    // run streams against the full session count. Each connection is
+    // held open (dropping it would be a hang-up, not an idle session).
+    let idle_conns: Vec<_> = (MANY_ACTIVE..total)
+        .map(|c| {
+            let conn = handle.dial_raw();
+            conn.tx
+                .send(WireFrame::Hello {
+                    client: c,
+                    rank: placements[c as usize].rank,
+                })
+                .expect("idle hello");
+            conn.tx
+                .send(WireFrame::Subscribe {
+                    client: c,
+                    from_step: MANY_STEPS,
+                    credits: 0,
+                })
+                .expect("idle subscribe");
+            conn
+        })
+        .collect();
+    let attach_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = handle.status() {
+            let attached = status
+                .clients
+                .iter()
+                .filter(|c| c.client >= MANY_ACTIVE && c.done)
+                .count() as u32;
+            if attached == total - MANY_ACTIVE {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < attach_deadline,
+            "many_clients@{total}: idle fleet never finished attaching"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stages_before = msd_core::metrics::snapshot();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..MANY_ACTIVE)
+        .map(|c| {
+            let mut rc = handle.connect(c);
+            std::thread::spawn(move || {
+                let (mut pulled, mut samples) = (0u64, 0u64);
+                while let Some((_, batch)) = rc.next() {
+                    let (s, _) = batch_delivery(&batch);
+                    samples += s;
+                    std::hint::black_box(&batch);
+                    pulled += 1;
+                }
+                (pulled, samples)
+            })
+        })
+        .collect();
+    let (mut pulled, mut samples) = (0u64, 0u64);
+    for h in handles {
+        let (c_pulled, c_samples) = h.join().expect("many-clients active client");
+        pulled += c_pulled;
+        samples += c_samples;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stages_after = msd_core::metrics::snapshot();
+    assert_eq!(
+        pulled,
+        MANY_STEPS * u64::from(MANY_ACTIVE),
+        "many_clients@{total}: active clients missed steps"
+    );
+
+    let status = handle.status().expect("many_clients status");
+    let idle_retained_max_bytes = status
+        .clients
+        .iter()
+        .filter(|c| c.client >= MANY_ACTIVE)
+        .map(|c| c.unacked_bytes)
+        .max()
+        .unwrap_or(0);
+    let reader_threads = handle.reader_threads();
+    let served = session.join();
+    assert_eq!(
+        served, MANY_STEPS,
+        "many_clients@{total}: driver fell short"
+    );
+    drop(idle_conns);
+    pipeline.shutdown();
+
+    let pump_h = stages_after
+        .stage(msd_core::metrics::Stage::Pump)
+        .histogram
+        .since(
+            &stages_before
+                .stage(msd_core::metrics::Stage::Pump)
+                .histogram,
+        );
+    ManyClientsReport {
+        total,
+        wall_s,
+        samples,
+        pump_p99_us: pump_h.quantile(0.99) as f64 / 1000.0,
+        idle_retained_max_bytes,
+        reader_threads,
+    }
+}
+
 fn main() {
     banner(
         "runtime_throughput",
@@ -716,6 +894,11 @@ fn main() {
     let wire_bytes_per_sample = sim.stats().wire_bytes_per_sample();
     let elastic = run_elastic();
     let degraded = run_degraded();
+    let many: Vec<ManyClientsReport> = MANY_TOTALS.iter().map(|t| run_many_clients(*t)).collect();
+    // The knee metric: wall cost of the same active workload at 4096
+    // vs 256 attached clients. Flat idle cost ⇒ ratio ≈ 1.0; the gate
+    // in bench.sh allows 1.25 for shared-box noise.
+    let cost_per_idle_client_ratio = many[many.len() - 1].wall_s / many[0].wall_s;
 
     table_header(&[
         "deployment",
@@ -847,6 +1030,35 @@ fn main() {
         degraded.flapper_backoffs,
     );
 
+    println!(
+        "\nmany_clients scenario ({MANY_ACTIVE} active, rest idle-attached, \
+         {} reader shards):",
+        many[0].reader_threads
+    );
+    table_header(&[
+        "total_clients",
+        "wall_s",
+        "delivered_samples/s",
+        "pump_p99_us",
+        "idle_retained_max_B",
+    ]);
+    for r in &many {
+        table_row(&[
+            r.total.to_string(),
+            f(r.wall_s),
+            f(r.samples_per_sec()),
+            format!("{:.1}", r.pump_p99_us),
+            r.idle_retained_max_bytes.to_string(),
+        ]);
+    }
+    println!(
+        "[cost_per_idle_client_ratio (wall@{} / wall@{}) = {:.2}; flat idle cost is ~1.0, \
+         bench.sh --check gates <= 1.25]",
+        MANY_TOTALS[MANY_TOTALS.len() - 1],
+        MANY_TOTALS[0],
+        cost_per_idle_client_ratio
+    );
+
     if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
         let by_clients = |metric: &dyn Fn(&Delivered) -> f64| -> String {
             client_counts
@@ -926,6 +1138,45 @@ fn main() {
             degraded.flapper_reconnects,
             degraded.flapper_backoffs,
         );
+        // Fan-out section: every key is suffixed with its client total
+        // so bench.sh's first-match extractor stays unambiguous.
+        let many_rows = many
+            .iter()
+            .map(|r| {
+                format!(
+                    "    \"samples_per_sec_{}\": {:.2},\n    \
+                     \"wall_ms_{}\": {:.1},\n    \
+                     \"pump_p99_us_{}\": {:.1}",
+                    r.total,
+                    r.samples_per_sec(),
+                    r.total,
+                    r.wall_s * 1000.0,
+                    r.total,
+                    r.pump_p99_us,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let many_json = format!(
+            "  \"many_clients\": {{\n    \"active_clients\": {MANY_ACTIVE},\n    \
+             \"steps\": {MANY_STEPS},\n{many_rows},\n    \
+             \"idle_retained_max_bytes\": {},\n    \
+             \"reader_threads\": {},\n    \
+             \"cost_per_idle_client_ratio\": {:.2}\n  }}\n}}\n",
+            many.iter()
+                .map(|r| r.idle_retained_max_bytes)
+                .max()
+                .unwrap_or(0),
+            many[0].reader_threads,
+            cost_per_idle_client_ratio,
+        );
+        let json = json
+            .trim_end()
+            .strip_suffix('}')
+            .expect("report ends with a brace")
+            .to_string()
+            + ",\n"
+            + &many_json;
         std::fs::write(&path, json).expect("write BENCH_JSON_OUT");
         println!("[json report written to {path}]");
     }

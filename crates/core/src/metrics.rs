@@ -211,16 +211,21 @@ pub enum Stage {
     Encode = 3,
     /// Transport send-path work (frame encode + socket/link hand-off).
     Send = 4,
+    /// One data-server pump tick: lease-wheel sweep plus draining the
+    /// activity ring. The fan-out bench gates its p99 — a tick must
+    /// stay cheap no matter how many idle sessions are connected.
+    Pump = 5,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Fetch,
         Stage::Decode,
         Stage::Construct,
         Stage::Encode,
         Stage::Send,
+        Stage::Pump,
     ];
 
     /// Stable label (snapshot maps and bench JSON keys).
@@ -231,25 +236,28 @@ impl Stage {
             Stage::Construct => "construct",
             Stage::Encode => "encode",
             Stage::Send => "send",
+            Stage::Pump => "pump",
         }
     }
 }
 
 /// The process-wide metric registry.
 struct Registry {
-    stages: [Histogram; 5],
+    stages: [Histogram; 6],
     planner_mailbox_depth: Gauge,
     constructor_mailbox_depth: Gauge,
     loader_buffered: Gauge,
     sessions_evicted: Counter,
     dials_rejected: Counter,
     redial_backoffs: Counter,
+    retained_retransmit_bytes: Gauge,
 }
 
 fn registry() -> &'static Registry {
     static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         stages: [
+            Histogram::new(),
             Histogram::new(),
             Histogram::new(),
             Histogram::new(),
@@ -262,6 +270,7 @@ fn registry() -> &'static Registry {
         sessions_evicted: Counter::new(),
         dials_rejected: Counter::new(),
         redial_backoffs: Counter::new(),
+        retained_retransmit_bytes: Gauge::new(),
     })
 }
 
@@ -298,6 +307,13 @@ pub fn record_dial_rejected() {
 /// with jitter between reconnect attempts).
 pub fn record_redial_backoff() {
     registry().redial_backoffs.inc();
+}
+
+/// Publishes the data server's aggregate retained retransmit bytes
+/// (the server-wide sum over every bound client's unacked window; see
+/// `ServerConfig::aggregate_cap_bytes`). Set on every pump tick.
+pub fn set_retained_retransmit_bytes(bytes: u64) {
+    registry().retained_retransmit_bytes.set(bytes);
 }
 
 /// One stage's latency summary inside a [`MetricsSnapshot`].
@@ -345,6 +361,9 @@ pub struct MetricsSnapshot {
     pub dials_rejected: u64,
     /// Client redial backoff sleeps, since process start.
     pub redial_backoffs: u64,
+    /// Aggregate retained retransmit bytes across every bound client,
+    /// as of the data server's last pump tick.
+    pub retained_retransmit_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -378,6 +397,7 @@ pub fn snapshot() -> MetricsSnapshot {
         sessions_evicted: r.sessions_evicted.get(),
         dials_rejected: r.dials_rejected.get(),
         redial_backoffs: r.redial_backoffs.get(),
+        retained_retransmit_bytes: r.retained_retransmit_bytes.get(),
     }
 }
 

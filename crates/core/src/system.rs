@@ -37,6 +37,7 @@ pub mod chaos;
 pub mod controller;
 pub mod core;
 pub mod net;
+pub mod reader;
 pub mod runtime;
 pub mod server;
 pub mod tcp;

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use msd_sim::{LossyLink, NetModel};
 use parking_lot::Mutex;
 
@@ -323,10 +323,101 @@ pub trait FrameTx: Send {
     fn send(&self, frame: WireFrame) -> Result<(), NetError>;
 }
 
+/// Readiness callback installed on a [`FrameRx`] via
+/// [`FrameRx::set_waker`]. The transport fires it whenever a frame
+/// becomes observable on the endpoint (and when the peer hangs up), so
+/// a multiplexing reader — the server's sharded reader plane — can park
+/// thousands of idle sessions without polling any of them.
+pub type FrameWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// Outcome of a non-blocking [`FrameRx::try_recv`] poll.
+pub enum TryRecv {
+    /// A frame was ready.
+    Frame(WireFrame),
+    /// Nothing observable right now; the waker fires when that changes.
+    Empty,
+    /// A frame is in flight but its modeled delivery time lies in the
+    /// future (sim transport latency). Poll again at the instant — no
+    /// waker fires for it, because the sender already woke at enqueue.
+    NotBefore(Instant),
+    /// The peer endpoint is gone.
+    Closed,
+    /// The byte stream is unrecoverably desynchronized (see
+    /// [`NetError::Corrupt`]).
+    Corrupt,
+}
+
 /// The receiving half of a connection endpoint.
 pub trait FrameRx: Send {
     /// Blocks up to `timeout` for the next frame.
     fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError>;
+
+    /// Non-blocking poll. The default maps a zero-timeout [`recv`],
+    /// which is correct for any transport; channel-backed transports
+    /// override it with a plain channel `try_recv`.
+    ///
+    /// [`recv`]: FrameRx::recv
+    fn try_recv(&mut self) -> TryRecv {
+        match self.recv(Duration::ZERO) {
+            Ok(frame) => TryRecv::Frame(frame),
+            Err(NetError::Timeout) => TryRecv::Empty,
+            Err(NetError::Closed) => TryRecv::Closed,
+            Err(NetError::Corrupt) => TryRecv::Corrupt,
+        }
+    }
+
+    /// Installs a readiness waker (see [`FrameWaker`]). Implementations
+    /// fire it once immediately so frames enqueued before registration
+    /// are never silently parked. Endpoints that do not support waking
+    /// ignore the call; such endpoints must then be drained by a
+    /// blocking reader.
+    fn set_waker(&mut self, _waker: FrameWaker) {}
+}
+
+/// The waker slot shared between a connection's sending and receiving
+/// halves: the sender fires it on every delivery (and on drop, so
+/// hang-ups wake parked readers too).
+#[derive(Default)]
+pub(crate) struct WakeSlot(Mutex<Option<FrameWaker>>);
+
+impl WakeSlot {
+    /// Fires the registered waker, if any.
+    pub(crate) fn wake(&self) {
+        let waker = self.0.lock().clone();
+        if let Some(waker) = waker {
+            waker();
+        }
+    }
+
+    /// Registers the waker and fires it once to cover frames that
+    /// arrived before registration.
+    pub(crate) fn set(&self, waker: FrameWaker) {
+        *self.0.lock() = Some(waker.clone());
+        waker();
+    }
+}
+
+/// A [`WakeSlot`] handle that fires once more when dropped — the
+/// hang-up wake. Declare it *after* the channel sender inside a tx
+/// struct: Rust drops fields in declaration order, so the sender is
+/// already disconnected by the time this fires, and a parked reader
+/// woken by it observes `Closed` instead of `Empty`. (Waking from a
+/// manual `Drop` impl has the opposite order — the wake lands while
+/// the sender still lives, the reader drains to `Empty`, parks again,
+/// and the hang-up is lost forever.)
+pub(crate) struct WakeOnDrop(pub(crate) Arc<WakeSlot>);
+
+impl WakeOnDrop {
+    /// Fires the registered waker, if any (delivery wake).
+    pub(crate) fn wake(&self) {
+        self.0.wake();
+    }
+}
+
+impl Drop for WakeOnDrop {
+    fn drop(&mut self) {
+        self.0.wake();
+    }
 }
 
 /// One end of an established bidirectional connection.
@@ -373,37 +464,73 @@ pub trait Transport: Send + Sync {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LoopbackTransport;
 
-struct ChanTx(Sender<WireFrame>);
+struct ChanTx {
+    // Field order is load-bearing: `tx` must drop before `wake`, so the
+    // hang-up wake fires on an already-disconnected channel.
+    tx: Sender<WireFrame>,
+    wake: WakeOnDrop,
+}
 
 impl FrameTx for ChanTx {
     fn send(&self, frame: WireFrame) -> Result<(), NetError> {
-        self.0.send(frame).map_err(|_| NetError::Closed)
+        let sent = self.tx.send(frame).map_err(|_| NetError::Closed);
+        self.wake.wake();
+        sent
     }
 }
 
-struct ChanRx(Receiver<WireFrame>);
+struct ChanRx {
+    rx: Receiver<WireFrame>,
+    wake: Arc<WakeSlot>,
+}
 
 impl FrameRx for ChanRx {
     fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError> {
-        self.0.recv_timeout(timeout).map_err(|e| match e {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
             RecvTimeoutError::Disconnected => NetError::Closed,
         })
     }
+
+    fn try_recv(&mut self) -> TryRecv {
+        match self.rx.try_recv() {
+            Ok(frame) => TryRecv::Frame(frame),
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+
+    fn set_waker(&mut self, waker: FrameWaker) {
+        self.wake.set(waker);
+    }
+}
+
+/// One loopback lane: a frame channel plus the shared wake slot its
+/// sender fires on every delivery.
+fn loopback_lane() -> (ChanTx, ChanRx) {
+    let (tx, rx) = unbounded();
+    let wake = Arc::new(WakeSlot::default());
+    (
+        ChanTx {
+            tx,
+            wake: WakeOnDrop(Arc::clone(&wake)),
+        },
+        ChanRx { rx, wake },
+    )
 }
 
 impl Transport for LoopbackTransport {
     fn pair(&self) -> (WireConn, WireConn) {
-        let (to_server_tx, to_server_rx) = unbounded();
-        let (to_client_tx, to_client_rx) = unbounded();
+        let (to_server_tx, to_server_rx) = loopback_lane();
+        let (to_client_tx, to_client_rx) = loopback_lane();
         (
             WireConn {
-                tx: Box::new(ChanTx(to_server_tx)),
-                rx: Box::new(ChanRx(to_client_rx)),
+                tx: Box::new(to_server_tx),
+                rx: Box::new(to_client_rx),
             },
             WireConn {
-                tx: Box::new(ChanTx(to_client_tx)),
-                rx: Box::new(ChanRx(to_server_rx)),
+                tx: Box::new(to_client_tx),
+                rx: Box::new(to_server_rx),
             },
         )
     }
@@ -481,7 +608,7 @@ impl SimTransport {
         *self.stats.lock()
     }
 
-    fn lane(&self, tx: Sender<SimPacket>) -> SimTx {
+    fn lane(&self, tx: Sender<SimPacket>, wake: Arc<WakeSlot>) -> SimTx {
         let lane = self.next_lane.fetch_add(1, Ordering::SeqCst);
         SimTx {
             link: Mutex::new(LossyLink::new(
@@ -490,6 +617,7 @@ impl SimTransport {
                 self.seed ^ (lane << 32) ^ lane,
             )),
             tx,
+            wake: WakeOnDrop(wake),
             stats: Arc::clone(&self.stats),
         }
     }
@@ -509,7 +637,10 @@ struct SimPacket {
 
 struct SimTx {
     link: Mutex<LossyLink>,
+    // Field order is load-bearing: `tx` must drop before `wake`, so the
+    // hang-up wake fires on an already-disconnected channel.
     tx: Sender<SimPacket>,
+    wake: WakeOnDrop,
     stats: Arc<Mutex<SimNetStats>>,
 }
 
@@ -553,9 +684,15 @@ impl FrameTx for SimTx {
             }
             Some(delay) => {
                 let due = Instant::now() + Duration::from_nanos(delay.as_nanos());
-                self.tx
+                let sent = self
+                    .tx
                     .send(SimPacket { due, head, payload })
-                    .map_err(|_| NetError::Closed)
+                    .map_err(|_| NetError::Closed);
+                // Wake at enqueue, not at `due`: a multiplexed reader
+                // polling too early sees `NotBefore(due)` and re-polls
+                // at the delivery instant on its own timer.
+                self.wake.wake();
+                sent
             }
         };
         crate::metrics::record_stage(crate::metrics::Stage::Send, send_start.elapsed());
@@ -569,6 +706,7 @@ struct SimRx {
     /// `recv` call's deadline — parked so the timeout contract holds
     /// without losing the frame.
     pending: Option<SimPacket>,
+    wake: Arc<WakeSlot>,
 }
 
 impl FrameRx for SimRx {
@@ -616,25 +754,69 @@ impl FrameRx for SimRx {
             }
         }
     }
+
+    fn try_recv(&mut self) -> TryRecv {
+        loop {
+            let packet = match self.pending.take() {
+                Some(parked) => parked,
+                None => match self.rx.try_recv() {
+                    Ok(packet) => packet,
+                    Err(TryRecvError::Empty) => return TryRecv::Empty,
+                    Err(TryRecvError::Disconnected) => return TryRecv::Closed,
+                },
+            };
+            // Model the link latency without blocking the multiplexed
+            // reader: sub-resolution waits spin (like `recv`), anything
+            // longer is handed back as a re-poll instant — the sender
+            // already woke us at enqueue, so no further wake is coming
+            // for this packet.
+            let now = Instant::now();
+            if packet.due > now {
+                if packet.due - now > Duration::from_micros(200) {
+                    let due = packet.due;
+                    self.pending = Some(packet);
+                    return TryRecv::NotBefore(due);
+                }
+                while Instant::now() < packet.due {
+                    std::hint::spin_loop();
+                }
+            }
+            let SimPacket { head, payload, .. } = packet;
+            let decoded = codec::decode_wire_frame_split(&head, payload);
+            crate::pool::global().recycle_vec(head);
+            match decoded {
+                Ok(frame) => return TryRecv::Frame(frame),
+                Err(_) => continue, // Corrupted in transit: same as lost.
+            }
+        }
+    }
+
+    fn set_waker(&mut self, waker: FrameWaker) {
+        self.wake.set(waker);
+    }
 }
 
 impl Transport for SimTransport {
     fn pair(&self) -> (WireConn, WireConn) {
         let (to_server_tx, to_server_rx) = unbounded();
         let (to_client_tx, to_client_rx) = unbounded();
+        let (server_wake, client_wake) =
+            (Arc::new(WakeSlot::default()), Arc::new(WakeSlot::default()));
         (
             WireConn {
-                tx: Box::new(self.lane(to_server_tx)),
+                tx: Box::new(self.lane(to_server_tx, Arc::clone(&server_wake))),
                 rx: Box::new(SimRx {
                     rx: to_client_rx,
                     pending: None,
+                    wake: client_wake.clone(),
                 }),
             },
             WireConn {
-                tx: Box::new(self.lane(to_client_tx)),
+                tx: Box::new(self.lane(to_client_tx, client_wake)),
                 rx: Box::new(SimRx {
                     rx: to_server_rx,
                     pending: None,
+                    wake: server_wake,
                 }),
             },
         )

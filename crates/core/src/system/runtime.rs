@@ -409,6 +409,25 @@ pub struct ConstructorWatermark {
     pub cursors: Vec<(u32, u64)>,
 }
 
+/// Delta watermark for the serve driver's per-step poll
+/// ([`ConstructorMsg::Pulse`]). Where [`ConstructorWatermark`] carries
+/// *every* client cursor — O(clients) to build and merge, paid by
+/// `stats()` and the controller at their leisurely cadence — a pulse
+/// carries only the cursors that moved since the previous pulse, so
+/// the driver's high-frequency ack/backpressure loop costs O(active)
+/// per poll no matter how many clients are rostered.
+#[derive(Debug, Clone, Default)]
+pub struct ConstructorPulse {
+    /// Serve steps currently queued for pulling clients (bounded by
+    /// the backpressure depth; same as the full watermark's).
+    pub ready: Vec<u64>,
+    /// Lowest serve step a rostered client still needs — maintained as
+    /// a count-multiset over cursor values, so reading it is O(1).
+    pub needed: Option<u64>,
+    /// Cursors that moved since the last pulse (drained on read).
+    pub cursors: Vec<(u32, u64)>,
+}
+
 /// Messages understood by a constructor actor.
 pub enum ConstructorMsg {
     /// A broadcast plan slice: construct this bucket's batch.
@@ -454,6 +473,9 @@ pub enum ConstructorMsg {
     },
     /// Report ack/backpressure watermarks.
     Watermark(ReplyTo<ConstructorWatermark>),
+    /// Report the delta watermark (moved cursors only) — the serve
+    /// driver's per-step poll; see [`ConstructorPulse`].
+    Pulse(ReplyTo<ConstructorPulse>),
     /// Start a fresh serve session: drop queued batches, cursors, parked
     /// pulls, and the roster left over from a previous session (serve
     /// step numbering restarts at 0 each session).
@@ -484,6 +506,14 @@ pub struct ConstructorActor {
     /// bucket-mates share one encoding.
     ready: BTreeMap<u64, SharedBatch>,
     cursors: HashMap<u32, u64>,
+    /// Count-multiset over `cursors` values: cursor step → how many
+    /// clients sit at it. Keeps the prune floor (`min` over thousands
+    /// of cursors) an O(1) read instead of an O(clients) scan on every
+    /// pull, completion, and watermark.
+    floor_counts: BTreeMap<u64, u32>,
+    /// Clients whose cursor moved since the last [`ConstructorMsg::Pulse`]
+    /// (the delta the serve driver polls).
+    dirty: std::collections::HashSet<u32>,
     waiting: HashMap<u32, (u64, PullReply)>,
     roster_known: bool,
     /// Eagerly wire-encode each batch at construct time (set per session
@@ -498,14 +528,36 @@ impl ConstructorActor {
             inner,
             ready: BTreeMap::new(),
             cursors: HashMap::new(),
+            floor_counts: BTreeMap::new(),
+            dirty: std::collections::HashSet::new(),
             waiting: HashMap::new(),
             roster_known: false,
             pre_encode: false,
         }
     }
 
+    /// Moves one client's cursor, keeping the floor multiset and the
+    /// pulse delta in step. Handles rewinds (a re-`Subscribe` below the
+    /// old position) as well as advances.
+    fn set_cursor(&mut self, client: u32, cursor: u64) {
+        let prev = self.cursors.insert(client, cursor);
+        if prev == Some(cursor) {
+            return;
+        }
+        if let Some(prev) = prev {
+            if let Some(count) = self.floor_counts.get_mut(&prev) {
+                *count -= 1;
+                if *count == 0 {
+                    self.floor_counts.remove(&prev);
+                }
+            }
+        }
+        *self.floor_counts.entry(cursor).or_insert(0) += 1;
+        self.dirty.insert(client);
+    }
+
     fn needed(&self) -> Option<u64> {
-        self.cursors.values().min().copied()
+        self.floor_counts.keys().next().copied()
     }
 
     fn prune(&mut self) {
@@ -579,7 +631,7 @@ impl Actor for ConstructorActor {
                 step,
                 reply,
             } => {
-                self.cursors.insert(client, step);
+                self.set_cursor(client, step);
                 match self.ready.get(&step) {
                     Some(shared) => {
                         reply.send((step, shared.clone()));
@@ -596,13 +648,13 @@ impl Actor for ConstructorActor {
                 for (c, cursor) in clients {
                     // Client cursors are monotone, so max() never rewinds a
                     // position a concurrent Pull already reported.
-                    let entry = self.cursors.entry(c).or_insert(cursor);
-                    *entry = (*entry).max(cursor);
+                    let merged = self.cursors.get(&c).map_or(cursor, |at| cursor.max(*at));
+                    self.set_cursor(c, merged);
                 }
                 self.roster_known = true;
             }
             ConstructorMsg::Complete { client, next_step } => {
-                self.cursors.insert(client, next_step);
+                self.set_cursor(client, next_step);
                 self.prune();
             }
             ConstructorMsg::Watermark(reply) => {
@@ -612,9 +664,25 @@ impl Actor for ConstructorActor {
                     cursors: self.cursors.iter().map(|(c, s)| (*c, *s)).collect(),
                 });
             }
+            ConstructorMsg::Pulse(reply) => {
+                let moved: Vec<(u32, u64)> = {
+                    let cursors = &self.cursors;
+                    self.dirty
+                        .drain()
+                        .filter_map(|c| cursors.get(&c).map(|s| (c, *s)))
+                        .collect()
+                };
+                reply.send(ConstructorPulse {
+                    ready: self.ready.keys().copied().collect(),
+                    needed: self.needed(),
+                    cursors: moved,
+                });
+            }
             ConstructorMsg::Reset { pre_encode } => {
                 self.ready.clear();
                 self.cursors.clear();
+                self.floor_counts.clear();
+                self.dirty.clear();
                 self.waiting.clear();
                 self.roster_known = false;
                 self.pre_encode = pre_encode;
@@ -1855,12 +1923,20 @@ fn broadcast(fleet: &Fleet, step: u64, items: &[BroadcastItem]) {
     }
 }
 
-/// Polls every rostered constructor's watermark. Returns whether all of
-/// them hold every window step their clients still need (through `step`),
-/// plus the fleet-wide minimum needed step. A constructor missing steps
-/// with an empty mailbox has restarted and lost its queue: its roster (at
+/// Polls every rostered constructor's delta watermark
+/// ([`ConstructorMsg::Pulse`]). Returns whether all of them hold every
+/// window step their clients still need (through `step`), plus the
+/// fleet-wide minimum needed step. A constructor missing steps with an
+/// empty mailbox has restarted and lost its queue: its roster (at
 /// cached cursor positions) and the missing window slices are re-sent —
 /// both idempotent on the receiving side.
+///
+/// This poll runs every few milliseconds while the driver waits out
+/// backpressure, which is why it asks for the *pulse* (moved cursors
+/// only) rather than the full watermark: with thousands of mostly-idle
+/// clients rostered, the full report would cost O(clients) per poll on
+/// both sides. `stats()` and the elastic controller still take the
+/// full [`ConstructorWatermark`] at their much lower cadence.
 fn poll_watermarks(
     fleet: &Fleet,
     rostered: &[usize],
@@ -1872,10 +1948,10 @@ fn poll_watermarks(
     let mut min_needed: Option<u64> = None;
     for &idx in rostered {
         let ctor = &fleet.constructors[idx];
-        match ctor.ask(ConstructorMsg::Watermark, Duration::from_millis(200)) {
+        match ctor.ask(ConstructorMsg::Pulse, Duration::from_millis(200)) {
             Ok(w) => {
-                // Refresh the driver's cursor cache from the report. A
-                // freshly restarted constructor may report fewer clients
+                // Refresh the driver's cursor cache from the delta. A
+                // freshly restarted constructor reports fewer clients
                 // than the cache knows — keep those cached entries — but
                 // a *reported* cursor is authoritative even when it moves
                 // backwards: a lease-evicted client's cursor parks at
@@ -1890,10 +1966,14 @@ fn poll_watermarks(
                     min_needed = Some(min_needed.map_or(n, |m| m.min(n)));
                 }
                 // A step is outstanding if some client may still pull it
-                // (>= the slowest cached cursor) and the constructor does
-                // not hold it. Diffing the full window catches mid-window
-                // losses a high-watermark check would miss.
-                let floor = cursors[idx].values().min().copied().unwrap_or(0);
+                // (>= the constructor's own floor) and the constructor
+                // does not hold it. Diffing the full window catches
+                // mid-window losses a high-watermark check would miss.
+                // The floor comes from the actor's O(1) multiset — a
+                // restarted constructor reports `None` (no cursors yet),
+                // floor 0, which makes its whole owned window "missing"
+                // and triggers the roster + resend below.
+                let floor = w.needed.unwrap_or(0);
                 let held: std::collections::HashSet<u64> = w.ready.iter().copied().collect();
                 let missing: Vec<u64> = window
                     .iter()

@@ -59,7 +59,7 @@
 //!
 //! [`ThreadedPipeline`]: crate::system::runtime::ThreadedPipeline
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,9 +73,9 @@ use msd_sim::SimRng;
 
 use crate::constructor::ConstructedBatch;
 use crate::system::net::{
-    BatchPayload, FrameRx, FrameTx, NetError, RejectReason, SharedBatch, Transport, WireConn,
-    WireFrame,
+    BatchPayload, FrameTx, NetError, RejectReason, SharedBatch, Transport, WireConn, WireFrame,
 };
+use crate::system::reader::{AliveCheck, ReaderPlane, SessionEvent, SessionHandler};
 use crate::system::runtime::ConstructorMsg;
 use crate::system::tcp;
 
@@ -112,6 +112,16 @@ pub struct ServerConfig {
     /// and its constructor cursor released so the rest of the pipeline
     /// keeps flowing. `None` disables leases.
     pub lease: Option<Duration>,
+    /// Server-wide cap on retained retransmit bytes, summed over every
+    /// client. Enforced on each pump tick: while the aggregate gauge is
+    /// over the cap, the most-retained *idle* client (no pending
+    /// activity this tick) is shed — told with
+    /// [`WireFrame::Reject`]`{`[`RejectReason::RetransmitCap`]`}` and
+    /// then evicted through the lease machinery, so it resumes
+    /// gap-free from its cursor once it redials under backoff. Bounds
+    /// total server memory under massive fan-out the way
+    /// [`ServerConfig::retransmit_cap_bytes`] bounds one client.
+    pub aggregate_cap_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +130,7 @@ impl Default for ServerConfig {
             max_sessions: 1024,
             retransmit_cap_bytes: 256 << 20,
             lease: Some(Duration::from_secs(30)),
+            aggregate_cap_bytes: 32 << 30,
         }
     }
 }
@@ -191,6 +202,19 @@ pub struct ServerStatus {
     pub evictions: u64,
     /// Dials refused with a wire `Reject`.
     pub rejections: u64,
+    /// Aggregate retained retransmit bytes across every client (the
+    /// sum [`ServerConfig::aggregate_cap_bytes`] bounds).
+    pub retained_bytes: u64,
+    /// Cumulative sessions visited by lease sweeps. Each pump tick only
+    /// touches the expiry-wheel buckets that just came due, so this
+    /// grows with expirations — not with `sessions × ticks` (the
+    /// regression the wheel exists to prevent).
+    pub sweep_visited: u64,
+    /// Clients shed by aggregate-cap enforcement.
+    pub shed_evictions: u64,
+    /// Clients currently on the activity ring (what the next pump tick
+    /// will touch).
+    pub active: usize,
 }
 
 /// The in-flight constructor pull of one client.
@@ -202,6 +226,7 @@ type PendingPull = (u64, Instant, PendingReply<(u64, SharedBatch)>);
 /// dropped.
 fn rebind(
     sessions: &mut HashMap<u64, Box<dyn FrameTx>>,
+    bound: &mut usize,
     state: &mut ClientState,
     session: u64,
 ) -> bool {
@@ -211,6 +236,8 @@ fn rebind(
         current => {
             if let Some(old) = current {
                 sessions.remove(&old);
+            } else {
+                *bound += 1;
             }
             state.session = Some(session);
             true
@@ -244,13 +271,21 @@ struct ClientState {
     resumes: u64,
     evictions: u64,
     done: bool,
+    /// Whether this client sits on the activity ring (dedup bit, so a
+    /// burst of frames enqueues it once per pump tick).
+    in_ring: bool,
+    /// Whether this client sits in an expiry-wheel bucket (dedup bit;
+    /// lease renewals re-bucket lazily at sweep time).
+    in_wheel: bool,
 }
 
 /// Recomputes a client's retained retransmit bytes after its `unacked`
 /// map was trimmed (maps stay credit-window small, so the walk is
-/// cheap).
-fn recount_unacked(state: &mut ClientState) {
+/// cheap), keeping the server-wide aggregate `total` in step.
+fn recount_unacked(total: &mut u64, state: &mut ClientState) {
+    *total = total.saturating_sub(state.unacked_bytes);
     state.unacked_bytes = state.unacked.values().map(SharedBatch::payload_len).sum();
+    *total += state.unacked_bytes;
 }
 
 /// The serving-plane server actor. See the module docs for the
@@ -272,6 +307,28 @@ pub struct DataServer {
     batches_tx: u64,
     evictions: u64,
     rejections: u64,
+    /// Clients with recent inbound activity or in-flight pulls: the
+    /// only clients a pump tick touches, so tick cost tracks *active*
+    /// clients, not connected sessions.
+    ring: VecDeque<u32>,
+    /// Count of clients with a bound session (the admission-control
+    /// denominator), maintained incrementally so admission is O(1).
+    bound: usize,
+    /// Aggregate retained retransmit bytes across every client.
+    retained_bytes: u64,
+    /// Lease expiry wheel: bucket index (deadline epoch-offset divided
+    /// by [`DataServer::wheel_granularity`]) → clients whose lease
+    /// deadline lands in that bucket. A sweep pops only the buckets
+    /// that came due; renewed clients re-bucket lazily.
+    wheel: BTreeMap<u64, Vec<u32>>,
+    /// Wheel time origin (server start).
+    epoch: Instant,
+    /// Width of one wheel bucket (lease / 4, floored at 1 ms).
+    wheel_granularity: Duration,
+    /// Cumulative sessions visited by sweeps (regression-tested).
+    sweep_visited: u64,
+    /// Clients shed by aggregate-cap enforcement.
+    shed_evictions: u64,
 }
 
 impl DataServer {
@@ -286,7 +343,7 @@ impl DataServer {
         config: ServerConfig,
         gcs: Gcs,
     ) -> Self {
-        let clients = placements
+        let clients: HashMap<u32, ClientState> = placements
             .into_iter()
             .map(|(client, rank, ctor)| {
                 (
@@ -307,11 +364,13 @@ impl DataServer {
                         resumes: 0,
                         evictions: 0,
                         done: false,
+                        in_ring: false,
+                        in_wheel: false,
                     },
                 )
             })
             .collect();
-        DataServer {
+        let mut server = DataServer {
             constructors,
             steps,
             pull_retry,
@@ -323,7 +382,62 @@ impl DataServer {
             batches_tx: 0,
             evictions: 0,
             rejections: 0,
+            ring: VecDeque::new(),
+            bound: 0,
+            retained_bytes: 0,
+            wheel: BTreeMap::new(),
+            epoch: Instant::now(),
+            wheel_granularity: config.lease.map_or(Duration::from_millis(1), |lease| {
+                (lease / 4).max(Duration::from_millis(1))
+            }),
+            sweep_visited: 0,
+            shed_evictions: 0,
+        };
+        // Every placed client pins a constructor cursor from step 0, so
+        // even one that never dials must be lease-reaped: arm them all.
+        let placed: Vec<u32> = server.clients.keys().copied().collect();
+        for client in placed {
+            server.arm_lease(client);
         }
+        server
+    }
+
+    /// The wheel bucket a lease deadline falls into.
+    fn wheel_bucket(&self, deadline: Instant) -> u64 {
+        (deadline.saturating_duration_since(self.epoch).as_nanos()
+            / self.wheel_granularity.as_nanos().max(1)) as u64
+    }
+
+    /// Parks a client in the expiry-wheel bucket of its current lease
+    /// deadline. No-op while it is already parked (renewals re-bucket
+    /// lazily at sweep time), finished, or when leases are off.
+    fn arm_lease(&mut self, client: u32) {
+        let Some(lease) = self.config.lease else {
+            return;
+        };
+        let Some(state) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if state.in_wheel || state.done {
+            return;
+        }
+        state.in_wheel = true;
+        let deadline = state.last_seen + lease;
+        let bucket = self.wheel_bucket(deadline);
+        self.wheel.entry(bucket).or_default().push(client);
+    }
+
+    /// Puts a client on the activity ring for the next pump tick
+    /// (deduped via its `in_ring` bit).
+    fn enqueue_ring(&mut self, client: u32) {
+        let Some(state) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if state.in_ring || state.done {
+            return;
+        }
+        state.in_ring = true;
+        self.ring.push_back(client);
     }
 
     /// Sends one batch frame to a client's bound session; a send failure
@@ -351,6 +465,7 @@ impl DataServer {
             if let Some(state) = self.clients.get_mut(&client) {
                 state.session = None;
             }
+            self.bound = self.bound.saturating_sub(1);
         }
     }
 
@@ -367,6 +482,7 @@ impl DataServer {
         state.done = true;
         state.pending = None;
         state.unacked.clear();
+        self.retained_bytes = self.retained_bytes.saturating_sub(state.unacked_bytes);
         state.unacked_bytes = 0;
         let steps = self.steps;
         self.constructors[state.ctor].tell(ConstructorMsg::Complete {
@@ -391,11 +507,13 @@ impl DataServer {
         let session = state.session.take();
         if let Some(session) = session {
             self.sessions.remove(&session);
+            self.bound = self.bound.saturating_sub(1);
         }
         state.subscribed = false;
         state.pending = None;
         state.unacked.clear();
         state.unacked_bytes = 0;
+        self.retained_bytes = self.retained_bytes.saturating_sub(freed);
         // The evicted window is gone; a re-subscribe must re-pull from
         // its cursor instead of resuming past the freed batches.
         state.next_pull = state.base;
@@ -418,15 +536,6 @@ impl DataServer {
         });
     }
 
-    /// Number of currently bound sessions (the admission-control
-    /// denominator).
-    fn bound_sessions(&self) -> usize {
-        self.clients
-            .values()
-            .filter(|s| s.session.is_some())
-            .count()
-    }
-
     /// Admission check for a dial binding a *new* session. Returns the
     /// refusal reason, or `None` to admit. Rebinds of a client's own
     /// live session never grow the session count and are always
@@ -441,7 +550,7 @@ impl DataServer {
                     .then_some(RejectReason::RetransmitCap)
             }
             None => {
-                if self.bound_sessions() >= self.config.max_sessions {
+                if self.bound >= self.config.max_sessions {
                     Some(RejectReason::SessionLimit)
                 } else if state.unacked_bytes > self.config.retransmit_cap_bytes {
                     Some(RejectReason::RetransmitCap)
@@ -474,11 +583,18 @@ impl DataServer {
     fn handle_frame(&mut self, session: u64, frame: WireFrame) {
         self.frames_rx += 1;
         let client = frame.client();
-        // Any frame from a placed client renews its liveness lease.
+        // Any frame from a placed client renews its liveness lease. If
+        // the client left the wheel (evicted, then returned), re-arm;
+        // while it is still parked the renewal re-buckets lazily at
+        // sweep time.
         if let Some(state) = self.clients.get_mut(&client) {
             state.last_seen = Instant::now();
             state.reaped = false;
         }
+        self.arm_lease(client);
+        // Inbound activity can unblock the pump (new window, trimmed
+        // buffer, fresh subscription): put the client on the ring.
+        self.enqueue_ring(client);
         match frame {
             WireFrame::Hello { rank, .. } => {
                 let Some(state) = self.clients.get(&client) else {
@@ -513,7 +629,7 @@ impl DataServer {
                     return;
                 }
                 let state = self.clients.get_mut(&client).expect("placed above");
-                rebind(&mut self.sessions, state, session);
+                rebind(&mut self.sessions, &mut self.bound, state, session);
             }
             WireFrame::Subscribe {
                 from_step, credits, ..
@@ -535,7 +651,7 @@ impl DataServer {
                     return;
                 }
                 let state = self.clients.get_mut(&client).expect("placed above");
-                if !rebind(&mut self.sessions, state, session) {
+                if !rebind(&mut self.sessions, &mut self.bound, state, session) {
                     return; // Stale session; the client re-dialed since.
                 }
                 if state.subscribed {
@@ -545,7 +661,7 @@ impl DataServer {
                 // Everything below the client's cursor is consumed.
                 state.base = from_step;
                 state.unacked.retain(|step, _| *step >= from_step);
-                recount_unacked(state);
+                recount_unacked(&mut self.retained_bytes, state);
                 state.high = from_step.saturating_add(u64::from(credits));
                 state.next_pull = state.next_pull.max(from_step);
                 // Resend the unacknowledged window (idempotent on the
@@ -558,6 +674,14 @@ impl DataServer {
                 for step in resend {
                     self.send_batch(client, step);
                 }
+                // A subscribe at (or past) the end of the stream is an
+                // idle attach: the client wants a bound session but no
+                // batches. Finish it immediately so its constructor
+                // cursor releases and the prune floor never waits on a
+                // parked spectator — the session itself stays bound.
+                if from_step >= self.steps {
+                    self.finish(client);
+                }
             }
             WireFrame::Ack { step, .. } => {
                 if let Some(state) = self.clients.get_mut(&client) {
@@ -567,7 +691,7 @@ impl DataServer {
                     // would pin its batch in the buffer forever (a
                     // smoothly consuming client never re-subscribes).
                     state.unacked.retain(|s, _| *s > step);
-                    recount_unacked(state);
+                    recount_unacked(&mut self.retained_bytes, state);
                     if state.next_pull >= self.steps
                         && state.unacked.is_empty()
                         && state.pending.is_none()
@@ -620,8 +744,10 @@ impl DataServer {
                         // same wrapper, so the memoized wire encoding is
                         // shared (and, on serializing transports,
                         // already warmed at construct time).
-                        state.unacked_bytes += shared.payload_len();
+                        let retained = shared.payload_len();
+                        state.unacked_bytes += retained;
                         state.unacked.insert(step, shared);
+                        self.retained_bytes += retained;
                         self.send_batch(client, step);
                         continue; // A send may open room for the next pull.
                     }
@@ -689,36 +815,119 @@ impl DataServer {
             })
             .collect();
         clients.sort_by_key(|c| c.client);
+        debug_assert_eq!(
+            self.bound,
+            clients.iter().filter(|c| c.connected).count(),
+            "incremental bound-session counter drifted"
+        );
+        debug_assert_eq!(
+            self.retained_bytes,
+            clients.iter().map(|c| c.unacked_bytes).sum::<u64>(),
+            "aggregate retained-byte gauge drifted"
+        );
         ServerStatus {
             clients,
             frames_rx: self.frames_rx,
             batches_tx: self.batches_tx,
             evictions: self.evictions,
             rejections: self.rejections,
+            retained_bytes: self.retained_bytes,
+            sweep_visited: self.sweep_visited,
+            shed_evictions: self.shed_evictions,
+            active: self.ring.len(),
         }
     }
 
-    /// Lease sweep, run on every pump tick: evict subscribed,
-    /// unfinished clients that have gone silent past the lease.
+    /// Lease sweep, run on every pump tick: evict unfinished clients
+    /// that have gone silent past the lease. Subscribed or not: even a
+    /// client that never dialed (or whose session died with a server
+    /// restart) pins its constructor cursor, so silence past the lease
+    /// always reaps it — which is why every placed client is armed at
+    /// construction.
+    ///
+    /// Cost: only the expiry-wheel buckets at or before the current
+    /// tick are popped, so a tick with nothing due touches zero
+    /// sessions no matter how many are connected. A client whose lease
+    /// was renewed after bucketing is simply re-bucketed at its real
+    /// deadline (lazy re-bucket: renewals never touch the wheel).
     fn sweep_leases(&mut self) {
         let Some(lease) = self.config.lease else {
             return;
         };
-        // Subscribed or not: even a client that never dialed (or whose
-        // session died with a server restart) pins its constructor
-        // cursor, so silence past the lease always reaps it. The
-        // `reaped` latch makes that a single eviction per silence
-        // period, not one per pump tick.
-        let expired: Vec<u32> = self
-            .clients
-            .iter()
-            .filter(|(_, s)| !s.done && !s.reaped && s.last_seen.elapsed() > lease)
-            .map(|(client, _)| *client)
+        let now = Instant::now();
+        let due = self.wheel_bucket(now);
+        // Snapshot the due bucket keys first: a client renewed into the
+        // still-current bucket re-inserts under a popped key, and
+        // re-scanning the live map would revisit it in the same tick.
+        let due_buckets: Vec<u64> = self
+            .wheel
+            .range(..=due)
+            .map(|(bucket, _)| *bucket)
             .collect();
-        for client in expired {
+        for bucket in due_buckets {
+            let members = self.wheel.remove(&bucket).unwrap_or_default();
+            for client in members {
+                self.sweep_visited += 1;
+                let Some(state) = self.clients.get_mut(&client) else {
+                    continue;
+                };
+                state.in_wheel = false;
+                if state.done {
+                    continue; // Finished while parked; leave the wheel.
+                }
+                let deadline = state.last_seen + lease;
+                if state.reaped {
+                    // Already evicted this silence period (latch): stay
+                    // out of the wheel until its next frame re-arms it.
+                    continue;
+                }
+                if deadline <= now {
+                    self.evict(
+                        client,
+                        &format!("lease expired after {lease:?} without a frame"),
+                    );
+                } else {
+                    // Renewed since it was bucketed: park it again at
+                    // its real deadline.
+                    self.arm_lease(client);
+                }
+            }
+        }
+    }
+
+    /// Aggregate-cap enforcement, run after each pump tick: while the
+    /// server-wide retained-byte gauge exceeds
+    /// [`ServerConfig::aggregate_cap_bytes`], shed the most-retained
+    /// client — preferring one that is *idle* (not on the activity
+    /// ring), since an active client is still draining its buffer. The
+    /// victim is told with a wire `Reject{RetransmitCap}` before the
+    /// eviction so it backs off hard (like an admission refusal) and
+    /// then resumes gap-free from its cursor through the lease path.
+    fn enforce_aggregate_cap(&mut self) {
+        while self.retained_bytes > self.config.aggregate_cap_bytes {
+            let victim = self
+                .clients
+                .iter()
+                .filter(|(_, s)| !s.done && s.unacked_bytes > 0)
+                .max_by_key(|(_, s)| (!s.in_ring, s.unacked_bytes))
+                .map(|(client, _)| *client);
+            let Some(client) = victim else {
+                return; // Nothing sheddable holds bytes; give up.
+            };
+            if let Some(state) = self.clients.get(&client) {
+                if let Some(session) = state.session {
+                    if let Some(tx) = self.sessions.get(&session) {
+                        let _ = tx.send(WireFrame::Reject {
+                            client,
+                            reason: RejectReason::RetransmitCap,
+                        });
+                    }
+                }
+            }
+            self.shed_evictions += 1;
             self.evict(
                 client,
-                &format!("lease expired after {lease:?} without a frame"),
+                "aggregate retransmit cap exceeded; shed most-retained idle client",
             );
         }
     }
@@ -738,15 +947,44 @@ impl Actor for DataServer {
                 for state in self.clients.values_mut() {
                     if state.session == Some(session) {
                         state.session = None;
+                        self.bound = self.bound.saturating_sub(1);
                     }
                 }
             }
             ServerMsg::Pump => {
+                // A tick costs O(due lease buckets + active clients):
+                // parked sessions are invisible to it, which is what
+                // keeps per-idle-client cost flat (the `many_clients`
+                // bench gates the pump p99 and the 256→4k cost slope).
+                let tick_start = Instant::now();
                 self.sweep_leases();
-                let ids: Vec<u32> = self.clients.keys().copied().collect();
-                for client in ids {
+                let rounds = self.ring.len();
+                for _ in 0..rounds {
+                    let Some(client) = self.ring.pop_front() else {
+                        break;
+                    };
+                    if let Some(state) = self.clients.get_mut(&client) {
+                        state.in_ring = false;
+                    }
                     self.pump_client(client);
+                    // Stay on the ring while work is still in flight: a
+                    // parked pull needs a future tick to resolve, and an
+                    // open window with no pull pending means the issue
+                    // failed (constructor mid-restart) and must retry.
+                    let again = self.clients.get(&client).is_some_and(|s| {
+                        !s.done
+                            && s.subscribed
+                            && (s.pending.is_some()
+                                || (s.next_pull < self.steps.min(s.high)
+                                    && s.unacked_bytes < self.config.retransmit_cap_bytes))
+                    });
+                    if again {
+                        self.enqueue_ring(client);
+                    }
                 }
+                self.enforce_aggregate_cap();
+                crate::metrics::set_retained_retransmit_bytes(self.retained_bytes);
+                crate::metrics::record_stage(crate::metrics::Stage::Pump, tick_start.elapsed());
             }
             ServerMsg::Status(reply) => {
                 reply.send(self.status());
@@ -769,6 +1007,10 @@ pub struct DataServerHandle {
     steps: u64,
     pull_timeout: Duration,
     credits: u32,
+    /// The sharded reader plane every accepted session's receive half
+    /// registers with — a fixed thread pool, regardless of how many
+    /// sessions connect.
+    plane: Arc<ReaderPlane>,
 }
 
 impl DataServerHandle {
@@ -780,6 +1022,18 @@ impl DataServerHandle {
         pull_timeout: Duration,
         credits: u32,
     ) -> Self {
+        let events = actor.clone();
+        let handler: SessionHandler = Arc::new(move |session, event| match event {
+            SessionEvent::Frame(frame) => events.tell(ServerMsg::Frame { session, frame }),
+            // `tell` is the authoritative liveness signal: it fails only
+            // when the mailbox receiver is gone (clean stop or restart
+            // budget exhausted). `is_alive()` flips false transiently
+            // mid-restart, so consulting it here could wind the plane
+            // down during a supervised crash the server survives.
+            SessionEvent::Closed => events.tell(ServerMsg::Gone { session }),
+        });
+        let probe = actor.clone();
+        let alive: AliveCheck = Arc::new(move || probe.is_alive());
         DataServerHandle {
             actor,
             transport,
@@ -788,7 +1042,22 @@ impl DataServerHandle {
             steps,
             pull_timeout,
             credits,
+            plane: ReaderPlane::new(handler, alive),
         }
+    }
+
+    /// Number of reader threads multiplexing this server's sessions
+    /// (fixed at startup; the fan-out soak asserts it never grows with
+    /// session count).
+    pub fn reader_threads(&self) -> usize {
+        self.plane.shard_count()
+    }
+
+    /// OS thread-name prefix of this server's reader shards, unique
+    /// per plane — a soak test counts exactly these threads in
+    /// `/proc/self/task` to prove the pool never grows with sessions.
+    pub fn reader_thread_prefix(&self) -> &str {
+        self.plane.thread_name_prefix()
     }
 
     /// The transport connections ride on.
@@ -843,22 +1112,30 @@ impl DataServerHandle {
     }
 
     /// Opens one transport connection, registers its server end with the
-    /// actor, and spawns the reader thread that forwards inbound frames.
+    /// actor, and routes its receive half onto the reader plane.
     fn dial(&self) -> WireConn {
         let (client_end, server_end) = self.transport.pair();
         self.register(server_end);
         client_end
     }
 
+    /// Opens a raw wire connection to this server — no [`RemoteClient`]
+    /// state machine on top. For harnesses (the fan-out soak and bench)
+    /// that speak the protocol directly, e.g. a fleet of idle sessions
+    /// that only ever send `Hello` + `Subscribe{from_step: steps}`.
+    pub fn dial_raw(&self) -> WireConn {
+        self.dial()
+    }
+
     /// Registers the server end of an established connection: assigns a
-    /// session id, hands the sender to the actor, and spawns the reader
-    /// thread. The TCP accept loop and the in-process `dial` path both
-    /// funnel through here.
+    /// session id, hands the sender to the actor, and parks the
+    /// receive half on the sharded reader plane. The TCP accept loop
+    /// and the in-process `dial` path both funnel through here.
     fn register(&self, server_end: WireConn) -> u64 {
         let session = self.next_session.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = server_end.split();
         self.actor.tell(ServerMsg::Session { session, tx });
-        spawn_server_reader(self.actor.clone(), session, rx);
+        self.plane.register(session, rx);
         session
     }
 
@@ -874,68 +1151,45 @@ impl DataServerHandle {
         let handle = self.clone();
         std::thread::Builder::new()
             .name("msd/tcp-accept".into())
-            .spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        // Accepted sockets inherit non-blocking on some
-                        // platforms; the frame threads want blocking IO.
-                        let conn = stream
-                            .set_nonblocking(false)
-                            .and_then(|()| tcp::wire_conn(stream));
-                        let Ok(conn) = conn else { continue };
-                        if !handle.actor.is_alive() {
-                            return;
+            .spawn(move || {
+                // Exponential idle backoff: an accept resets it and
+                // re-polls immediately (a dial burst is drained with no
+                // added latency); a quiet listener winds down to the
+                // cap instead of burning a fixed-period poll forever.
+                const IDLE_MIN: Duration = Duration::from_millis(1);
+                const IDLE_MAX: Duration = Duration::from_millis(100);
+                let mut idle_wait = IDLE_MIN;
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            idle_wait = IDLE_MIN;
+                            // Accepted sockets inherit non-blocking on some
+                            // platforms; the frame threads want blocking IO.
+                            let conn = stream
+                                .set_nonblocking(false)
+                                .and_then(|()| tcp::wire_conn(stream));
+                            let Ok(conn) = conn else { continue };
+                            if !handle.actor.is_alive() {
+                                return;
+                            }
+                            handle.register(conn);
                         }
-                        handle.register(conn);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if !handle.actor.is_alive() {
-                            return; // Session shut down; stop accepting.
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if !handle.actor.is_alive() {
+                                return; // Session shut down; stop accepting.
+                            }
+                            std::thread::sleep(idle_wait);
+                            idle_wait = (idle_wait * 2).min(IDLE_MAX);
                         }
-                        std::thread::sleep(Duration::from_millis(20));
+                        Err(_) => {
+                            std::thread::sleep(idle_wait);
+                            idle_wait = (idle_wait * 2).min(IDLE_MAX);
+                        }
                     }
-                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
                 }
             })?;
         Ok(local)
     }
-}
-
-/// Drains one session's inbound frames into the server actor. The
-/// thread lives as long as the connection: the client dropping its
-/// endpoint closes the channel and ends the loop. The liveness check
-/// only reaps readers of connections leaked past server shutdown.
-fn spawn_server_reader(actor: ActorRef<ServerMsg>, session: u64, mut rx: Box<dyn FrameRx>) {
-    std::thread::Builder::new()
-        .name(format!("msd/server-rx-{session}"))
-        .spawn(move || {
-            let mut seen_alive = false;
-            loop {
-                match rx.recv(Duration::from_millis(200)) {
-                    Ok(frame) => {
-                        seen_alive = true;
-                        if !actor.tell(ServerMsg::Frame { session, frame }) {
-                            break; // Server stopped.
-                        }
-                    }
-                    Err(NetError::Timeout) => {
-                        if actor.is_alive() {
-                            seen_alive = true;
-                        } else if seen_alive {
-                            break; // Server stopped after serving us.
-                        }
-                    }
-                    // A desynchronized stream (`Corrupt`) is fatal to
-                    // the connection just like a hang-up: the client
-                    // redials and resumes from its cursor.
-                    Err(NetError::Closed | NetError::Corrupt) => {
-                        actor.tell(ServerMsg::Gone { session });
-                        break;
-                    }
-                }
-            }
-        })
-        .expect("failed to spawn server reader thread");
 }
 
 /// How a [`RemoteClient`] opens (and re-opens) its connection: through
@@ -1531,6 +1785,90 @@ mod tests {
         assert!(state.subscribed && !state.reaped);
         assert_eq!(state.session, Some(5));
         assert_eq!(state.base, 2);
+    }
+
+    #[test]
+    fn lease_sweep_touches_only_expired_buckets() {
+        let lease = Duration::from_millis(200); // Wheel granularity: 50 ms.
+        let (_system, mut server) = test_server(ServerConfig {
+            lease: Some(lease),
+            ..ServerConfig::default()
+        });
+
+        // Nothing is due: a sweep visits zero sessions no matter how
+        // many are parked (the old implementation walked every client
+        // on every tick — the regression this test pins).
+        server.sweep_leases();
+        assert_eq!(server.sweep_visited, 0);
+
+        // A renewal must not touch the wheel either (lazy re-bucket).
+        std::thread::sleep(Duration::from_millis(80));
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        server.sweep_leases();
+        assert_eq!(server.sweep_visited, 0);
+
+        // Past the original deadlines: exactly the one due bucket (both
+        // placed clients) is visited. The silent client is evicted; the
+        // renewed one is alive and merely re-bucketed at its real
+        // deadline.
+        std::thread::sleep(Duration::from_millis(140));
+        server.sweep_leases();
+        assert_eq!(server.sweep_visited, 2);
+        assert_eq!(server.evictions, 1);
+        assert!(server.clients[&0].in_wheel, "renewed client re-bucketed");
+
+        // The renewed client's lease eventually expires too — one more
+        // visit, from its re-bucketed slot.
+        std::thread::sleep(Duration::from_millis(150));
+        server.sweep_leases();
+        assert_eq!(server.sweep_visited, 3);
+        assert_eq!(server.evictions, 2);
+
+        // Popped buckets and the reaped latch: further ticks are free.
+        server.sweep_leases();
+        assert_eq!(server.sweep_visited, 3);
+    }
+
+    #[test]
+    fn aggregate_cap_sheds_the_most_retained_idle_client() {
+        let (_system, mut server) = test_server(ServerConfig {
+            aggregate_cap_bytes: 64,
+            lease: None,
+            ..ServerConfig::default()
+        });
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        open_session(&mut server, 2);
+        server.handle_frame(2, WireFrame::Hello { client: 1, rank: 1 });
+
+        // Hand-plant retained bytes: client 1 hoards more than client 0.
+        for (client, bytes) in [(0u32, 40u64), (1, 100)] {
+            let state = server.clients.get_mut(&client).unwrap();
+            state.subscribed = true;
+            state.unacked_bytes = bytes;
+            server.retained_bytes += bytes;
+        }
+        assert_eq!(server.retained_bytes, 140);
+
+        // Client 0 is active (on the ring); the shed must pick the idle
+        // hoarder, which alone brings the total back under the cap.
+        server.enqueue_ring(0);
+        server.enforce_aggregate_cap();
+        assert_eq!(server.shed_evictions, 1);
+        assert_eq!(server.retained_bytes, 40);
+        let shed = &server.clients[&1];
+        assert!(shed.session.is_none() && shed.unacked_bytes == 0);
+        let kept = &server.clients[&0];
+        assert!(kept.session.is_some() && kept.unacked_bytes == 40);
+        assert!(
+            server
+                .gcs
+                .fault_log("data-server")
+                .iter()
+                .any(|r| r.detail.contains("aggregate retransmit cap")),
+            "shed must leave a fault-log trail"
+        );
     }
 
     #[test]

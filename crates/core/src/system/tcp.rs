@@ -43,13 +43,16 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::codec;
-use crate::system::net::{FrameRx, FrameTx, NetError, Transport, WireConn, WireFrame};
+use crate::system::net::{
+    FrameRx, FrameTx, FrameWaker, NetError, Transport, TryRecv, WakeSlot, WireConn, WireFrame,
+};
 
 /// Upper bound on a frame body accepted off the wire. A length prefix
 /// beyond this cannot be a real MSDB frame (batches are orders of
@@ -66,15 +69,32 @@ impl FrameTx for TcpTx {
     }
 }
 
-struct TcpRx(Receiver<Result<WireFrame, NetError>>);
+struct TcpRx {
+    rx: Receiver<Result<WireFrame, NetError>>,
+    wake: Arc<WakeSlot>,
+}
 
 impl FrameRx for TcpRx {
     fn recv(&mut self, timeout: Duration) -> Result<WireFrame, NetError> {
-        match self.0.recv_timeout(timeout) {
+        match self.rx.recv_timeout(timeout) {
             Ok(item) => item,
             Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }
+    }
+
+    fn try_recv(&mut self) -> TryRecv {
+        match self.rx.try_recv() {
+            Ok(Ok(frame)) => TryRecv::Frame(frame),
+            Ok(Err(NetError::Corrupt)) => TryRecv::Corrupt,
+            Ok(Err(_)) => TryRecv::Closed,
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+
+    fn set_waker(&mut self, waker: FrameWaker) {
+        self.wake.set(waker);
     }
 }
 
@@ -132,7 +152,7 @@ fn spawn_writer(stream: TcpStream, rx: Receiver<WireFrame>) {
 /// Recv thread: blocking frame reassembly. `read_exact` loops over
 /// partial reads, so frames split at arbitrary byte boundaries (one
 /// byte at a time, in the adversarial tests) still reassemble intact.
-fn spawn_reader(stream: TcpStream, tx: Sender<Result<WireFrame, NetError>>) {
+fn spawn_reader(stream: TcpStream, tx: Sender<Result<WireFrame, NetError>>, wake: Arc<WakeSlot>) {
     std::thread::Builder::new()
         .name("msd/tcp-rx".into())
         .spawn(move || {
@@ -147,6 +167,7 @@ fn spawn_reader(stream: TcpStream, tx: Sender<Result<WireFrame, NetError>>) {
                     // Desynchronized stream: unrecoverable, kill the
                     // connection (see module docs).
                     let _ = tx.send(Err(NetError::Corrupt));
+                    wake.wake();
                     let _ = input.get_ref().shutdown(Shutdown::Both);
                     break;
                 }
@@ -171,9 +192,15 @@ fn spawn_reader(stream: TcpStream, tx: Sender<Result<WireFrame, NetError>>) {
                         if tx.send(Ok(frame)).is_err() {
                             break; // Endpoint dropped.
                         }
+                        wake.wake();
                     }
                 }
             }
+            // Disconnect *before* the hang-up wake: a parked poller
+            // woken here must observe Disconnected, not Empty, or the
+            // hang-up is lost (no further wake will ever come).
+            drop(tx);
+            wake.wake();
         })
         .expect("failed to spawn tcp reader thread");
 }
@@ -184,11 +211,12 @@ pub fn wire_conn(stream: TcpStream) -> io::Result<WireConn> {
     stream.set_nodelay(true)?;
     let (out_tx, out_rx) = unbounded();
     let (in_tx, in_rx) = unbounded();
+    let wake = Arc::new(WakeSlot::default());
     spawn_writer(stream.try_clone()?, out_rx);
-    spawn_reader(stream, in_tx);
+    spawn_reader(stream, in_tx, Arc::clone(&wake));
     Ok(WireConn {
         tx: Box::new(TcpTx(out_tx)),
-        rx: Box::new(TcpRx(in_rx)),
+        rx: Box::new(TcpRx { rx: in_rx, wake }),
     })
 }
 
