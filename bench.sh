@@ -74,6 +74,18 @@
 #                                 throughput with 4088 idle sessions
 #                                 attached, same noise budget as the
 #                                 serve@8 gate above.
+#   plan_log_retained_steps       must stay <= plan_log_retained_budget
+#                                 (both emitted by the frontier
+#                                 scenario): with one client paced a
+#                                 fixed lag behind the head over a 10x
+#                                 longer run, frontier retirement bounds
+#                                 the retained plan log by the laggard's
+#                                 actual lag plus the serve window. A
+#                                 reading past the budget means
+#                                 retention scales with run length
+#                                 again — the failure mode the step
+#                                 frontier replaced the fixed 64-step
+#                                 prune window to eliminate.
 #
 # scaling_efficiency is the *clamped* metric: the bench caps the raw
 # serve@8/serve@1 ratio at the client count (8), because super-linear
@@ -154,12 +166,14 @@ if [[ -n "${OLD_JSON}" ]]; then
   new_idle="$(json_metric "${OUT}" cost_per_idle_client_ratio)"
   old_s4k="$(json_metric "${OLD_JSON}" samples_per_sec_4096)"
   new_s4k="$(json_metric "${OUT}" samples_per_sec_4096)"
+  new_plr="$(json_metric "${OUT}" plan_log_retained_steps)"
+  new_plb="$(json_metric "${OUT}" plan_log_retained_budget)"
   delta="n/a"
   if [[ "${old_s8}" != "n/a" && "${new_s8}" != "n/a" ]]; then
     delta="$(awk -v o="${old_s8}" -v n="${new_s8}" \
       'BEGIN { printf "%+.1f%%", (n - o) / o * 100 }')"
   fi
-  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; degraded_recovery_ratio ${old_deg} -> ${new_deg}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}; pool_hit_rate ${new_phr}; allocs_per_sample ${old_aps} -> ${new_aps}; many_clients@4096 ${old_s4k} -> ${new_s4k} samples/s; cost_per_idle_client_ratio ${new_idle}"
+  echo "REGRESSION: serve@8 ${old_s8} -> ${new_s8} samples/s (${delta}); scaling_efficiency ${old_eff} -> ${new_eff}; elastic recovery_ratio ${old_rec} -> ${new_rec}; degraded_recovery_ratio ${old_deg} -> ${new_deg}; distributed vs_local_serve8 ${old_dist} -> ${new_dist}; sim_vs_loopback ${new_simr}; wire_bytes_per_sample ${old_wps} -> ${new_wps}; pool_hit_rate ${new_phr}; allocs_per_sample ${old_aps} -> ${new_aps}; many_clients@4096 ${old_s4k} -> ${new_s4k} samples/s; cost_per_idle_client_ratio ${new_idle}; frontier plan_log_retained_steps ${new_plr} (budget ${new_plb})"
   if [[ "${CHECK}" == 1 ]]; then
     check_ratio "serve@8 delivered samples/s" "${old_s8}" "${new_s8}" 0.50
     check_ratio "scaling_efficiency" "${old_eff}" "${new_eff}" 0.50
@@ -204,6 +218,11 @@ if [[ -n "${OLD_JSON}" ]]; then
       FAILED=1
     fi
     check_ratio "many_clients@4096 delivered samples/s" "${old_s4k}" "${new_s4k}" 0.50
+    if [[ "${new_plr}" != "n/a" && "${new_plb}" != "n/a" ]] && \
+       awk -v r="${new_plr}" -v b="${new_plb}" 'BEGIN { exit !(r > b) }'; then
+      echo "CHECK FAIL: frontier plan_log_retained_steps ${new_plr} > budget ${new_plb} — plan-log retention is no longer bounded by the laggard's lag (retirement regressed toward run-length retention)"
+      FAILED=1
+    fi
   fi
   rm -f "${OLD_JSON}"
 elif [[ "${CHECK}" == 1 ]]; then

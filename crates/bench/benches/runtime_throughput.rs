@@ -827,6 +827,150 @@ fn run_many_clients(total: u32) -> ManyClientsReport {
     }
 }
 
+/// Frontier-retirement scenario shape: one deliberate laggard client is
+/// paced to trail the slowest leader by `FRONTIER_LAG` steps for the
+/// whole `FRONTIER_STEPS` run (10x the lag). Under frontier retirement
+/// the retained plan log is bounded by the laggard's actual lag plus
+/// the serve window — never by run length — which `bench.sh --check`
+/// gates via `plan_log_retained_steps <= plan_log_retained_budget`.
+const FRONTIER_STEPS: u64 = 80;
+const FRONTIER_LAG: u64 = 8;
+const FRONTIER_CLIENTS: u32 = 4;
+/// Serve window. Must exceed `FRONTIER_LAG`: the driver refuses to run
+/// more than `queue_depth` past the slowest floor, and the laggard
+/// refuses to run closer than `FRONTIER_LAG` behind the leaders, so a
+/// window smaller than the lag would deadlock the two paces.
+const FRONTIER_QUEUE: u64 = 24;
+
+/// Measured retention under the deliberate laggard, sampled with the
+/// leaders finished and the laggard still parked at its lag.
+struct FrontierReport {
+    /// Global step frontier (min over live capability cursors).
+    frontier_step: u64,
+    /// Laggard's distance behind the served head at sample time.
+    laggard_lag_steps: u64,
+    /// Live `plan/{step}` entries still in the GCS at sample time.
+    plan_log_retained_steps: u64,
+    /// What frontier retirement bounds retention to: the lag, plus the
+    /// serve window (retirement folds before the window's consumers
+    /// ack), plus one retirement cadence of slack.
+    plan_log_retained_budget: u64,
+    /// Server-side retransmit bytes retained at sample time.
+    retained_bytes: u64,
+}
+
+/// Distributed serve with `FRONTIER_CLIENTS - 1` free-running leaders
+/// and one paced laggard. The laggard pulls step `s` only once every
+/// leader is `FRONTIER_LAG` past it, holding its frontier capability a
+/// fixed, known distance behind the head; retention is sampled after
+/// the leaders drain, then the laggard is released to finish the run.
+fn run_frontier() -> FrontierReport {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let catalog = catalog();
+    let mut pipeline =
+        ThreadedPipeline::new(sources(&catalog), planner(&catalog), constructors(4), 131);
+    let placements: Vec<RemotePlacement> = (0..FRONTIER_CLIENTS)
+        .map(|c| RemotePlacement {
+            client: c,
+            rank: (c % 4) * 2,
+        })
+        .collect();
+    let (session, handle) = pipeline.serve_distributed(
+        ServeOptions {
+            clients: FRONTIER_CLIENTS,
+            steps: FRONTIER_STEPS,
+            refill_target: REFILL_TARGET,
+            queue_depth: FRONTIER_QUEUE,
+            prefetch: true,
+            pull_timeout: Duration::from_millis(500),
+            ..ServeOptions::default()
+        },
+        Arc::new(LoopbackTransport),
+        &placements,
+    );
+
+    let leader_marks: Arc<Vec<AtomicU64>> =
+        Arc::new((1..FRONTIER_CLIENTS).map(|_| AtomicU64::new(0)).collect());
+    let laggard_mark = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+
+    let laggard = {
+        let mut rc = handle.connect(0);
+        let leader_marks = Arc::clone(&leader_marks);
+        let laggard_mark = Arc::clone(&laggard_mark);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            let mut samples = 0u64;
+            loop {
+                while !release.load(Ordering::Acquire) {
+                    let slowest_leader = leader_marks
+                        .iter()
+                        .map(|m| m.load(Ordering::Acquire))
+                        .min()
+                        .unwrap_or(0);
+                    if laggard_mark.load(Ordering::Acquire) + FRONTIER_LAG <= slowest_leader {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                match rc.next() {
+                    Some((_, batch)) => {
+                        let (s, _) = batch_delivery(&batch);
+                        samples += s;
+                        laggard_mark.fetch_add(1, Ordering::Release);
+                    }
+                    None => break,
+                }
+            }
+            samples
+        })
+    };
+    let leaders: Vec<_> = (1..FRONTIER_CLIENTS)
+        .map(|c| {
+            let mut rc = handle.connect(c);
+            let marks = Arc::clone(&leader_marks);
+            std::thread::spawn(move || {
+                let mut pulled = 0u64;
+                while let Some((_, batch)) = rc.next() {
+                    std::hint::black_box(&batch);
+                    pulled += 1;
+                    marks[(c - 1) as usize].store(pulled, Ordering::Release);
+                }
+                pulled
+            })
+        })
+        .collect();
+    for (i, h) in leaders.into_iter().enumerate() {
+        let pulled = h.join().expect("frontier leader");
+        assert_eq!(pulled, FRONTIER_STEPS, "frontier leader {i} missed steps");
+    }
+
+    // Leaders are done; the laggard is parked FRONTIER_LAG short of the
+    // head, pinning the frontier there. Let its in-flight acks land,
+    // then sample what the protocol retained.
+    std::thread::sleep(Duration::from_millis(100));
+    let status = handle.status().expect("frontier status");
+    let laggard_at = laggard_mark.load(Ordering::Acquire);
+    let plan_log_retained_steps = (0..FRONTIER_STEPS)
+        .filter(|s| pipeline.gcs.get_state(&format!("plan/{s}")).is_some())
+        .count() as u64;
+    let report = FrontierReport {
+        frontier_step: status.frontier,
+        laggard_lag_steps: FRONTIER_STEPS - laggard_at,
+        plan_log_retained_steps,
+        plan_log_retained_budget: FRONTIER_LAG + FRONTIER_QUEUE + 8,
+        retained_bytes: status.retained_bytes,
+    };
+
+    release.store(true, Ordering::Release);
+    let laggard_samples = laggard.join().expect("frontier laggard");
+    assert!(laggard_samples > 0, "laggard delivered nothing");
+    assert_eq!(session.join(), FRONTIER_STEPS, "frontier driver fell short");
+    pipeline.shutdown();
+    report
+}
+
 fn main() {
     banner(
         "runtime_throughput",
@@ -899,6 +1043,7 @@ fn main() {
     // vs 256 attached clients. Flat idle cost ⇒ ratio ≈ 1.0; the gate
     // in bench.sh allows 1.25 for shared-box noise.
     let cost_per_idle_client_ratio = many[many.len() - 1].wall_s / many[0].wall_s;
+    let frontier = run_frontier();
 
     table_header(&[
         "deployment",
@@ -1059,6 +1204,29 @@ fn main() {
         cost_per_idle_client_ratio
     );
 
+    println!(
+        "\nfrontier scenario (distributed serve@{FRONTIER_CLIENTS}, one laggard held \
+         {FRONTIER_LAG} steps behind over {FRONTIER_STEPS} steps):"
+    );
+    table_header(&[
+        "laggard_lag",
+        "frontier_step",
+        "plan_log_retained",
+        "retained_budget",
+        "retained_B",
+    ]);
+    table_row(&[
+        frontier.laggard_lag_steps.to_string(),
+        frontier.frontier_step.to_string(),
+        frontier.plan_log_retained_steps.to_string(),
+        frontier.plan_log_retained_budget.to_string(),
+        frontier.retained_bytes.to_string(),
+    ]);
+    println!(
+        "[retained plan log is bounded by the laggard's lag + the serve window, never by \
+         run length; bench.sh --check gates plan_log_retained_steps <= plan_log_retained_budget]"
+    );
+
     if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
         let by_clients = |metric: &dyn Fn(&Delivered) -> f64| -> String {
             client_counts
@@ -1177,6 +1345,26 @@ fn main() {
             .to_string()
             + ",\n"
             + &many_json;
+        let frontier_json = format!(
+            "  \"frontier\": {{\n    \"steps\": {FRONTIER_STEPS},\n    \
+             \"laggard_lag_steps\": {},\n    \
+             \"frontier_step\": {},\n    \
+             \"plan_log_retained_steps\": {},\n    \
+             \"plan_log_retained_budget\": {},\n    \
+             \"retained_bytes\": {}\n  }}\n}}\n",
+            frontier.laggard_lag_steps,
+            frontier.frontier_step,
+            frontier.plan_log_retained_steps,
+            frontier.plan_log_retained_budget,
+            frontier.retained_bytes,
+        );
+        let json = json
+            .trim_end()
+            .strip_suffix('}')
+            .expect("fan-out report ends with a brace")
+            .to_string()
+            + ",\n"
+            + &frontier_json;
         std::fs::write(&path, json).expect("write BENCH_JSON_OUT");
         println!("[json report written to {path}]");
     }

@@ -60,6 +60,7 @@ use crate::loader::LoaderCheckpoint;
 use crate::planner::PlannerCheckpoint;
 use crate::system::controller::{ControllerCheckpoint, SlotRecord};
 use crate::system::core::CoreCheckpoint;
+use crate::system::frontier::{FrontierCheckpoint, Holder};
 use crate::system::net::{BatchPayload, RejectReason, WireFrame};
 use msd_mesh::DeliveryKind;
 
@@ -96,6 +97,11 @@ const KIND_WIRE_CLOSE: u8 = 10;
 const KIND_BATCH: u8 = 11;
 /// Wire kind: admission refusal ([`WireFrame::Reject`]).
 const KIND_WIRE_REJECT: u8 = 12;
+/// Frame kind: serve-plane frontier checkpoint
+/// ([`FrontierCheckpoint`]).
+const KIND_FRONTIER: u8 = 13;
+/// Wire kind: consumed-frontier announcement ([`WireFrame::Frontier`]).
+const KIND_WIRE_FRONTIER: u8 = 14;
 
 /// Why a blob failed to decode (through both the binary and the JSON
 /// fallback paths). Errors raised while walking a binary frame carry
@@ -575,6 +581,66 @@ pub fn decode_controller_checkpoint(data: &[u8]) -> Result<ControllerCheckpoint,
     })
 }
 
+/// Holder tag of the frontier checkpoint frame.
+const HOLDER_CLIENT: u8 = 0;
+const HOLDER_CONSTRUCTOR: u8 = 1;
+
+/// Encodes a serve-plane frontier checkpoint: the folded frontier, the
+/// driver's served/pruning cursors, and every live capability holder
+/// (13 bytes per holder).
+pub fn encode_frontier_checkpoint(cp: &FrontierCheckpoint) -> Vec<u8> {
+    let mut buf = frame(KIND_FRONTIER, 4 * 8 + 4 + cp.holders.len() * 13);
+    buf.put_u64_le(cp.frontier);
+    buf.put_u64_le(cp.served);
+    buf.put_u64_le(cp.plan_base);
+    buf.put_u64_le(cp.pruned_below);
+    buf.put_u32_le(cp.holders.len() as u32);
+    for (holder, cursor) in &cp.holders {
+        let (tag, id) = match holder {
+            Holder::Client(id) => (HOLDER_CLIENT, *id),
+            Holder::Constructor(idx) => (HOLDER_CONSTRUCTOR, *idx),
+        };
+        buf.put_u8(tag);
+        buf.put_u32_le(id);
+        buf.put_u64_le(*cursor);
+    }
+    seal(buf)
+}
+
+/// Decodes a frontier checkpoint. No JSON fallback: the frame postdates
+/// the binary codec, so a non-frame blob is corruption, not legacy.
+pub fn decode_frontier_checkpoint(data: &[u8]) -> Result<FrontierCheckpoint, CodecError> {
+    let mut r = open_frame(data, KIND_FRONTIER)?;
+    let frontier = r.u64()?;
+    let served = r.u64()?;
+    let plan_base = r.u64()?;
+    let pruned_below = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut holders = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let id = r.u32()?;
+        let cursor = r.u64()?;
+        let holder = match tag {
+            HOLDER_CLIENT => Holder::Client(id),
+            HOLDER_CONSTRUCTOR => Holder::Constructor(id),
+            other => {
+                return Err(CodecError::new(format!("unknown holder tag {other}"))
+                    .with_frame_len(data.len()));
+            }
+        };
+        holders.push((holder, cursor));
+    }
+    r.finish()?;
+    Ok(FrontierCheckpoint {
+        frontier,
+        served,
+        plan_base,
+        pruned_below,
+        holders,
+    })
+}
+
 /// Byte length of the head-sealed v3 `WireFrame::Batch` head: magic,
 /// version, kind, client, step, payload length, head checksum. The
 /// payload bytes follow immediately after.
@@ -595,6 +661,7 @@ pub fn encoded_wire_frame_len(frame_in: &WireFrame) -> usize {
         WireFrame::Credit { .. } => base + 4 + 4,
         WireFrame::Close { .. } => base + 4,
         WireFrame::Reject { .. } => base + 4 + 1,
+        WireFrame::Frontier { .. } => base + 4 + 8,
     }
 }
 
@@ -679,6 +746,11 @@ pub fn encode_wire_frame_parts(frame_in: &WireFrame, head: &mut Vec<u8>) -> Opti
             head.put_u8(KIND_WIRE_REJECT);
             head.put_u32_le(*client);
             head.put_u8(reason.code());
+        }
+        WireFrame::Frontier { client, consumed } => {
+            head.put_u8(KIND_WIRE_FRONTIER);
+            head.put_u32_le(*client);
+            head.put_u64_le(*consumed);
         }
     }
     let sum = fnv1a(head);
@@ -857,6 +929,10 @@ fn decode_sealed_wire_frame(data: &[u8]) -> Result<WireFrame, CodecError> {
             })?;
             WireFrame::Reject { client, reason }
         }
+        KIND_WIRE_FRONTIER => WireFrame::Frontier {
+            client: r.u32()?,
+            consumed: r.u64()?,
+        },
         other => {
             return Err(CodecError::new(format!("not a wire frame kind: {other}"))
                 .with_frame_len(data.len()));

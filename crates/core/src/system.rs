@@ -36,6 +36,7 @@ use crate::system::core::PipelineCore;
 pub mod chaos;
 pub mod controller;
 pub mod core;
+pub mod frontier;
 pub mod net;
 pub mod reader;
 pub mod runtime;

@@ -1,0 +1,363 @@
+//! Step-frontier progress tracking for the serve plane.
+//!
+//! Every consumer of the serve stream — a local [`ServeClient`], a remote
+//! session tracked by the [`DataServer`], a constructor's delivered cursor —
+//! holds a *capability* at the lowest step it may still need. The
+//! [`FrontierHub`] folds those cursors into a single global frontier: the
+//! minimum over all live holders. The fold follows timely dataflow's
+//! progress-tracking contract ("timestamp t can never appear here again"):
+//!
+//! * the frontier is **monotone non-decreasing** — once a step retires it
+//!   stays retired, so pruning a plan-log prefix or a retransmit buffer
+//!   below the frontier is provably safe, not a window-size guess;
+//! * a holder's cursor only moves forward (`advance` takes the max);
+//! * releasing a capability (client `Close`, lease eviction, constructor
+//!   shutdown) removes the holder from the fold — a departed consumer can
+//!   neither hold back nor falsely advance global retirement;
+//! * re-acquiring below the frontier is *clamped up*: the granted cursor is
+//!   `max(requested, frontier)`, because steps below the frontier have
+//!   already been retired and can never be replayed from retained state.
+//!
+//! Retirement policy everywhere downstream is then a single rule:
+//! `step < frontier ⇒ retire eagerly; step ≥ frontier ⇒ must retain`.
+//!
+//! [`ServeClient`]: crate::system::runtime::ServeClient
+//! [`DataServer`]: crate::system::server::DataServer
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// A capability holder in the frontier fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Holder {
+    /// A serve-stream consumer (local `ServeClient` or remote session),
+    /// keyed by client id. Its cursor is the next step it will consume.
+    Client(u32),
+    /// A constructor's delivery floor (min over its per-client cursors),
+    /// keyed by constructor index. Keeps ready-queue batches retained until
+    /// the constructor itself has moved past them.
+    Constructor(u32),
+}
+
+impl std::fmt::Display for Holder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Holder::Client(id) => write!(f, "client/{id}"),
+            Holder::Constructor(idx) => write!(f, "constructor/{idx}"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HubState {
+    /// Live capability cursors.
+    holders: HashMap<Holder, u64>,
+    /// Count-multiset of cursors for O(log n) min maintenance.
+    counts: BTreeMap<u64, u32>,
+    /// The folded global frontier. Monotone: only ever ratcheted up.
+    frontier: u64,
+    /// Acquires that asked for a cursor below the frontier and were
+    /// clamped up (resume-after-retirement).
+    clamped_acquires: u64,
+    /// Capabilities released (close, eviction, completion).
+    releases: u64,
+}
+
+impl HubState {
+    fn count_insert(&mut self, cursor: u64) {
+        *self.counts.entry(cursor).or_insert(0) += 1;
+    }
+
+    fn count_remove(&mut self, cursor: u64) {
+        if let Some(n) = self.counts.get_mut(&cursor) {
+            *n -= 1;
+            if *n == 0 {
+                self.counts.remove(&cursor);
+            }
+        }
+    }
+
+    /// Ratchets the frontier up to the current min over live holders.
+    /// With no holders the frontier stays where it is — an empty fold
+    /// proves nothing new retired.
+    fn refold(&mut self) {
+        if let Some((&min, _)) = self.counts.iter().next() {
+            self.frontier = self.frontier.max(min);
+        }
+    }
+}
+
+/// Shared fold of consumed-frontier reports (see module docs).
+///
+/// Cheap to clone behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct FrontierHub {
+    state: Mutex<HubState>,
+}
+
+/// A point-in-time snapshot of the fold, for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierSnapshot {
+    /// The folded global frontier.
+    pub frontier: u64,
+    /// Live holders and their cursors, sorted for determinism.
+    pub holders: Vec<(Holder, u64)>,
+}
+
+/// The serve driver's GCS-persisted frontier record (MSDB frame kind
+/// 13, see [`crate::codec::encode_frontier_checkpoint`]). Steps are
+/// session-local; `plan_base` maps them onto the planner's global step
+/// counter so recovery can prove which plan-log entries are retired:
+/// plan-log step `plan_base + frontier` is the retirement floor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrontierCheckpoint {
+    /// Folded global frontier, in session steps.
+    pub frontier: u64,
+    /// Steps the serve driver had served when this was written.
+    pub served: u64,
+    /// Planner global step of this session's step 0.
+    pub plan_base: u64,
+    /// Plan-log entries below this *planner* step have been pruned.
+    pub pruned_below: u64,
+    /// Live holders and their cursors at checkpoint time.
+    pub holders: Vec<(Holder, u64)>,
+}
+
+impl FrontierHub {
+    /// Creates an empty hub with the frontier at 0.
+    pub fn new() -> Self {
+        FrontierHub::default()
+    }
+
+    /// Acquires (or re-acquires) a capability at `at`. Returns the granted
+    /// cursor: `max(at, frontier)` — steps below the frontier are already
+    /// retired and cannot be held. Re-acquiring an existing holder rebinds
+    /// its cursor (still clamped to both the frontier and its own previous
+    /// cursor, so a holder can never rewind the fold).
+    pub fn acquire(&self, holder: Holder, at: u64) -> u64 {
+        let mut s = self.state.lock().expect("frontier hub lock");
+        let mut granted = at.max(s.frontier);
+        if at < s.frontier {
+            s.clamped_acquires += 1;
+        }
+        if let Some(&prev) = s.holders.get(&holder) {
+            granted = granted.max(prev);
+            s.count_remove(prev);
+        }
+        s.holders.insert(holder, granted);
+        s.count_insert(granted);
+        s.refold();
+        granted
+    }
+
+    /// Advances a holder's cursor to `to` (monotone: `max` with the current
+    /// cursor). Reports from a holder that no longer exists are dropped —
+    /// a released capability is gone and cannot influence the fold.
+    pub fn advance(&self, holder: Holder, to: u64) {
+        let mut s = self.state.lock().expect("frontier hub lock");
+        let Some(&prev) = s.holders.get(&holder) else {
+            return;
+        };
+        if to <= prev {
+            return;
+        }
+        s.count_remove(prev);
+        s.holders.insert(holder, to);
+        s.count_insert(to);
+        s.refold();
+    }
+
+    /// Releases a holder's capability, removing it from the fold. The
+    /// frontier ratchets to the min of the *remaining* holders; releasing
+    /// the last holder leaves it unchanged (nothing new is proven).
+    pub fn release(&self, holder: Holder) {
+        let mut s = self.state.lock().expect("frontier hub lock");
+        let Some(prev) = s.holders.remove(&holder) else {
+            return;
+        };
+        s.releases += 1;
+        s.count_remove(prev);
+        s.refold();
+    }
+
+    /// The current global frontier: every step below it is retired.
+    pub fn frontier(&self) -> u64 {
+        self.state.lock().expect("frontier hub lock").frontier
+    }
+
+    /// The lowest cursor over live *client* holders, if any. The serve
+    /// driver's drain condition: `None` means no client still consuming.
+    pub fn min_client_cursor(&self) -> Option<u64> {
+        let s = self.state.lock().expect("frontier hub lock");
+        s.holders
+            .iter()
+            .filter(|(h, _)| matches!(h, Holder::Client(_)))
+            .map(|(_, &c)| c)
+            .min()
+    }
+
+    /// Number of live client holders.
+    pub fn live_clients(&self) -> usize {
+        let s = self.state.lock().expect("frontier hub lock");
+        s.holders
+            .keys()
+            .filter(|h| matches!(h, Holder::Client(_)))
+            .count()
+    }
+
+    /// Whether `holder` currently holds a capability.
+    pub fn holds(&self, holder: Holder) -> bool {
+        self.state
+            .lock()
+            .expect("frontier hub lock")
+            .holders
+            .contains_key(&holder)
+    }
+
+    /// A holder's current cursor, if live.
+    pub fn cursor(&self, holder: Holder) -> Option<u64> {
+        self.state
+            .lock()
+            .expect("frontier hub lock")
+            .holders
+            .get(&holder)
+            .copied()
+    }
+
+    /// Acquires clamped up because they asked below the frontier.
+    pub fn clamped_acquires(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("frontier hub lock")
+            .clamped_acquires
+    }
+
+    /// Capabilities released so far.
+    pub fn releases(&self) -> u64 {
+        self.state.lock().expect("frontier hub lock").releases
+    }
+
+    /// Snapshot of the fold for checkpointing.
+    pub fn snapshot(&self) -> FrontierSnapshot {
+        let s = self.state.lock().expect("frontier hub lock");
+        let mut holders: Vec<(Holder, u64)> = s.holders.iter().map(|(h, c)| (*h, *c)).collect();
+        holders.sort();
+        FrontierSnapshot {
+            frontier: s.frontier,
+            holders,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_is_min_over_live_holders() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Client(0), 0);
+        hub.acquire(Holder::Client(1), 0);
+        assert_eq!(hub.frontier(), 0);
+        hub.advance(Holder::Client(0), 10);
+        assert_eq!(hub.frontier(), 0, "client 1 still at 0");
+        hub.advance(Holder::Client(1), 7);
+        assert_eq!(hub.frontier(), 7);
+        hub.advance(Holder::Client(1), 20);
+        assert_eq!(hub.frontier(), 10, "client 0 is now the straggler");
+    }
+
+    #[test]
+    fn release_removes_holder_from_fold() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Client(0), 0);
+        hub.acquire(Holder::Client(1), 0);
+        hub.advance(Holder::Client(0), 50);
+        assert_eq!(hub.frontier(), 0);
+        hub.release(Holder::Client(1));
+        assert_eq!(hub.frontier(), 50, "laggard's release unblocks the fold");
+        assert_eq!(hub.releases(), 1);
+    }
+
+    #[test]
+    fn released_holder_cannot_advance_or_hold_back() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Client(0), 0);
+        hub.acquire(Holder::Client(1), 0);
+        hub.advance(Holder::Client(0), 5);
+        hub.release(Holder::Client(1));
+        assert_eq!(hub.frontier(), 5);
+        // A stale report from the departed holder is dropped.
+        hub.advance(Holder::Client(1), 1000);
+        assert_eq!(hub.frontier(), 5);
+        assert!(!hub.holds(Holder::Client(1)));
+    }
+
+    #[test]
+    fn reacquire_below_frontier_is_clamped() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Client(0), 0);
+        hub.advance(Holder::Client(0), 40);
+        assert_eq!(hub.frontier(), 40);
+        // A rejoining client asking for retired steps is clamped up.
+        let granted = hub.acquire(Holder::Client(1), 3);
+        assert_eq!(granted, 40);
+        assert_eq!(hub.frontier(), 40);
+        assert_eq!(hub.clamped_acquires(), 1);
+    }
+
+    #[test]
+    fn frontier_is_monotone_across_release_of_last_holder() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Client(0), 0);
+        hub.advance(Holder::Client(0), 12);
+        hub.release(Holder::Client(0));
+        assert_eq!(hub.frontier(), 12, "empty fold keeps the last frontier");
+        // A fresh join at 0 is clamped to the retired prefix.
+        assert_eq!(hub.acquire(Holder::Client(2), 0), 12);
+    }
+
+    #[test]
+    fn reacquire_never_rewinds_an_existing_holder() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Client(0), 0);
+        hub.advance(Holder::Client(0), 9);
+        let granted = hub.acquire(Holder::Client(0), 2);
+        assert_eq!(granted, 9, "rebind keeps the forward-most cursor");
+        assert_eq!(hub.cursor(Holder::Client(0)), Some(9));
+    }
+
+    #[test]
+    fn constructor_holders_do_not_count_as_clients() {
+        let hub = FrontierHub::new();
+        hub.acquire(Holder::Constructor(0), 0);
+        assert_eq!(hub.live_clients(), 0);
+        assert_eq!(hub.min_client_cursor(), None);
+        hub.acquire(Holder::Client(7), 4);
+        assert_eq!(hub.live_clients(), 1);
+        assert_eq!(hub.min_client_cursor(), Some(4));
+        // But constructors do participate in the retirement fold.
+        hub.advance(Holder::Client(7), 100);
+        assert_eq!(hub.frontier(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let hub = FrontierHub::new();
+        // Lowest holder first: a sole holder at 5 would ratchet the
+        // frontier to 5 and clamp every later acquire up to it.
+        hub.acquire(Holder::Constructor(0), 2);
+        hub.acquire(Holder::Client(3), 5);
+        hub.acquire(Holder::Client(1), 8);
+        let snap = hub.snapshot();
+        assert_eq!(snap.frontier, 2);
+        assert_eq!(
+            snap.holders,
+            vec![
+                (Holder::Client(1), 8),
+                (Holder::Client(3), 5),
+                (Holder::Constructor(0), 2),
+            ]
+        );
+    }
+}

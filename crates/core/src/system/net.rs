@@ -259,6 +259,21 @@ pub enum WireFrame {
         /// Why admission was refused.
         reason: RejectReason,
     },
+    /// Consumed-frontier announcement (client → server): everything
+    /// below `consumed` has been durably consumed by this client, so
+    /// the server may release retained state for those steps. Cumulative
+    /// (a later announcement subsumes an earlier one) and monotone on
+    /// the server — a stale or reordered announcement can never rewind
+    /// the capability. Unlike `Ack`, which receipts one step, this
+    /// carries the client's whole progress in one frame, which is what
+    /// the global frontier fold consumes.
+    Frontier {
+        /// Announcing client id.
+        client: u32,
+        /// First step the client may still need (exclusive upper bound
+        /// of its consumed prefix).
+        consumed: u64,
+    },
 }
 
 /// Why a [`WireFrame::Reject`] refused a dial. Carried on the wire as a
@@ -310,7 +325,8 @@ impl WireFrame {
             | WireFrame::Ack { client, .. }
             | WireFrame::Credit { client, .. }
             | WireFrame::Close { client }
-            | WireFrame::Reject { client, .. } => *client,
+            | WireFrame::Reject { client, .. }
+            | WireFrame::Frontier { client, .. } => *client,
         }
     }
 }

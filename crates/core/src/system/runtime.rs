@@ -48,6 +48,7 @@ use crate::system::controller::{
     ControllerActor, ControllerConfig, ControllerMsg, ControllerStatus,
 };
 use crate::system::core::{PipelineCore, PlanOutcome};
+use crate::system::frontier::{FrontierCheckpoint, FrontierHub, Holder};
 use crate::system::net::{SharedBatch, Transport};
 use crate::system::server::{
     DataServer, DataServerHandle, RemotePlacement, ServerConfig, ServerMsg,
@@ -60,8 +61,11 @@ const REPLAY_STORE_KEY: &str = "planner/replay";
 /// GCS key holding the planner's current trainer topology (elastic
 /// resharding must survive planner restarts).
 const PLANNER_TREE_KEY: &str = "planner/tree";
-/// Plan-log entries retained in the GCS for loader directive replay.
-const PLAN_LOG_WINDOW: u64 = 64;
+/// GCS key holding the serve driver's frontier checkpoint: the proof of
+/// which plan-log prefix has retired. Plan-log entries are pruned only
+/// below the retirement floor this record carries — never by a fixed
+/// window — so replay after any restart is complete by construction.
+pub(crate) const FRONTIER_STATE_KEY: &str = "frontier";
 
 fn plan_log_key(step: u64) -> String {
     format!("plan/{step}")
@@ -133,7 +137,10 @@ impl LoaderActor {
             Some(cp) => match crate::codec::decode_loader_checkpoint(&cp.data) {
                 Ok(parsed) => {
                     let mut loader = SourceLoader::restore(spec, config, &parsed);
-                    replay_plan_log(&mut loader, &gcs, parsed.version, loader_id);
+                    surface_replay_gap(
+                        replay_plan_log(&mut loader, &gcs, parsed.version, loader_id),
+                        &gcs,
+                    );
                     loader
                 }
                 Err(e) => {
@@ -150,7 +157,7 @@ impl LoaderActor {
                     // replayed from the beginning to drop every sample
                     // already delivered before the crash.
                     let mut loader = SourceLoader::synthetic(spec, config, seed);
-                    replay_plan_log(&mut loader, &gcs, 0, loader_id);
+                    surface_replay_gap(replay_plan_log(&mut loader, &gcs, 0, loader_id), &gcs);
                     loader
                 }
             },
@@ -160,7 +167,7 @@ impl LoaderActor {
                 // deterministic stream from ordinal 0, so any logged
                 // deliveries must still be replayed away.
                 let mut loader = SourceLoader::synthetic(spec, config, seed);
-                replay_plan_log(&mut loader, &gcs, 0, loader_id);
+                surface_replay_gap(replay_plan_log(&mut loader, &gcs, 0, loader_id), &gcs);
                 loader
             }
         };
@@ -168,32 +175,60 @@ impl LoaderActor {
     }
 }
 
+/// The retirement floor proven by the persisted frontier checkpoint:
+/// plan-log entries below this step may legitimately be absent (pruned
+/// after every live capability holder moved past them); entries at or
+/// above it must still exist. With no frontier record nothing has ever
+/// been pruned, so the floor is 0 and every step must be present.
+fn persisted_retirement_floor(gcs: &Gcs) -> u64 {
+    gcs.get_state(FRONTIER_STATE_KEY)
+        .and_then(|cp| crate::codec::decode_frontier_checkpoint(&cp.data).ok())
+        .map(|cp| cp.pruned_below)
+        .unwrap_or(0)
+}
+
 /// Replays pop directives of plans issued after `from_version` out of the
 /// GCS plan log into a restored loader (differential checkpointing: the
 /// checkpoint is small, the delta is replayed).
-fn replay_plan_log(loader: &mut SourceLoader, gcs: &Gcs, from_version: u64, loader_id: u32) {
+///
+/// A missing entry below the persisted retirement floor is provably
+/// consumed (the frontier protocol prunes nothing newer); a missing entry
+/// at or above it is a replay gap — samples delivered before the crash
+/// could silently resurface — so it is surfaced as
+/// [`RuntimeError::PlanLogGap`] instead of being skipped.
+fn replay_plan_log(
+    loader: &mut SourceLoader,
+    gcs: &Gcs,
+    from_version: u64,
+    loader_id: u32,
+) -> Result<(), RuntimeError> {
     let Some(cp) = gcs.get_state(PLANNER_STATE_KEY) else {
-        return;
+        return Ok(());
     };
     let Ok(core_cp) = crate::codec::decode_planner_checkpoint(&cp.data) else {
-        return; // Planner checkpoint unreadable — its own restart logs it.
+        return Ok(()); // Planner checkpoint unreadable — its own restart logs it.
     };
     let latest = core_cp.planner.step; // Plans 0..latest have been issued.
-    let earliest_retained = latest.saturating_sub(PLAN_LOG_WINDOW);
-    if from_version < earliest_retained {
-        // The log was pruned past the replay range: deliveries from the
-        // uncovered steps cannot be replayed away and may resurface.
-        gcs.log_fault(
-            format!("loader/{loader_id}"),
-            format!(
-                "plan log replay needs steps {from_version}..{latest} but entries below \
-                 {earliest_retained} were pruned; duplicates from the gap are possible"
-            ),
-        );
-    }
+    let floor = persisted_retirement_floor(gcs);
     for step in from_version..latest {
         let Some(entry) = gcs.get_state(&plan_log_key(step)) else {
-            continue; // Pruned or never logged.
+            if step >= floor {
+                gcs.log_fault(
+                    format!("loader/{loader_id}"),
+                    format!(
+                        "plan log replay gap: step {step} is missing but the frontier \
+                         checkpoint only retires steps below {floor} \
+                         (replaying {from_version}..{latest}); \
+                         samples delivered at that step may resurface"
+                    ),
+                );
+                return Err(RuntimeError::PlanLogGap {
+                    loader_id,
+                    missing_step: step,
+                    frontier: floor,
+                });
+            }
+            continue; // Below the retirement floor: provably consumed.
         };
         match crate::codec::decode_plan_log(&entry.data) {
             Ok(directives) => {
@@ -214,6 +249,18 @@ fn replay_plan_log(loader: &mut SourceLoader, gcs: &Gcs, from_version: u64, load
                 );
             }
         }
+    }
+    Ok(())
+}
+
+/// Surfaces a replay gap from an actor factory (which cannot itself
+/// fail): the [`RuntimeError`] lands on the GCS fault log under the
+/// runtime component, where supervisors and operators read it. The
+/// loader still starts — it serves fresh data — but the gap is now loud
+/// instead of silent sample loss.
+fn surface_replay_gap(result: Result<(), RuntimeError>, gcs: &Gcs) {
+    if let Err(e) = result {
+        gcs.log_fault("runtime", format!("{e}"));
     }
 }
 
@@ -354,9 +401,11 @@ impl Actor for PlannerActor {
                     let directives = crate::codec::encode_plan_log(&outcome.plan.directives);
                     self.gcs
                         .put_state(&plan_log_key(step), step + 1, directives);
-                    if step >= PLAN_LOG_WINDOW {
-                        self.gcs.remove_state(&plan_log_key(step - PLAN_LOG_WINDOW));
-                    }
+                    // No pruning here: plan-log retirement belongs to the
+                    // serve driver, which prunes only below the proven
+                    // step frontier (see `retire_plan_log`). A fixed
+                    // window at the producer cannot know how far behind
+                    // the slowest consumer or loader checkpoint is.
                     let cp = crate::codec::encode_planner_checkpoint(&self.core.checkpoint());
                     self.gcs
                         .put_state(PLANNER_STATE_KEY, self.core.planner_ref().step(), cp);
@@ -476,6 +525,14 @@ pub enum ConstructorMsg {
     /// Report the delta watermark (moved cursors only) — the serve
     /// driver's per-step poll; see [`ConstructorPulse`].
     Pulse(ReplyTo<ConstructorPulse>),
+    /// The serve driver's folded global frontier: every step below `at`
+    /// is proven consumed by all live capability holders, so queued
+    /// batches below it retire eagerly — even when this constructor's
+    /// own cursor floor lags (e.g. a `Complete` still in flight).
+    Frontier {
+        /// The global step frontier (exclusive retirement bound).
+        at: u64,
+    },
     /// Start a fresh serve session: drop queued batches, cursors, parked
     /// pulls, and the roster left over from a previous session (serve
     /// step numbering restarts at 0 each session).
@@ -519,6 +576,11 @@ pub struct ConstructorActor {
     /// Eagerly wire-encode each batch at construct time (set per session
     /// by [`ConstructorMsg::Reset`] when the transport serializes).
     pre_encode: bool,
+    /// The serve driver's folded global frontier (monotone within a
+    /// session). Ready-queue retirement follows the frontier rule:
+    /// `step < frontier ⇒ retire eagerly; step ≥ frontier ⇒ retain
+    /// until this bucket's own cursor floor passes it`.
+    frontier: u64,
 }
 
 impl ConstructorActor {
@@ -533,6 +595,7 @@ impl ConstructorActor {
             waiting: HashMap::new(),
             roster_known: false,
             pre_encode: false,
+            frontier: 0,
         }
     }
 
@@ -561,7 +624,13 @@ impl ConstructorActor {
     }
 
     fn prune(&mut self) {
-        if let Some(floor) = self.needed() {
+        // Retire below the bucket's own cursor floor *or* the global
+        // frontier, whichever proves more: the frontier can run ahead of
+        // the floor when a departed client's `Complete` is still in
+        // flight, and the floor can run ahead of the frontier for steps
+        // only this bucket's clients have consumed.
+        let floor = self.needed().unwrap_or(0).max(self.frontier);
+        if floor > 0 {
             self.ready.retain(|step, _| *step >= floor);
         }
     }
@@ -591,6 +660,7 @@ impl Actor for ConstructorActor {
                     return; // Nobody will ever pull from this bucket.
                 }
                 let duplicate = self.ready.contains_key(&step)
+                    || step < self.frontier
                     || self.needed().is_some_and(|floor| step < floor);
                 if duplicate {
                     return; // Idempotent re-broadcast.
@@ -678,6 +748,12 @@ impl Actor for ConstructorActor {
                     cursors: moved,
                 });
             }
+            ConstructorMsg::Frontier { at } => {
+                if at > self.frontier {
+                    self.frontier = at;
+                    self.prune();
+                }
+            }
             ConstructorMsg::Reset { pre_encode } => {
                 self.ready.clear();
                 self.cursors.clear();
@@ -686,6 +762,7 @@ impl Actor for ConstructorActor {
                 self.waiting.clear();
                 self.roster_known = false;
                 self.pre_encode = pre_encode;
+                self.frontier = 0; // Serve steps renumber each session.
             }
         }
     }
@@ -712,6 +789,18 @@ pub enum RuntimeError {
     },
     /// Plan generation failed.
     Plan(DGraphError),
+    /// Plan-log replay found a missing step the frontier protocol never
+    /// retired: the entry was lost (not pruned), so deliveries from that
+    /// step cannot be replayed away and may resurface as duplicates.
+    PlanLogGap {
+        /// The loader whose replay hit the gap.
+        loader_id: u32,
+        /// The plan step whose log entry is absent.
+        missing_step: u64,
+        /// The persisted retirement floor (steps below it are the only
+        /// ones provably-safe to be absent).
+        frontier: u64,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -730,6 +819,16 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "constructor for bucket {bucket} failed RPC")
             }
             RuntimeError::Plan(e) => write!(f, "plan generation failed: {e}"),
+            RuntimeError::PlanLogGap {
+                loader_id,
+                missing_step,
+                frontier,
+            } => write!(
+                f,
+                "plan log gap: loader {loader_id} needs step {missing_step} but the \
+                 entry is missing and the frontier checkpoint only retires steps \
+                 below {frontier}"
+            ),
         }
     }
 }
@@ -1369,19 +1468,26 @@ impl ThreadedPipeline {
         let roster: Vec<(u32, usize)> = (0..opts.clients)
             .map(|id| (id, id as usize % ctor_count))
             .collect();
+        let hub = Arc::new(FrontierHub::new());
         let clients: Vec<ServeClient> = roster
             .iter()
-            .map(|(id, ctor_idx)| ServeClient {
-                id: *id,
-                constructor: self.fleet.constructors[*ctor_idx].clone(),
-                next_step: 0,
-                steps: opts.steps,
-                pull_timeout: opts.pull_timeout,
+            .map(|(id, ctor_idx)| {
+                // Each local client holds a frontier capability from step
+                // 0 and self-reports progress as it pulls.
+                hub.acquire(Holder::Client(*id), 0);
+                ServeClient {
+                    id: *id,
+                    constructor: self.fleet.constructors[*ctor_idx].clone(),
+                    next_step: 0,
+                    steps: opts.steps,
+                    pull_timeout: opts.pull_timeout,
+                    hub: hub.clone(),
+                }
             })
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
         // Local clients consume batches by `Arc`; nothing to pre-encode.
-        self.spawn_driver(opts, roster, clients, stop, false)
+        self.spawn_driver(opts, roster, clients, stop, false, hub)
     }
 
     /// Starts a *distributed* serve session: the driver pumps exactly as
@@ -1431,11 +1537,13 @@ impl ThreadedPipeline {
         // restarts; bounded so loss recovery stays well inside the
         // driver's per-step retry budget.
         let pull_retry = self.fleet.rpc_timeout.min(Duration::from_secs(2));
+        let hub = Arc::new(FrontierHub::new());
         let factory_ctors = self.fleet.constructors.clone();
         let factory_placed = placed.clone();
         let factory_steps = opts.steps;
         let factory_config = opts.server;
         let factory_gcs = self.gcs.clone();
+        let factory_hub = hub.clone();
         let name = format!("data-server/{}", self.servers.len());
         self.gcs.register(&name, "distributed serving plane");
         // Supervised: a crashed (or chaos-killed) server actor restarts
@@ -1454,6 +1562,7 @@ impl ThreadedPipeline {
                     pull_retry,
                     factory_config,
                     factory_gcs.clone(),
+                    factory_hub.clone(),
                 )
             },
         );
@@ -1495,7 +1604,7 @@ impl ThreadedPipeline {
             opts.pull_timeout,
             opts.queue_depth.min(u64::from(u32::MAX)) as u32,
         );
-        let session = self.spawn_driver(opts, roster, Vec::new(), session_stop, pre_encode);
+        let session = self.spawn_driver(opts, roster, Vec::new(), session_stop, pre_encode, hub);
         (session, handle)
     }
 
@@ -1510,18 +1619,30 @@ impl ThreadedPipeline {
         clients: Vec<ServeClient>,
         stop: Arc<AtomicBool>,
         pre_encode: bool,
+        hub: Arc<FrontierHub>,
     ) -> ServeSession {
         let fleet = self.fleet.clone();
         let driver_stop = stop.clone();
         let driver_opts = opts;
+        let driver_hub = hub.clone();
         let driver = std::thread::Builder::new()
             .name("msd/serve-driver".to_string())
-            .spawn(move || run_serve_driver(fleet, driver_opts, driver_stop, roster, pre_encode))
+            .spawn(move || {
+                run_serve_driver(
+                    fleet,
+                    driver_opts,
+                    driver_stop,
+                    roster,
+                    pre_encode,
+                    driver_hub,
+                )
+            })
             .expect("failed to spawn serve driver");
         ServeSession {
             driver: Some(driver),
             clients,
             stop,
+            hub,
         }
     }
 
@@ -1627,6 +1748,8 @@ pub struct ServeSession {
     driver: Option<JoinHandle<u64>>,
     clients: Vec<ServeClient>,
     stop: Arc<AtomicBool>,
+    /// The session's frontier fold (shared with every consumer).
+    hub: Arc<FrontierHub>,
 }
 
 impl ServeSession {
@@ -1634,6 +1757,12 @@ impl ServeSession {
     /// threads).
     pub fn take_clients(&mut self) -> Vec<ServeClient> {
         std::mem::take(&mut self.clients)
+    }
+
+    /// The session's folded global step frontier: every serve step below
+    /// it is proven consumed by all live capability holders.
+    pub fn frontier(&self) -> u64 {
+        self.hub.frontier()
     }
 
     /// Requests the driver to stop after the current step.
@@ -1671,6 +1800,10 @@ pub struct ServeClient {
     next_step: u64,
     steps: u64,
     pull_timeout: Duration,
+    /// The session's frontier fold: this client self-reports its
+    /// consumed cursor after every pull and releases its capability when
+    /// the stream ends (normally or by drop).
+    hub: Arc<FrontierHub>,
 }
 
 impl ServeClient {
@@ -1699,12 +1832,16 @@ impl ServeClient {
                 Ok((step, shared)) => {
                     debug_assert_eq!(step, want);
                     self.next_step = want + 1;
+                    self.hub.advance(Holder::Client(self.id), self.next_step);
                     if self.next_step == self.steps {
-                        // Declare completion so the prune floor advances.
+                        // Declare completion so the prune floor advances,
+                        // and release the frontier capability — this
+                        // client can never need a retained step again.
                         self.constructor.tell(ConstructorMsg::Complete {
                             client: self.id,
                             next_step: self.steps,
                         });
+                        self.hub.release(Holder::Client(self.id));
                     }
                     return Some((step, shared.batch()));
                 }
@@ -1727,11 +1864,14 @@ impl Drop for ServeClient {
             // constructor's prune floor (and with it the serve driver's
             // backpressure and drain) stop waiting for pulls that will
             // never come. Queued batches for this client are pruned —
-            // a dropped client cannot leak its ready queue.
+            // a dropped client cannot leak its ready queue. The frontier
+            // capability is *released*, not advanced: a departed client
+            // must neither hold back nor falsely advance retirement.
             self.constructor.tell(ConstructorMsg::Complete {
                 client: self.id,
                 next_step: self.steps,
             });
+            self.hub.release(Holder::Client(self.id));
         }
     }
 }
@@ -1753,6 +1893,7 @@ fn run_serve_driver(
     stop: Arc<AtomicBool>,
     roster: Vec<(u32, usize)>,
     pre_encode: bool,
+    hub: Arc<FrontierHub>,
 ) -> u64 {
     // The driver caches every client's cursor (refreshed from watermark
     // polls) so a roster re-sent to a restarted constructor restores
@@ -1770,10 +1911,25 @@ fn run_serve_driver(
     let rostered: Vec<usize> = (0..fleet.constructors.len())
         .filter(|idx| !cursors[*idx].is_empty())
         .collect();
+    // Each rostered constructor holds a frontier capability for its
+    // delivered floor (advanced from watermark pulses): the retained
+    // window must outlive not just the slowest client but also any
+    // in-flight `Complete` the constructor has not yet folded in.
+    for &idx in &rostered {
+        hub.acquire(Holder::Constructor(idx as u32), 0);
+    }
 
     // Retained broadcast window for re-broadcast after constructor
     // restarts; bounded by the backpressure depth.
     let mut window: BroadcastWindow = VecDeque::new();
+
+    // Plan-log retirement state: the planner's global step of this
+    // session's serve step 0 (captured at the first plan) and the
+    // pruning cursor, resumed from the persisted frontier checkpoint so
+    // retirement stays monotone across sessions.
+    let mut plan_base: Option<u64> = None;
+    let mut pruned_below = persisted_retirement_floor(&fleet.gcs);
+    let mut last_frontier = 0u64;
 
     let mut served = 0u64;
     let mut bucket_overflow_reported = false;
@@ -1812,6 +1968,7 @@ fn run_serve_driver(
             }
         };
         let plan = outcome.plan;
+        let base = *plan_base.get_or_insert(plan.step);
         if plan.buckets.len() > fleet.constructors.len() && !bucket_overflow_reported {
             bucket_overflow_reported = true;
             // Reshard grew the bucket count past the spawned constructor
@@ -1850,6 +2007,17 @@ fn run_serve_driver(
         window.push_back((s, items));
         served = s + 1;
 
+        // (7a) Frontier retirement: fold the consumed-frontier reports,
+        // persist the proof to the GCS, and prune the plan log below it.
+        retire_frontier(
+            &fleet,
+            &hub,
+            base,
+            served,
+            &mut pruned_below,
+            &mut last_frontier,
+        );
+
         // (7b) Elastic control plane: tick the controller on its cadence.
         // The tick is a tell — scaling decisions execute on the
         // controller's thread while the driver keeps pumping steps.
@@ -1868,15 +2036,21 @@ fn run_serve_driver(
                 break 'steps;
             }
             let (all_acked, min_needed) =
-                poll_watermarks(&fleet, &rostered, &mut cursors, s, &window);
-            if let Some(floor) = min_needed {
-                // Keep `queue_depth` steps of slack below the floor: a
-                // client resuming after a server crash-restart (or a
-                // lease eviction) re-subscribes from its *consumed*
-                // step, up to one credit window below its server-side
-                // cursor — those steps must stay re-sendable or the
-                // slowest client wedges below the retained window.
-                let keep_from = floor.saturating_sub(opts.queue_depth);
+                poll_watermarks(&fleet, &rostered, &mut cursors, s, &window, &hub);
+            {
+                // Trim the retained window by the *frontier*, not the
+                // constructor floor: the frontier is the min over every
+                // live capability (clients and constructors), so a step
+                // below it can never be pulled or re-broadcast again —
+                // retirement is proven, and retained size is bounded by
+                // actual lag. `queue_depth` steps of slack stay below
+                // it: a client resuming after a server crash-restart
+                // (or a lease eviction) re-subscribes from its
+                // *consumed* step, up to one credit window below its
+                // server-side cursor — those steps must stay
+                // re-sendable or the slowest client wedges below the
+                // retained window.
+                let keep_from = hub.frontier().saturating_sub(opts.queue_depth);
                 while window.front().is_some_and(|(step, _)| *step < keep_from) {
                     window.pop_front();
                 }
@@ -1897,11 +2071,21 @@ fn run_serve_driver(
         if rostered.is_empty() || served == 0 {
             break;
         }
-        let (_, min_needed) = poll_watermarks(&fleet, &rostered, &mut cursors, served - 1, &window);
-        if min_needed.is_some_and(|floor| floor >= served) {
+        let (_, min_needed) =
+            poll_watermarks(&fleet, &rostered, &mut cursors, served - 1, &window, &hub);
+        // Done when the constructor floors prove every stream consumed,
+        // or when the hub holds no live client capability below `served`
+        // (completion and drop both *release*; a released client must
+        // not wedge the drain).
+        if min_needed.is_some_and(|floor| floor >= served)
+            || hub.min_client_cursor().is_none_or(|c| c >= served)
+        {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
+    }
+    for &idx in &rostered {
+        hub.release(Holder::Constructor(idx as u32));
     }
     served
 }
@@ -1909,6 +2093,62 @@ fn run_serve_driver(
 /// A roster message payload from the driver's cached cursor map.
 fn roster_of(cursors: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
     cursors.iter().map(|(c, s)| (*c, *s)).collect()
+}
+
+/// Folds the hub's global frontier into durable retirement, once per
+/// served step:
+///
+/// 1. announce a frontier advance to every constructor (eager
+///    ready-queue retirement below it),
+/// 2. compute the plan-log retirement floor — the min of what every
+///    live consumer capability permits (`plan_base + frontier`) and
+///    what every loader's durable checkpoint permits (its replay
+///    cursor, `state_version("loader/{id}")`) — so neither a lagging
+///    client nor a restarting loader can ever need a pruned entry,
+/// 3. prune plan-log entries below the floor and persist the frontier
+///    checkpoint (the proof readers like [`replay_plan_log`] consult).
+///
+/// Retained plan-log size is therefore bounded by actual lag (slowest
+/// capability behind the head), never by run length.
+fn retire_frontier(
+    fleet: &Fleet,
+    hub: &FrontierHub,
+    plan_base: u64,
+    served: u64,
+    pruned_below: &mut u64,
+    last_frontier: &mut u64,
+) {
+    let snap = hub.snapshot();
+    if snap.frontier > *last_frontier {
+        *last_frontier = snap.frontier;
+        for ctor in &fleet.constructors {
+            ctor.tell(ConstructorMsg::Frontier { at: snap.frontier });
+        }
+    }
+    let mut floor = plan_base.saturating_add(snap.frontier);
+    for slot in fleet.snapshot() {
+        let key = format!("loader/{}", slot.identity.loader_id);
+        floor = floor.min(fleet.gcs.state_version(&key));
+    }
+    if floor > *pruned_below {
+        for step in *pruned_below..floor {
+            fleet.gcs.remove_state(&plan_log_key(step));
+        }
+        *pruned_below = floor;
+    }
+    let cp = FrontierCheckpoint {
+        frontier: snap.frontier,
+        served,
+        plan_base,
+        pruned_below: *pruned_below,
+        holders: snap.holders,
+    };
+    let version = fleet.gcs.state_version(FRONTIER_STATE_KEY) + 1;
+    fleet.gcs.put_state(
+        FRONTIER_STATE_KEY,
+        version,
+        crate::codec::encode_frontier_checkpoint(&cp),
+    );
 }
 
 fn broadcast(fleet: &Fleet, step: u64, items: &[BroadcastItem]) {
@@ -1943,6 +2183,7 @@ fn poll_watermarks(
     cursors: &mut [HashMap<u32, u64>],
     step: u64,
     window: &BroadcastWindow,
+    hub: &FrontierHub,
 ) -> (bool, Option<u64>) {
     let mut all_acked = true;
     let mut min_needed: Option<u64> = None;
@@ -1974,6 +2215,10 @@ fn poll_watermarks(
                 // floor 0, which makes its whole owned window "missing"
                 // and triggers the roster + resend below.
                 let floor = w.needed.unwrap_or(0);
+                // Report the constructor's delivered floor into the
+                // frontier fold (monotone: a restarted constructor's
+                // empty multiset — floor 0 — cannot rewind it).
+                hub.advance(Holder::Constructor(idx as u32), floor);
                 let held: std::collections::HashSet<u64> = w.ready.iter().copied().collect();
                 let missing: Vec<u64> = window
                     .iter()

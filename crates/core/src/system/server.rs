@@ -15,6 +15,8 @@
 //!   | <------- Batch{step} ------- |   pulled from the bucket constructor
 //!   | -- Ack{step} --------------> |   trim retransmit buffer
 //!   | -- Credit{1} --------------> |   slide the window forward
+//!   | -- Frontier{consumed} -----> |   whole-progress claim; folds the
+//!   |                              |   step frontier even if Acks were lost
 //!   |            ...               |
 //!   | -- Close{client} ----------> |   cursor → end, prune floor advances
 //! ```
@@ -72,6 +74,7 @@ use msd_mesh::Rank;
 use msd_sim::SimRng;
 
 use crate::constructor::ConstructedBatch;
+use crate::system::frontier::{FrontierHub, Holder};
 use crate::system::net::{
     BatchPayload, FrameTx, NetError, RejectReason, SharedBatch, Transport, WireConn, WireFrame,
 };
@@ -215,6 +218,9 @@ pub struct ServerStatus {
     /// Clients currently on the activity ring (what the next pump tick
     /// will touch).
     pub active: usize,
+    /// The serve session's global step frontier: every step below this
+    /// is provably consumed by every live capability holder.
+    pub frontier: u64,
 }
 
 /// The in-flight constructor pull of one client.
@@ -303,6 +309,13 @@ pub struct DataServer {
     clients: HashMap<u32, ClientState>,
     config: ServerConfig,
     gcs: Gcs,
+    /// The serve session's step-frontier fold. Every placed client holds
+    /// a capability in it; `Subscribe`/`Ack`/`Frontier` frames advance
+    /// the client's cursor, and [`DataServer::finish`] /
+    /// [`DataServer::evict`] *release* the capability so a departed
+    /// client can neither hold global retirement back nor falsely
+    /// advance it.
+    hub: Arc<FrontierHub>,
     frames_rx: u64,
     batches_tx: u64,
     evictions: u64,
@@ -342,6 +355,7 @@ impl DataServer {
         pull_retry: Duration,
         config: ServerConfig,
         gcs: Gcs,
+        hub: Arc<FrontierHub>,
     ) -> Self {
         let clients: HashMap<u32, ClientState> = placements
             .into_iter()
@@ -378,6 +392,7 @@ impl DataServer {
             clients,
             config,
             gcs,
+            hub,
             frames_rx: 0,
             batches_tx: 0,
             evictions: 0,
@@ -395,9 +410,13 @@ impl DataServer {
         };
         // Every placed client pins a constructor cursor from step 0, so
         // even one that never dials must be lease-reaped: arm them all.
+        // Each also acquires its frontier capability at step 0 — on a
+        // server restart the hub keeps the old cursor, so re-acquiring
+        // at 0 never rewinds the fold.
         let placed: Vec<u32> = server.clients.keys().copied().collect();
         for client in placed {
             server.arm_lease(client);
+            server.hub.acquire(Holder::Client(client), 0);
         }
         server
     }
@@ -469,9 +488,11 @@ impl DataServer {
         }
     }
 
-    /// Marks a client's stream finished and advances its constructor
+    /// Marks a client's stream finished, advances its constructor
     /// cursor to the end so the prune floor and the serve driver's
-    /// drain stop waiting on it.
+    /// drain stop waiting on it, and *releases* its frontier capability
+    /// — a finished client drops out of the global fold entirely rather
+    /// than pinning it at (or pushing it to) any particular step.
     fn finish(&mut self, client: u32) {
         let Some(state) = self.clients.get_mut(&client) else {
             return;
@@ -489,6 +510,7 @@ impl DataServer {
             client,
             next_step: steps,
         });
+        self.hub.release(Holder::Client(client));
     }
 
     /// Evicts a client's session: frees its retransmit buffer, unbinds
@@ -534,6 +556,14 @@ impl DataServer {
             client,
             next_step: steps,
         });
+        // Release — never advance — the frontier capability: the evicted
+        // client must not hold global retirement back at its stale
+        // cursor, and it must not falsely advance retirement either (its
+        // capability simply leaves the fold; the frontier moves only if
+        // every *live* holder is already past it). A late return
+        // re-`Subscribe`s, which re-acquires at its cursor, clamped at
+        // the frontier.
+        self.hub.release(Holder::Client(client));
     }
 
     /// Admission check for a dial binding a *new* session. Returns the
@@ -658,6 +688,10 @@ impl DataServer {
                     state.resumes += 1;
                 }
                 state.subscribed = true;
+                // The cursor is also a frontier capability claim:
+                // re-acquire at the resume point (the hub clamps at the
+                // global frontier and never rewinds a live holder).
+                self.hub.acquire(Holder::Client(client), from_step);
                 // Everything below the client's cursor is consumed.
                 state.base = from_step;
                 state.unacked.retain(|step, _| *step >= from_step);
@@ -692,6 +726,10 @@ impl DataServer {
                     // smoothly consuming client never re-subscribes).
                     state.unacked.retain(|s, _| *s > step);
                     recount_unacked(&mut self.retained_bytes, state);
+                    // The cumulative Ack is also a consumed-frontier
+                    // report: everything through `step` is consumed.
+                    self.hub
+                        .advance(Holder::Client(client), step.saturating_add(1));
                     if state.next_pull >= self.steps
                         && state.unacked.is_empty()
                         && state.pending.is_none()
@@ -716,6 +754,24 @@ impl DataServer {
                         if let Some(tx) = self.sessions.get(&session) {
                             let _ = tx.send(WireFrame::Close { client });
                         }
+                    }
+                }
+            }
+            WireFrame::Frontier { consumed, .. } => {
+                if let Some(state) = self.clients.get_mut(&client) {
+                    // An explicit whole-progress claim: every step below
+                    // `consumed` was delivered, even if the individual
+                    // Acks were lost on the wire. Trim the retransmit
+                    // buffer below it and fold the client's capability
+                    // forward (the hub drops stale/regressive reports).
+                    state.unacked.retain(|s, _| *s >= consumed);
+                    recount_unacked(&mut self.retained_bytes, state);
+                    self.hub.advance(Holder::Client(client), consumed);
+                    if state.next_pull >= self.steps
+                        && state.unacked.is_empty()
+                        && state.pending.is_none()
+                    {
+                        self.finish(client);
                     }
                 }
             }
@@ -835,6 +891,7 @@ impl DataServer {
             sweep_visited: self.sweep_visited,
             shed_evictions: self.shed_evictions,
             active: self.ring.len(),
+            frontier: self.hub.frontier(),
         }
     }
 
@@ -1297,6 +1354,14 @@ pub struct ClientStats {
 /// server cannot spin a client forever.
 const DEFAULT_RETRY_BUDGET: u32 = 256;
 
+/// How often (in consumed steps) a [`RemoteClient`] sends an explicit
+/// [`WireFrame::Frontier`] whole-progress announcement on top of its
+/// per-batch Acks. Acks are cumulative, so the announcement only
+/// matters when Acks are being lost — a low-rate heartbeat is enough to
+/// keep the server's fold (and with it plan-log retirement) moving on a
+/// lossy transport.
+const FRONTIER_ANNOUNCE_EVERY: u64 = 16;
+
 /// A remote trainer client of a distributed serve session. The
 /// network-facing sibling of [`ServeClient`]: pulls are strictly
 /// ordered, the client carries its own consumed cursor, and a lost
@@ -1466,6 +1531,13 @@ impl RemoteClient {
             let Some(conn) = self.conn.as_mut() else {
                 break; // Never connected (or server gone): nothing to close.
             };
+            // Cement the whole-progress claim before closing, so the
+            // server's frontier fold reflects this client's final cursor
+            // even if earlier Acks were lost.
+            let _ = conn.tx.send(WireFrame::Frontier {
+                client: self.id,
+                consumed: self.next_step,
+            });
             if conn.tx.send(WireFrame::Close { client: self.id }).is_err() {
                 break;
             }
@@ -1567,6 +1639,16 @@ impl RemoteClient {
                         grant: 1,
                     });
                     self.next_step = want + 1;
+                    if self.next_step % FRONTIER_ANNOUNCE_EVERY == 0 {
+                        // Periodic whole-progress announcement: on a
+                        // lossy transport a run of lost Acks would leave
+                        // the server's frontier fold (and its retransmit
+                        // buffer) stuck at a stale cursor.
+                        let _ = conn.tx.send(WireFrame::Frontier {
+                            client: self.id,
+                            consumed: self.next_step,
+                        });
+                    }
                     if self.next_step == self.steps {
                         let _ = conn.tx.send(WireFrame::Close { client: self.id });
                     }
@@ -1685,6 +1767,7 @@ mod tests {
             Duration::from_millis(100),
             config,
             Gcs::new(),
+            Arc::new(FrontierHub::new()),
         );
         (system, server)
     }
@@ -1869,6 +1952,142 @@ mod tests {
                 .any(|r| r.detail.contains("aggregate retransmit cap")),
             "shed must leave a fault-log trail"
         );
+    }
+
+    /// One dummy batch to plant in a retransmit buffer (zero payload
+    /// bytes, which keeps the byte gauges trivially consistent).
+    fn dummy_shared_batch() -> SharedBatch {
+        SharedBatch::new(Arc::new(ConstructedBatch {
+            bucket: 0,
+            microbatches: Vec::new(),
+            deliveries: Vec::new(),
+        }))
+    }
+
+    #[test]
+    fn eviction_releases_the_frontier_capability() {
+        let (_system, mut server) = test_server(ServerConfig {
+            lease: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        });
+        // Every placed client holds a capability from construction.
+        assert!(server.hub.holds(Holder::Client(0)));
+        assert!(server.hub.holds(Holder::Client(1)));
+
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        server.handle_frame(
+            1,
+            WireFrame::Subscribe {
+                client: 0,
+                from_step: 0,
+                credits: 4,
+            },
+        );
+        server.handle_frame(1, WireFrame::Ack { client: 0, step: 1 });
+        assert_eq!(server.hub.cursor(Holder::Client(0)), Some(2));
+
+        // Client 0 goes silent and client 1 never dials: both evicted.
+        std::thread::sleep(Duration::from_millis(30));
+        server.sweep_leases();
+        assert_eq!(server.evictions, 2);
+
+        // Eviction *releases* the capabilities — the departed clients
+        // leave the fold instead of pinning it at their stale cursors.
+        assert!(!server.hub.holds(Holder::Client(0)));
+        assert!(!server.hub.holds(Holder::Client(1)));
+        assert_eq!(server.hub.releases(), 2);
+
+        // Nor can a departed client falsely advance retirement: a stale
+        // progress report for a released holder is dropped on the floor.
+        server.hub.advance(Holder::Client(0), 99);
+        assert!(server.hub.frontier() < 99);
+        assert!(!server.hub.holds(Holder::Client(0)));
+
+        // A late return re-acquires at its cursor through Subscribe and
+        // is part of the fold again.
+        open_session(&mut server, 5);
+        server.handle_frame(5, WireFrame::Hello { client: 0, rank: 0 });
+        server.handle_frame(
+            5,
+            WireFrame::Subscribe {
+                client: 0,
+                from_step: 2,
+                credits: 4,
+            },
+        );
+        assert!(server.hub.holds(Holder::Client(0)));
+        assert_eq!(server.hub.cursor(Holder::Client(0)), Some(2));
+    }
+
+    #[test]
+    fn close_releases_the_frontier_capability() {
+        let (_system, mut server) = test_server(ServerConfig::default());
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        server.handle_frame(
+            1,
+            WireFrame::Subscribe {
+                client: 0,
+                from_step: 0,
+                credits: 4,
+            },
+        );
+        server.handle_frame(1, WireFrame::Close { client: 0 });
+        assert!(server.clients[&0].done);
+        assert!(!server.hub.holds(Holder::Client(0)));
+        // The still-placed laggard keeps the frontier pinned at 0: a
+        // peer departing must never advance retirement past a live
+        // holder's cursor.
+        assert!(server.hub.holds(Holder::Client(1)));
+        assert_eq!(server.hub.frontier(), 0);
+    }
+
+    #[test]
+    fn frontier_frame_trims_retransmit_and_advances_the_fold() {
+        let (_system, mut server) = test_server(ServerConfig::default());
+        open_session(&mut server, 1);
+        server.handle_frame(1, WireFrame::Hello { client: 0, rank: 0 });
+        server.handle_frame(
+            1,
+            WireFrame::Subscribe {
+                client: 0,
+                from_step: 0,
+                credits: 4,
+            },
+        );
+        // Plant an unacked window as if steps 0..3 were sent and every
+        // Ack was lost.
+        {
+            let state = server.clients.get_mut(&0).unwrap();
+            for step in 0..3 {
+                state.unacked.insert(step, dummy_shared_batch());
+            }
+        }
+        assert_eq!(server.clients[&0].unacked.len(), 3);
+
+        // The whole-progress claim trims below `consumed` and folds the
+        // capability forward, exactly as the lost Acks would have.
+        server.handle_frame(
+            1,
+            WireFrame::Frontier {
+                client: 0,
+                consumed: 2,
+            },
+        );
+        assert_eq!(server.clients[&0].unacked.len(), 1);
+        assert_eq!(server.hub.cursor(Holder::Client(0)), Some(2));
+
+        // Stale announcements never rewind the cursor.
+        server.handle_frame(
+            1,
+            WireFrame::Frontier {
+                client: 0,
+                consumed: 1,
+            },
+        );
+        assert_eq!(server.hub.cursor(Holder::Client(0)), Some(2));
+        assert_eq!(server.clients[&0].unacked.len(), 1);
     }
 
     #[test]

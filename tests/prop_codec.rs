@@ -1,8 +1,9 @@
 //! Property fuzz for the full MSDB codec.
 //!
-//! Every frame kind — the four GCS checkpoint kinds (1–4), the
-//! distributed-serving wire kinds (5–10 and the kind-12 `Reject`), and
-//! the binary batch payload frame (kind 11) — must satisfy three
+//! Every frame kind — the GCS checkpoint kinds (1–4 and the kind-13
+//! frontier checkpoint), the distributed-serving wire kinds (5–10, the
+//! kind-12 `Reject`, and the kind-14 `Frontier` announcement), and the
+//! binary batch payload frame (kind 11) — must satisfy three
 //! properties under adversarial bytes:
 //!
 //! 1. **Round-trip**: `decode(encode(x)) == x`.
@@ -24,8 +25,9 @@
 use proptest::prelude::*;
 
 use megascale_data::core::codec::{
-    decode_batch, decode_controller_checkpoint, decode_loader_checkpoint, decode_plan_log,
-    decode_planner_checkpoint, decode_wire_frame, encode_batch, encode_controller_checkpoint,
+    decode_batch, decode_controller_checkpoint, decode_frontier_checkpoint,
+    decode_loader_checkpoint, decode_plan_log, decode_planner_checkpoint, decode_wire_frame,
+    encode_batch, encode_controller_checkpoint, encode_frontier_checkpoint,
     encode_loader_checkpoint, encode_plan_log, encode_planner_checkpoint, encode_wire_frame,
     is_binary,
 };
@@ -36,6 +38,7 @@ use megascale_data::core::loader::LoaderCheckpoint;
 use megascale_data::core::planner::PlannerCheckpoint;
 use megascale_data::core::system::controller::{ControllerCheckpoint, SlotRecord};
 use megascale_data::core::system::core::CoreCheckpoint;
+use megascale_data::core::system::frontier::{FrontierCheckpoint, Holder};
 use megascale_data::core::system::net::{BatchPayload, RejectReason, WireFrame};
 use megascale_data::mesh::DeliveryKind;
 
@@ -105,6 +108,35 @@ fn controller_cp() -> impl Strategy<Value = ControllerCheckpoint> {
         })
 }
 
+fn frontier_cp() -> impl Strategy<Value = FrontierCheckpoint> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(
+            (any::<bool>(), any::<u32>(), any::<u64>()).prop_map(|(ctor, id, cursor)| {
+                let holder = if ctor {
+                    Holder::Constructor(id)
+                } else {
+                    Holder::Client(id)
+                };
+                (holder, cursor)
+            }),
+            0..8,
+        ),
+    )
+        .prop_map(
+            |(frontier, served, plan_base, pruned_below, holders)| FrontierCheckpoint {
+                frontier,
+                served,
+                plan_base,
+                pruned_below,
+                holders,
+            },
+        )
+}
+
 fn wire_frame() -> impl Strategy<Value = WireFrame> {
     prop_oneof![
         (any::<u32>(), any::<u32>()).prop_map(|(client, rank)| WireFrame::Hello { client, rank }),
@@ -129,6 +161,8 @@ fn wire_frame() -> impl Strategy<Value = WireFrame> {
         (any::<u32>(), any::<u32>())
             .prop_map(|(client, grant)| WireFrame::Credit { client, grant }),
         any::<u32>().prop_map(|client| WireFrame::Close { client }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(client, consumed)| WireFrame::Frontier { client, consumed }),
         (
             any::<u32>(),
             prop_oneof![
@@ -232,6 +266,7 @@ fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
         plan_log().prop_map(|d| encode_plan_log(&d)),
         loader_cp().prop_map(|cp| encode_loader_checkpoint(&cp)),
         controller_cp().prop_map(|cp| encode_controller_checkpoint(&cp)),
+        frontier_cp().prop_map(|cp| encode_frontier_checkpoint(&cp)),
         wire_frame().prop_map(|f| encode_wire_frame(&f)),
         constructed_batch().prop_map(|b| encode_batch(&b)),
     ]
@@ -244,6 +279,7 @@ fn all_decoders_err(data: &[u8]) -> bool {
         && decode_plan_log(data).is_err()
         && decode_loader_checkpoint(data).is_err()
         && decode_controller_checkpoint(data).is_err()
+        && decode_frontier_checkpoint(data).is_err()
         && decode_wire_frame(data).is_err()
         && decode_batch(data).is_err()
 }
@@ -259,6 +295,7 @@ fn flip_caught(data: &[u8]) -> bool {
         && decode_plan_log(data).is_err()
         && decode_loader_checkpoint(data).is_err()
         && decode_controller_checkpoint(data).is_err()
+        && decode_frontier_checkpoint(data).is_err()
         && decode_batch(data).is_err()
         && match decode_wire_frame(data) {
             Err(_) => true,
@@ -287,6 +324,14 @@ proptest! {
     fn controller_checkpoint_roundtrips(cp in controller_cp()) {
         prop_assert_eq!(
             decode_controller_checkpoint(&encode_controller_checkpoint(&cp)).unwrap(),
+            cp
+        );
+    }
+
+    #[test]
+    fn frontier_checkpoint_roundtrips(cp in frontier_cp()) {
+        prop_assert_eq!(
+            decode_frontier_checkpoint(&encode_frontier_checkpoint(&cp)).unwrap(),
             cp
         );
     }
@@ -400,11 +445,17 @@ proptest! {
     /// A valid frame of one kind errors through every *other* kind's
     /// decoder (kind confusion is caught even with a valid checksum).
     #[test]
-    fn kind_confusion_always_errors(cp in loader_cp(), frame in wire_frame(), batch in constructed_batch()) {
+    fn kind_confusion_always_errors(
+        cp in loader_cp(),
+        frame in wire_frame(),
+        batch in constructed_batch(),
+        fcp in frontier_cp(),
+    ) {
         let loader = encode_loader_checkpoint(&cp);
         prop_assert!(decode_planner_checkpoint(&loader).is_err());
         prop_assert!(decode_plan_log(&loader).is_err());
         prop_assert!(decode_controller_checkpoint(&loader).is_err());
+        prop_assert!(decode_frontier_checkpoint(&loader).is_err());
         prop_assert!(decode_wire_frame(&loader).is_err());
         prop_assert!(decode_batch(&loader).is_err());
         let wire = encode_wire_frame(&frame);
@@ -412,14 +463,24 @@ proptest! {
         prop_assert!(decode_planner_checkpoint(&wire).is_err());
         prop_assert!(decode_plan_log(&wire).is_err());
         prop_assert!(decode_controller_checkpoint(&wire).is_err());
+        prop_assert!(decode_frontier_checkpoint(&wire).is_err());
         prop_assert!(decode_batch(&wire).is_err());
-        // The batch frame errors through the other nine kinds' decoders.
+        // The batch frame errors through the other kinds' decoders.
         let bin = encode_batch(&batch);
         prop_assert!(decode_loader_checkpoint(&bin).is_err());
         prop_assert!(decode_planner_checkpoint(&bin).is_err());
         prop_assert!(decode_plan_log(&bin).is_err());
         prop_assert!(decode_controller_checkpoint(&bin).is_err());
+        prop_assert!(decode_frontier_checkpoint(&bin).is_err());
         prop_assert!(decode_wire_frame(&bin).is_err());
+        // And the frontier checkpoint through everyone else's.
+        let frontier = encode_frontier_checkpoint(&fcp);
+        prop_assert!(decode_loader_checkpoint(&frontier).is_err());
+        prop_assert!(decode_planner_checkpoint(&frontier).is_err());
+        prop_assert!(decode_plan_log(&frontier).is_err());
+        prop_assert!(decode_controller_checkpoint(&frontier).is_err());
+        prop_assert!(decode_wire_frame(&frontier).is_err());
+        prop_assert!(decode_batch(&frontier).is_err());
     }
 
     /// The binary batch frame round-trips over arbitrary batches —

@@ -8,6 +8,7 @@ use megascale_data::balance::{balance, imbalance_factor, BalanceMethod};
 use megascale_data::core::buffer::{BufferInfo, BufferSummary};
 use megascale_data::core::dgraph::{BalanceOpts, DGraph, MetaView};
 use megascale_data::core::schedule::MixSchedule;
+use megascale_data::core::system::frontier::{FrontierHub, Holder};
 use megascale_data::data::{Modality, SampleMeta, SourceId};
 use megascale_data::mesh::{
     cp_partition, zigzag_partition, ClientPlaceTree, DeviceMesh, DistributeAxis,
@@ -176,6 +177,57 @@ proptest! {
             prop_assert!(w.iter().all(|x| *x >= 0.0 && x.is_finite()));
             let sum: f64 = w.iter().sum();
             prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        }
+    }
+
+    /// The serve plane's global step frontier is monotone non-decreasing
+    /// under arbitrary interleavings of progress reports (acks), client
+    /// reconnects (re-acquires), evictions and stream completions
+    /// (releases), and constructor restarts (re-acquires at stale
+    /// cursors) — and while any capability is live, the frontier never
+    /// exceeds the smallest live holder's cursor. These two facts are
+    /// what make "step < frontier" a *proof* of consumption that plan-log
+    /// retirement can act on.
+    #[test]
+    fn frontier_fold_is_monotone_and_bounded_by_live_cursors(
+        ops in proptest::collection::vec(
+            (0u8..3, any::<bool>(), 0u32..6, 0u64..512),
+            1..250,
+        ),
+    ) {
+        let hub = FrontierHub::new();
+        let mut last = hub.frontier();
+        for (op, ctor, id, v) in ops {
+            let holder = if ctor {
+                Holder::Constructor(id)
+            } else {
+                Holder::Client(id)
+            };
+            match op {
+                0 => {
+                    // (Re)connect / constructor restart: the granted
+                    // cursor is clamped so it never sits below the
+                    // frontier and never rewinds a live holder.
+                    let granted = hub.acquire(holder, v);
+                    prop_assert!(granted >= v, "acquire rewound below the request");
+                    prop_assert!(granted >= hub.frontier(), "capability granted below the frontier");
+                    prop_assert_eq!(hub.cursor(holder), Some(granted));
+                }
+                1 => hub.advance(holder, v), // Progress report (possibly stale).
+                _ => hub.release(holder),    // Eviction / finish / drop.
+            }
+            let now = hub.frontier();
+            prop_assert!(now >= last, "frontier regressed: {} -> {}", last, now);
+            last = now;
+            let snap = hub.snapshot();
+            if let Some(min) = snap.holders.iter().map(|(_, c)| *c).min() {
+                prop_assert!(
+                    now <= min,
+                    "frontier {} passed a live holder's cursor {}",
+                    now,
+                    min
+                );
+            }
         }
     }
 

@@ -147,6 +147,10 @@ fn frames_reassemble_from_single_byte_writes() {
             payload: BatchPayload::Encoded(bytes::Bytes::from(payload)),
         },
         WireFrame::Ack { client: 1, step: 0 },
+        WireFrame::Frontier {
+            client: 1,
+            consumed: 1,
+        },
         WireFrame::Close { client: 1 },
     ];
     let wire: Vec<u8> = frames.iter().flat_map(framed).collect();
